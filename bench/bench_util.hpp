@@ -1,0 +1,74 @@
+// Shared helpers for the reproduction benchmarks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "engine/reachability.hpp"
+#include "plant/plant.hpp"
+
+namespace benchutil {
+
+struct CellResult {
+  bool ran = false;        ///< false: skipped because a smaller size failed
+  bool reachable = false;
+  double seconds = 0.0;
+  double megabytes = 0.0;
+  engine::Cutoff cutoff = engine::Cutoff::kNone;
+};
+
+/// Run one scheduling query. The paper's Table 1 "DFS" corresponds to
+/// kRandomDfs with a fixed seed here: a depth-first search whose
+/// successor order is a deterministic shuffle (UPPAAL's own successor
+/// order is an arbitrary implementation artifact, and the plant model
+/// is pathologically sensitive to it).
+inline CellResult runCell(int batches, plant::GuideLevel guides,
+                          engine::Options opts) {
+  plant::PlantConfig cfg;
+  cfg.order = plant::standardOrder(batches);
+  cfg.guides = guides;
+  const auto p = plant::buildPlant(cfg);
+  engine::Reachability checker(p->sys, opts);
+  const engine::Result res = checker.run(p->goal);
+  CellResult out;
+  out.ran = true;
+  out.reachable = res.reachable;
+  out.seconds = res.stats.seconds;
+  out.megabytes = res.stats.peakMegabytes();
+  out.cutoff = res.stats.cutoff;
+  return out;
+}
+
+[[nodiscard]] inline engine::Options searchOptions(const std::string& kind,
+                                                   double maxSeconds,
+                                                   size_t maxMemoryMb) {
+  engine::Options o;
+  o.maxSeconds = maxSeconds;
+  o.maxMemoryBytes = maxMemoryMb * 1024 * 1024;
+  o.seed = 1;
+  // The paper enables UPPAAL's compact constraint data-structure for
+  // its measurements; our reduced-form store saves memory on the big
+  // (many-clock) instances but disables subsumption-removal, which the
+  // small unguided instances depend on — so the table uses the full
+  // store and the ablation bench covers the compact one.
+  o.compactPassed = false;
+  if (kind == "BFS") {
+    o.order = engine::SearchOrder::kBfs;
+  } else if (kind == "DFS") {
+    o.order = engine::SearchOrder::kRandomDfs;
+  } else {  // BSH: depth-first with bit-state hashing
+    o.order = engine::SearchOrder::kRandomDfs;
+    o.bitstateHashing = true;
+    o.hashBits = 23;
+  }
+  return o;
+}
+
+/// True when benchmarks should keep runtimes minimal (set BENCH_QUICK=1).
+[[nodiscard]] inline bool quick() {
+  const char* q = std::getenv("BENCH_QUICK");
+  return q != nullptr && q[0] == '1';
+}
+
+}  // namespace benchutil

@@ -1,0 +1,110 @@
+// Micro-benchmarks of the DBM substrate (google-benchmark): the
+// operations the reachability engine performs millions of times.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "dbm/dbm.hpp"
+
+namespace {
+
+dbm::Dbm randomZone(uint32_t dim, std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> clock(0, static_cast<int>(dim) - 1);
+  std::uniform_int_distribution<int> val(-50, 50);
+  for (;;) {
+    dbm::Dbm z = dbm::Dbm::unconstrained(dim);
+    for (uint32_t k = 0; k < dim; ++k) {
+      const auto i = static_cast<uint32_t>(clock(rng));
+      auto j = static_cast<uint32_t>(clock(rng));
+      if (i == j) j = (j + 1) % dim;
+      if (!z.constrain(i, j, dbm::boundWeak(val(rng)))) break;
+    }
+    if (!z.isEmpty()) return z;
+  }
+}
+
+void BM_Close(benchmark::State& state) {
+  const auto dim = static_cast<uint32_t>(state.range(0));
+  std::mt19937_64 rng(7);
+  dbm::Dbm z = randomZone(dim, rng);
+  for (auto _ : state) {
+    dbm::Dbm w = z;
+    benchmark::DoNotOptimize(w.close());
+  }
+}
+BENCHMARK(BM_Close)->Arg(8)->Arg(32)->Arg(64)->Arg(184);
+
+void BM_Up(benchmark::State& state) {
+  const auto dim = static_cast<uint32_t>(state.range(0));
+  std::mt19937_64 rng(7);
+  dbm::Dbm z = randomZone(dim, rng);
+  for (auto _ : state) {
+    dbm::Dbm w = z;
+    w.up();
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_Up)->Arg(8)->Arg(32)->Arg(184);
+
+void BM_ConstrainIncremental(benchmark::State& state) {
+  const auto dim = static_cast<uint32_t>(state.range(0));
+  std::mt19937_64 rng(7);
+  dbm::Dbm z = randomZone(dim, rng);
+  for (auto _ : state) {
+    dbm::Dbm w = z;
+    benchmark::DoNotOptimize(w.constrain(1, 0, dbm::boundWeak(3)));
+  }
+}
+BENCHMARK(BM_ConstrainIncremental)->Arg(8)->Arg(32)->Arg(184);
+
+void BM_Inclusion(benchmark::State& state) {
+  const auto dim = static_cast<uint32_t>(state.range(0));
+  std::mt19937_64 rng(7);
+  const dbm::Dbm a = randomZone(dim, rng);
+  const dbm::Dbm b = randomZone(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.includes(b));
+  }
+}
+BENCHMARK(BM_Inclusion)->Arg(8)->Arg(32)->Arg(184);
+
+void BM_Reset(benchmark::State& state) {
+  const auto dim = static_cast<uint32_t>(state.range(0));
+  std::mt19937_64 rng(7);
+  dbm::Dbm z = randomZone(dim, rng);
+  for (auto _ : state) {
+    dbm::Dbm w = z;
+    w.reset(1, 0);
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_Reset)->Arg(8)->Arg(32)->Arg(184);
+
+void BM_Extrapolate(benchmark::State& state) {
+  const auto dim = static_cast<uint32_t>(state.range(0));
+  std::mt19937_64 rng(7);
+  dbm::Dbm z = randomZone(dim, rng);
+  std::vector<dbm::value_t> max(dim, 20);
+  max[0] = 0;
+  for (auto _ : state) {
+    dbm::Dbm w = z;
+    w.extrapolateMaxBounds(max);
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_Extrapolate)->Arg(8)->Arg(32)->Arg(184);
+
+void BM_Hash(benchmark::State& state) {
+  const auto dim = static_cast<uint32_t>(state.range(0));
+  std::mt19937_64 rng(7);
+  const dbm::Dbm z = randomZone(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.hash());
+  }
+}
+BENCHMARK(BM_Hash)->Arg(8)->Arg(32)->Arg(184);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Reproduce paper §6: run synthesized programs against the (simulated)
+// physical plant for each of the three buggy model variants the authors
+// discovered by execution, show the plant catching each error, then run
+// the corrected model cleanly.
+#include <iostream>
+
+#include "engine/trace.hpp"
+#include "plant/plant.hpp"
+#include "rcx/plant_sim.hpp"
+#include "synthesis/rcx_codegen.hpp"
+#include "synthesis/schedule.hpp"
+
+namespace {
+
+bool pipeline(const plant::PlantConfig& cfg, const char* title) {
+  std::cout << "\n--- " << title << " ---\n";
+  const auto p = plant::buildPlant(cfg);
+  engine::Options opts;
+  opts.order = engine::SearchOrder::kDfs;
+  opts.dfsReverse = true;
+  opts.maxSeconds = 120.0;
+  engine::Reachability checker(p->sys, opts);
+  const engine::Result res = checker.run(p->goal);
+  if (!res.reachable) {
+    std::cout << "  model checker found NO schedule\n";
+    return false;
+  }
+  std::string err;
+  const auto ct = engine::concretize(p->sys, res.trace, &err);
+  if (!ct.has_value()) {
+    std::cout << "  concretize failed: " << err << "\n";
+    return false;
+  }
+  const synthesis::Schedule sched = synthesis::project(p->sys, *ct);
+  synthesis::CodegenOptions cg;
+  cg.ticksPerTimeUnit = 1000;
+  const synthesis::RcxProgram prog = synthesis::synthesize(sched, cg);
+  std::cout << "  model checker: schedule with " << sched.items.size()
+            << " commands (model says everything is fine)\n";
+
+  rcx::SimOptions sim;
+  sim.messageLossProb = 0.0;
+  sim.slackTicks = 3000;
+  const rcx::SimResult out = rcx::runProgram(prog, cfg, 1000, sim);
+  if (out.ok()) {
+    std::cout << "  physical plant: RUN OK (" << out.exited
+              << " batches completed)\n";
+    return true;
+  }
+  std::cout << "  physical plant: RUN FAILED —\n";
+  for (size_t e = 0; e < out.errors.size() && e < 4; ++e) {
+    std::cout << "    tick " << out.errors[e].tick << ": "
+              << out.errors[e].what << "\n";
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Hunting the paper's three modelling errors by executing "
+               "synthesized programs\nin the simulated plant (§6).\n";
+
+  {
+    plant::PlantConfig cfg;
+    cfg.order = {plant::qualityA()};
+    cfg.bugNoLiftDelay = true;
+    pipeline(cfg, "error 1: crane moves horizontally while the pickup runs "
+                  "(missing delay in the model)");
+  }
+  {
+    plant::PlantConfig cfg;
+    cfg.order = {plant::qualityA()};
+    cfg.bugCasterSkipsFinalEject = true;
+    pipeline(cfg, "error 3: caster does not turn out the final ladle "
+                  "(missing command in the model)");
+  }
+  std::cout << "\n(error 2 — tailgating cranes — is a model-level hazard: "
+               "see tests/rcx/fault_injection_test)\n";
+  {
+    plant::PlantConfig cfg;
+    cfg.order = plant::standardOrder(3);
+    const bool ok =
+        pipeline(cfg, "corrected model, 3 batches (all errors fixed)");
+    return ok ? 0 : 1;
+  }
+}

@@ -1,0 +1,83 @@
+// The full methodology of the paper's Figure 1, end to end:
+//
+//   plant model --UPPAAL-style reachability--> trace
+//         --projection--> schedule (Table 2)
+//         --textual substitution--> RCX control program (Figure 6)
+//         --execution--> (simulated) physical plant, with the plant's
+//                         physical invariants checked throughout.
+//
+// Usage: synthesize_and_run [batches] [lossProb]
+#include <cstdlib>
+#include <iostream>
+
+#include "engine/trace.hpp"
+#include "plant/plant.hpp"
+#include "rcx/plant_sim.hpp"
+#include "synthesis/io.hpp"
+#include "synthesis/rcx_codegen.hpp"
+#include "synthesis/schedule.hpp"
+
+int main(int argc, char** argv) {
+  const int batches = argc > 1 ? std::atoi(argv[1]) : 3;
+  const double loss = argc > 2 ? std::atof(argv[2]) : 0.01;
+
+  // 1. Model.
+  plant::PlantConfig cfg;
+  cfg.order = plant::standardOrder(batches);
+  const auto p = plant::buildPlant(cfg);
+  std::cout << "[1] model: " << p->numAutomata() << " automata, "
+            << p->numClocks() << " clocks\n";
+
+  // 2. Schedule via guided reachability.
+  engine::Options opts;
+  opts.order = engine::SearchOrder::kDfs;
+  opts.dfsReverse = true;
+  opts.maxSeconds = 120.0;
+  engine::Reachability checker(p->sys, opts);
+  const engine::Result res = checker.run(p->goal);
+  if (!res.reachable) {
+    std::cerr << "no schedule found\n";
+    return 1;
+  }
+  std::string err;
+  const auto ct = engine::concretize(p->sys, res.trace, &err);
+  if (!ct || !engine::validate(p->sys, *ct, &err)) {
+    std::cerr << "trace concretization failed: " << err << "\n";
+    return 1;
+  }
+  const synthesis::Schedule sched = synthesis::project(p->sys, *ct);
+  std::cout << "[2] schedule: " << sched.items.size() << " commands, makespan "
+            << sched.makespan << " time units\n";
+
+  // 3. Control program by textual substitution.
+  synthesis::CodegenOptions cg;
+  cg.ticksPerTimeUnit = 1000;
+  const synthesis::RcxProgram prog = synthesis::synthesize(sched, cg);
+  std::cout << "[3] program: " << prog.code.size() << " RCX instructions, "
+            << prog.commands.size() << " commands\n";
+  if (synthesis::writeScheduleFile(sched, "schedule.txt") &&
+      synthesis::writeProgramFile(prog, "program.rcx")) {
+    std::cout << "    wrote schedule.txt and program.rcx\n";
+  }
+
+  // 4. Execute in the simulated LEGO plant.
+  rcx::SimOptions sim;
+  sim.messageLossProb = loss;
+  sim.slackTicks = 3000;
+  const rcx::SimResult out = rcx::runProgram(prog, cfg, 1000, sim);
+  std::cout << "[4] plant run: " << out.ticks << " ticks, " << out.exited
+            << "/" << batches << " batches completed, "
+            << out.commandsSent << " sends (" << out.commandsLost
+            << " commands lost, " << out.acksLost << " acks lost, "
+            << out.duplicatesIgnored << " duplicates ignored)\n";
+  if (!out.ok()) {
+    std::cout << "plant run FAILED:\n";
+    for (const rcx::SimError& e : out.errors) {
+      std::cout << "  tick " << e.tick << ": " << e.what << "\n";
+    }
+    return 1;
+  }
+  std::cout << "plant run OK — schedule executed without physical "
+               "violations\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Encoded clock-difference bounds for DBMs.
+//
+// A bound is a pair (value, strictness) representing the constraint
+// `x - y < value` (strict) or `x - y <= value` (weak).  Following the
+// encoding used in UPPAAL's UDBM library, a bound is packed into one
+// int32_t as `(value << 1) | weak_bit` so that the natural integer order
+// of the raw encoding coincides with the order on bounds:
+//
+//   (n, <)  <  (n, <=)  <  (n+1, <)
+//
+// The special raw value `kInfinity` represents the absent constraint
+// `x - y < infinity`.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace dbm {
+
+/// Raw encoded bound. See file comment for the encoding.
+using raw_t = int32_t;
+
+/// Unencoded bound values (what appears in guards such as `x <= 7`).
+using value_t = int32_t;
+
+inline constexpr raw_t kWeakBit = 1;
+
+/// Raw encoding of "no bound" (x - y < infinity). Strict by convention.
+inline constexpr raw_t kInfinity = std::numeric_limits<raw_t>::max() >> 1;
+
+/// Largest finite bound value that can be encoded without overflow.
+inline constexpr value_t kMaxValue = (kInfinity >> 1) - 1;
+
+/// Build a weak bound  (x - y <= value).
+[[nodiscard]] constexpr raw_t boundWeak(value_t value) noexcept {
+  return static_cast<raw_t>((value << 1) | kWeakBit);
+}
+
+/// Build a strict bound  (x - y < value).
+[[nodiscard]] constexpr raw_t boundStrict(value_t value) noexcept {
+  return static_cast<raw_t>(value << 1);
+}
+
+/// Build a bound from value + strictness flag.
+[[nodiscard]] constexpr raw_t bound(value_t value, bool strict) noexcept {
+  return strict ? boundStrict(value) : boundWeak(value);
+}
+
+/// The bound (0, <=): the diagonal value of a canonical non-empty DBM.
+inline constexpr raw_t kZeroBound = boundWeak(0);
+
+/// Extract the numeric value of a finite encoded bound.
+[[nodiscard]] constexpr value_t boundValue(raw_t raw) noexcept {
+  return raw >> 1;
+}
+
+/// True if the encoded bound is strict (<) rather than weak (<=).
+[[nodiscard]] constexpr bool isStrict(raw_t raw) noexcept {
+  return (raw & kWeakBit) == 0;
+}
+
+/// Add two encoded bounds: (a, #a) + (b, #b) = (a+b, # strict iff either is).
+/// Infinity absorbs everything.
+[[nodiscard]] constexpr raw_t boundAdd(raw_t x, raw_t y) noexcept {
+  if (x == kInfinity || y == kInfinity) return kInfinity;
+  return (x + y) - ((x | y) & kWeakBit);
+}
+
+/// Negate a weak bound into the complementing strict bound and vice versa:
+/// the negation of (<= n) as a constraint `x - y <= n` is `y - x < -n`.
+[[nodiscard]] constexpr raw_t boundNegate(raw_t raw) noexcept {
+  return bound(-boundValue(raw), !isStrict(raw));
+}
+
+/// Human-readable form, e.g. "<=3", "<7", "<inf".
+[[nodiscard]] inline std::string boundToString(raw_t raw) {
+  if (raw == kInfinity) return "<inf";
+  return (isStrict(raw) ? "<" : "<=") + std::to_string(boundValue(raw));
+}
+
+}  // namespace dbm

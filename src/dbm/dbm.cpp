@@ -1,0 +1,208 @@
+#include "dbm/dbm.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dbm {
+
+Dbm Dbm::unconstrained(uint32_t dim) {
+  Dbm d(dim);
+  for (uint32_t i = 0; i < dim; ++i) {
+    for (uint32_t j = 0; j < dim; ++j) {
+      // Row 0 keeps x_j >= 0 (0 - x_j <= 0); diagonal stays (0, <=).
+      d.raw_[i * dim + j] = (i == 0 || i == j) ? kZeroBound : kInfinity;
+    }
+  }
+  return d;
+}
+
+bool Dbm::close() {
+  const uint32_t n = dim_;
+  for (uint32_t k = 0; k < n; ++k) {
+    for (uint32_t i = 0; i < n; ++i) {
+      const raw_t dik = raw_[i * n + k];
+      if (dik == kInfinity) continue;
+      for (uint32_t j = 0; j < n; ++j) {
+        const raw_t via = boundAdd(dik, raw_[k * n + j]);
+        if (via < raw_[i * n + j]) raw_[i * n + j] = via;
+      }
+    }
+    if (raw_[k * n + k] < kZeroBound) {
+      setEmpty();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Dbm::closeAfterConstrain(uint32_t a, uint32_t b) {
+  const uint32_t n = dim_;
+  const raw_t dab = raw_[a * n + b];
+  if (boundAdd(dab, raw_[b * n + a]) < kZeroBound) {
+    setEmpty();
+    return false;
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    const raw_t dia = boundAdd(raw_[i * n + a], dab);
+    if (dia == kInfinity) continue;
+    for (uint32_t j = 0; j < n; ++j) {
+      const raw_t via = boundAdd(dia, raw_[b * n + j]);
+      if (via < raw_[i * n + j]) raw_[i * n + j] = via;
+    }
+  }
+  return true;
+}
+
+bool Dbm::constrain(uint32_t i, uint32_t j, raw_t b) {
+  assert(i != j);
+  if (isEmpty()) return false;
+  if (b >= raw_[i * dim_ + j]) return true;  // no tightening needed
+  raw_[i * dim_ + j] = b;
+  return closeAfterConstrain(i, j);
+}
+
+void Dbm::up() {
+  for (uint32_t i = 1; i < dim_; ++i) raw_[i * dim_] = kInfinity;
+}
+
+void Dbm::down() {
+  // Relax lower bounds: x_j may be anything a past valuation allowed,
+  // clamped at 0.  Preserves canonical form (UDBM's dbm_down).
+  const uint32_t n = dim_;
+  for (uint32_t j = 1; j < n; ++j) {
+    raw_t lo = kZeroBound;
+    for (uint32_t i = 1; i < n; ++i) {
+      lo = std::min(lo, raw_[i * n + j]);
+    }
+    raw_[j] = lo;  // raw_[0*n + j]
+  }
+}
+
+void Dbm::reset(uint32_t i, value_t v) {
+  assert(i > 0 && i < dim_);
+  const uint32_t n = dim_;
+  const raw_t up_b = boundWeak(v);
+  const raw_t lo_b = boundWeak(-v);
+  for (uint32_t j = 0; j < n; ++j) {
+    if (j == i) continue;
+    raw_[i * n + j] = boundAdd(up_b, raw_[j]);       // x_i - x_j <= v + (0 - x_j)
+    raw_[j * n + i] = boundAdd(raw_[j * n], lo_b);   // x_j - x_i <= (x_j - 0) - v
+  }
+}
+
+void Dbm::copyClock(uint32_t i, uint32_t j) {
+  assert(i > 0 && i != j);
+  const uint32_t n = dim_;
+  for (uint32_t k = 0; k < n; ++k) {
+    if (k == i) continue;
+    raw_[i * n + k] = raw_[j * n + k];
+    raw_[k * n + i] = raw_[k * n + j];
+  }
+  raw_[i * n + j] = kZeroBound;
+  raw_[j * n + i] = kZeroBound;
+}
+
+void Dbm::freeClock(uint32_t i) {
+  assert(i > 0 && i < dim_);
+  const uint32_t n = dim_;
+  for (uint32_t j = 0; j < n; ++j) {
+    if (j == i) continue;
+    raw_[i * n + j] = kInfinity;
+    raw_[j * n + i] = raw_[j * n];  // x_j - x_i <= x_j - 0 since x_i >= 0
+  }
+  raw_[i * n] = kInfinity;
+  raw_[i] = kZeroBound;  // 0 - x_i <= 0
+}
+
+void Dbm::extrapolateMaxBounds(std::span<const value_t> max) {
+  assert(max.size() == dim_);
+  const uint32_t n = dim_;
+  bool changed = false;
+  for (uint32_t i = 0; i < n; ++i) {
+    // Clocks never compared against a constant behave as if max == 0.
+    const value_t mi = std::max<value_t>(max[i], 0);
+    for (uint32_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const value_t mj = std::max<value_t>(max[j], 0);
+      raw_t& b = raw_[i * n + j];
+      if (b == kInfinity) continue;
+      if (i != 0 && b > boundWeak(mi)) {
+        b = kInfinity;
+        changed = true;
+      } else if (b < boundStrict(-mj)) {
+        b = boundStrict(-mj);
+        changed = true;
+      }
+    }
+  }
+  if (changed) close();
+}
+
+Relation Dbm::relation(const Dbm& other) const noexcept {
+  assert(dim_ == other.dim_);
+  bool sub = true;   // this <= other entrywise
+  bool sup = true;   // this >= other entrywise
+  for (size_t k = 0; k < raw_.size(); ++k) {
+    if (raw_[k] > other.raw_[k]) sub = false;
+    if (raw_[k] < other.raw_[k]) sup = false;
+    if (!sub && !sup) return Relation::kDifferent;
+  }
+  if (sub && sup) return Relation::kEqual;
+  return sub ? Relation::kSubset : Relation::kSuperset;
+}
+
+bool Dbm::includes(const Dbm& other) const noexcept {
+  assert(dim_ == other.dim_);
+  if (other.isEmpty()) return true;
+  if (isEmpty()) return false;
+  for (size_t k = 0; k < raw_.size(); ++k) {
+    if (raw_[k] < other.raw_[k]) return false;
+  }
+  return true;
+}
+
+bool Dbm::intersect(const Dbm& other) {
+  assert(dim_ == other.dim_);
+  for (size_t k = 0; k < raw_.size(); ++k) {
+    raw_[k] = std::min(raw_[k], other.raw_[k]);
+  }
+  return close();
+}
+
+bool Dbm::containsPoint(std::span<const int64_t> val) const noexcept {
+  assert(val.size() == dim_);
+  if (isEmpty() || val[0] != 0) return false;
+  for (uint32_t i = 0; i < dim_; ++i) {
+    for (uint32_t j = 0; j < dim_; ++j) {
+      if (i == j) continue;
+      const raw_t b = at(i, j);
+      if (b == kInfinity) continue;
+      const int64_t diff = val[i] - val[j];
+      const int64_t bv = boundValue(b);
+      if (isStrict(b) ? diff >= bv : diff > bv) return false;
+    }
+  }
+  return true;
+}
+
+size_t Dbm::hash() const noexcept {
+  // FNV-1a over the raw entries.
+  size_t h = 1469598103934665603ull;
+  for (raw_t r : raw_) {
+    h ^= static_cast<size_t>(static_cast<uint32_t>(r));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string Dbm::toString() const {
+  std::ostringstream os;
+  for (uint32_t i = 0; i < dim_; ++i) {
+    for (uint32_t j = 0; j < dim_; ++j) {
+      os << boundToString(at(i, j)) << (j + 1 == dim_ ? "\n" : "\t");
+    }
+  }
+  return os.str();
+}
+
+}  // namespace dbm

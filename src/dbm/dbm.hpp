@@ -1,0 +1,179 @@
+// Difference Bound Matrices — the symbolic representation of clock zones.
+//
+// A DBM of dimension n represents a convex set of clock valuations over
+// clocks x_1 .. x_{n-1} plus the reference clock x_0 == 0.  Entry (i, j)
+// encodes the constraint  x_i - x_j  <bound>  at(i, j).
+//
+// All mutating operations keep the matrix in *canonical* (closed) form —
+// the tightest representation, computed with Floyd–Warshall shortest
+// paths — except where documented otherwise.  An empty zone is
+// represented canonically by at(0,0) < (0, <=).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dbm/bound.hpp"
+
+namespace dbm {
+
+/// Result of comparing two zones over the same clock set.
+enum class Relation : uint8_t {
+  kEqual,      ///< same set of valuations
+  kSubset,     ///< this strictly included in other
+  kSuperset,   ///< this strictly includes other
+  kDifferent,  ///< incomparable
+};
+
+/// A clock zone in canonical DBM form. Dimension includes the reference
+/// clock, so a system with k real clocks uses dimension k+1.
+class Dbm {
+ public:
+  /// Uninitialized-to-zero zone of the given dimension: all clocks == 0.
+  explicit Dbm(uint32_t dim) : dim_(dim), raw_(dim * dim, kZeroBound) {
+    assert(dim >= 1);
+  }
+
+  /// The zone where every clock equals zero (the initial zone).
+  [[nodiscard]] static Dbm zero(uint32_t dim) { return Dbm(dim); }
+
+  /// The unconstrained zone (all valuations with non-negative clocks).
+  [[nodiscard]] static Dbm unconstrained(uint32_t dim);
+
+  [[nodiscard]] uint32_t dimension() const noexcept { return dim_; }
+
+  [[nodiscard]] raw_t at(uint32_t i, uint32_t j) const noexcept {
+    assert(i < dim_ && j < dim_);
+    return raw_[i * dim_ + j];
+  }
+
+  /// Raw write access. The caller is responsible for re-establishing
+  /// canonical form (close / closeAfterConstrain) before further use.
+  void setRaw(uint32_t i, uint32_t j, raw_t b) noexcept {
+    assert(i < dim_ && j < dim_);
+    raw_[i * dim_ + j] = b;
+  }
+
+  /// True if the zone contains no valuation.
+  [[nodiscard]] bool isEmpty() const noexcept { return raw_[0] < kZeroBound; }
+
+  /// Mark the zone empty (canonical empty representation).
+  void setEmpty() noexcept { raw_[0] = boundStrict(0); }
+
+  // -- Canonicalization -----------------------------------------------
+
+  /// Full Floyd–Warshall closure, O(n^3). Detects emptiness.
+  /// Returns false (and marks the zone empty) if inconsistent.
+  bool close();
+
+  /// Re-close after a single tightened entry (i, j), O(n^2).
+  /// Returns false (and marks empty) if the tightening emptied the zone.
+  bool closeAfterConstrain(uint32_t i, uint32_t j);
+
+  // -- Constraint operations ------------------------------------------
+
+  /// Conjoin constraint x_i - x_j <bound> b. Keeps canonical form.
+  /// Returns false if the zone becomes empty.
+  bool constrain(uint32_t i, uint32_t j, raw_t b);
+
+  /// Conjoin x_i <= / < v (upper bound against the reference clock).
+  bool constrainUpper(uint32_t i, value_t v, bool strict) {
+    return constrain(i, 0, bound(v, strict));
+  }
+
+  /// Conjoin x_i >= / > v (lower bound against the reference clock).
+  bool constrainLower(uint32_t i, value_t v, bool strict) {
+    return constrain(0, i, bound(-v, strict));
+  }
+
+  /// Would `constrain(i, j, b)` leave the zone non-empty?  (No mutation.)
+  [[nodiscard]] bool satisfies(uint32_t i, uint32_t j, raw_t b) const noexcept {
+    // b conjoined with the existing bound on (j, i) must not close a
+    // negative cycle: at(j,i) + b >= (0, <=).
+    return !isEmpty() && boundAdd(at(j, i), b) >= kZeroBound;
+  }
+
+  // -- Time operations --------------------------------------------------
+
+  /// Delay (future / "up"): remove all upper bounds. Stays canonical.
+  void up();
+
+  /// Past ("down"): allow any smaller valuation reachable by letting
+  /// time run backwards. Stays canonical.
+  void down();
+
+  // -- Clock updates ----------------------------------------------------
+
+  /// x_i := v. Stays canonical (precondition: canonical, non-empty).
+  void reset(uint32_t i, value_t v);
+
+  /// x_i := x_j. Stays canonical.
+  void copyClock(uint32_t i, uint32_t j);
+
+  /// Remove all constraints on x_i (used by active-clock reduction).
+  void freeClock(uint32_t i);
+
+  // -- Abstraction ------------------------------------------------------
+
+  /// Classic maximal-bounds extrapolation: bounds above max[i] are
+  /// abstracted away so the reachability graph becomes finite.
+  /// `max[i]` is the largest constant clock i is ever compared against;
+  /// use -1 ("clock never compared") to drop all constraints on i.
+  /// Needs a close() afterwards; this method performs it.
+  void extrapolateMaxBounds(std::span<const value_t> max);
+
+  // -- Comparison / inclusion -------------------------------------------
+
+  /// Exact set relation between two canonical zones of equal dimension.
+  [[nodiscard]] Relation relation(const Dbm& other) const noexcept;
+
+  /// True if `other` ⊆ `this` (both canonical, same dimension).
+  [[nodiscard]] bool includes(const Dbm& other) const noexcept;
+
+  /// Intersect with other (both canonical). Returns false if empty.
+  bool intersect(const Dbm& other);
+
+  // -- Points -----------------------------------------------------------
+
+  /// Does the zone contain the concrete valuation? `val[0]` must be 0.
+  [[nodiscard]] bool containsPoint(std::span<const int64_t> val) const noexcept;
+
+  /// Minimum possible value of clock i in this zone (its lower bound).
+  [[nodiscard]] value_t infimum(uint32_t i) const noexcept {
+    return -boundValue(at(0, i));
+  }
+
+  /// Encoded upper bound of clock i (kInfinity if unbounded).
+  [[nodiscard]] raw_t upperBound(uint32_t i) const noexcept { return at(i, 0); }
+
+  // -- Misc ---------------------------------------------------------------
+
+  [[nodiscard]] size_t hash() const noexcept;
+
+  [[nodiscard]] bool operator==(const Dbm& other) const noexcept {
+    return dim_ == other.dim_ && raw_ == other.raw_;
+  }
+
+  /// Multi-line human-readable dump (for debugging / tests).
+  [[nodiscard]] std::string toString() const;
+
+  /// Bytes of heap storage used (for the engine's memory accounting).
+  [[nodiscard]] size_t memoryBytes() const noexcept {
+    return raw_.capacity() * sizeof(raw_t);
+  }
+
+ private:
+  uint32_t dim_;
+  std::vector<raw_t> raw_;
+};
+
+}  // namespace dbm
+
+template <>
+struct std::hash<dbm::Dbm> {
+  size_t operator()(const dbm::Dbm& d) const noexcept { return d.hash(); }
+};

@@ -1,0 +1,87 @@
+// A federation is a finite union of DBM zones over the same clock set.
+//
+// The reachability engine itself stores one zone per symbolic state (as
+// UPPAAL does), but federations are useful for queries ("is this set of
+// valuations covered?"), for tests, and for building non-convex guards.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "dbm/dbm.hpp"
+
+namespace dbm {
+
+/// Union of zones, kept inclusion-reduced (no member includes another).
+class Federation {
+ public:
+  explicit Federation(uint32_t dim) : dim_(dim) {}
+
+  [[nodiscard]] static Federation empty(uint32_t dim) {
+    return Federation(dim);
+  }
+
+  [[nodiscard]] uint32_t dimension() const noexcept { return dim_; }
+  [[nodiscard]] bool isEmpty() const noexcept { return zones_.empty(); }
+  [[nodiscard]] size_t size() const noexcept { return zones_.size(); }
+  [[nodiscard]] const std::vector<Dbm>& zones() const noexcept {
+    return zones_;
+  }
+
+  /// Add a zone; drops it if already covered by a member, and drops
+  /// members covered by it.
+  void add(Dbm zone) {
+    if (zone.isEmpty()) return;
+    for (const Dbm& z : zones_) {
+      if (z.includes(zone)) return;
+    }
+    std::erase_if(zones_, [&](const Dbm& z) { return zone.includes(z); });
+    zones_.push_back(std::move(zone));
+  }
+
+  /// True if the valuation lies in some member zone.
+  [[nodiscard]] bool containsPoint(std::span<const int64_t> val) const {
+    for (const Dbm& z : zones_) {
+      if (z.containsPoint(val)) return true;
+    }
+    return false;
+  }
+
+  /// True if `zone` is included in some single member.  (Sound but not
+  /// complete for true set inclusion into the union — the same
+  /// approximation UPPAAL's passed list uses.)
+  [[nodiscard]] bool includesZone(const Dbm& zone) const {
+    for (const Dbm& z : zones_) {
+      if (z.includes(zone)) return true;
+    }
+    return false;
+  }
+
+  /// Delay every member.
+  void up() {
+    for (Dbm& z : zones_) z.up();
+  }
+
+  /// Intersect every member with `other`, dropping emptied members.
+  void intersect(const Dbm& other) {
+    std::vector<Dbm> out;
+    out.reserve(zones_.size());
+    for (Dbm& z : zones_) {
+      if (z.intersect(other)) out.push_back(std::move(z));
+    }
+    zones_ = std::move(out);
+  }
+
+  [[nodiscard]] size_t memoryBytes() const noexcept {
+    size_t total = zones_.capacity() * sizeof(Dbm);
+    for (const Dbm& z : zones_) total += z.memoryBytes();
+    return total;
+  }
+
+ private:
+  uint32_t dim_;
+  std::vector<Dbm> zones_;
+};
+
+}  // namespace dbm

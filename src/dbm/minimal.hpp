@@ -1,0 +1,106 @@
+// Reduced ("minimal form") representation of canonical DBMs — the
+// paper's "compact data-structure for constraints" (Larsson, Larsen,
+// Pettersson, Yi, RTSS'97).
+//
+// A canonical DBM is a complete shortest-path matrix; most entries are
+// derivable from a small subset of constraints.  We store a reduced
+// edge set whose closure reproduces the full matrix.  The passed list
+// can answer its one inclusion question directly on the reduced form:
+//
+//   stored ⊇ new   iff   every reduced edge (i,j,b) of `stored`
+//                        satisfies b >= new(i,j)
+//
+// (⇐: any stored entry is a shortest path over reduced edges, each of
+// which dominates the corresponding entry of the canonical `new`, whose
+// own triangle inequality closes the argument.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dbm/dbm.hpp"
+
+namespace dbm {
+
+class MinimalDbm {
+ public:
+  struct Entry {
+    uint16_t i;
+    uint16_t j;
+    raw_t bound;
+  };
+
+  /// Reduce a canonical, non-empty DBM.
+  [[nodiscard]] static MinimalDbm from(const Dbm& z) {
+    const uint32_t n = z.dimension();
+    MinimalDbm out;
+    out.dim_ = n;
+    // Sequentially drop edges derivable from a 2-path of edges that are
+    // still kept at the moment of the check. Each dropped edge then has
+    // a witness chain ending in finally-kept edges, so the closure of
+    // the kept set reproduces the full matrix. (Sound; minimal up to
+    // tie-breaking among zero-cycles.)
+    std::vector<bool> dropped(n * n, false);
+    const auto idx = [n](uint32_t i, uint32_t j) { return i * n + j; };
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t j = 0; j < n; ++j) {
+        if (i == j || z.at(i, j) == kInfinity) continue;
+        for (uint32_t k = 0; k < n; ++k) {
+          if (k == i || k == j) continue;
+          if (dropped[idx(i, k)] || dropped[idx(k, j)]) continue;
+          if (boundAdd(z.at(i, k), z.at(k, j)) <= z.at(i, j)) {
+            dropped[idx(i, j)] = true;
+            break;
+          }
+        }
+        if (!dropped[idx(i, j)]) {
+          out.entries_.push_back(
+              {static_cast<uint16_t>(i), static_cast<uint16_t>(j),
+               z.at(i, j)});
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Does the zone this reduction represents include `z`?
+  /// (`z` must be canonical.)
+  [[nodiscard]] bool includes(const Dbm& z) const {
+    for (const Entry& e : entries_) {
+      if (e.bound < z.at(e.i, e.j)) return false;
+    }
+    return true;
+  }
+
+  /// Rebuild the full canonical DBM (closure of the reduced edges).
+  [[nodiscard]] Dbm reconstruct() const {
+    Dbm z = Dbm::unconstrained(dim_);
+    // Start from an all-infinity matrix except the diagonal; the
+    // unconstrained zone's row 0 must not inject constraints the
+    // reduction chose to drop, so reset it explicitly.
+    for (uint32_t i = 0; i < dim_; ++i) {
+      for (uint32_t j = 0; j < dim_; ++j) {
+        if (i != j) z.setRaw(i, j, kInfinity);
+      }
+    }
+    for (const Entry& e : entries_) z.setRaw(e.i, e.j, e.bound);
+    z.close();
+    return z;
+  }
+
+  [[nodiscard]] uint32_t dimension() const noexcept { return dim_; }
+  [[nodiscard]] size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return entries_;
+  }
+
+  [[nodiscard]] size_t memoryBytes() const noexcept {
+    return entries_.capacity() * sizeof(Entry) + sizeof(*this);
+  }
+
+ private:
+  uint32_t dim_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace dbm

@@ -1,0 +1,65 @@
+// Search configuration for the reachability engine — mirrors the UPPAAL
+// command-line options the paper's Table 1 varies (breadth-first /
+// depth-first / bit-state hashing, active-clock reduction) plus the
+// resource cut-offs the paper's "-" entries correspond to.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace engine {
+
+enum class SearchOrder : uint8_t {
+  kBfs,        ///< breadth-first (UPPAAL default)
+  kDfs,        ///< depth-first
+  kRandomDfs,  ///< depth-first with randomized successor order
+};
+
+struct Options {
+  SearchOrder order = SearchOrder::kBfs;
+
+  /// Holzmann bit-state hashing: the passed list becomes a 2-bit-per-
+  /// state hash table — tiny memory, may prune reachable states.
+  /// Requires a depth-first order (as in the paper).
+  bool bitstateHashing = false;
+  /// log2 of the bit table size. The paper tuned 2^19 .. 2^23 ("table
+  /// sizes from 524288 to 8388608 bits").
+  uint32_t hashBits = 23;
+
+  /// Daws–Tripakis (in-)active clock reduction.
+  bool activeClockReduction = true;
+
+  /// Extrapolate with per-clock maximal bounds (always sound for the
+  /// diagonal-free models we build; disabling it is for ablation only
+  /// and can make the search diverge).
+  bool extrapolation = true;
+
+  /// Inclusion checking in the passed/waiting list (vs exact equality).
+  bool inclusionChecking = true;
+
+  /// Store passed zones in reduced "minimal constraint" form (the
+  /// paper's compact data-structure for constraints [9]): much smaller
+  /// per-zone memory, inclusion answered directly on the reduced form;
+  /// trades away subsumption-removal of previously stored zones.
+  /// Implies inclusion checking.
+  bool compactPassed = false;
+
+  /// Seed for kRandomDfs.
+  uint64_t seed = 1;
+
+  /// Explore successors in reverse generation order (DFS only). The
+  /// generation order follows process declaration order, so this flips
+  /// which process "moves first" — a cheap but sometimes decisive
+  /// search heuristic.
+  bool dfsReverse = false;
+
+  // -- Cut-offs: a run exceeding any of these aborts with the matching
+  //    CutoffReason, reproducing Table 1's "-" entries. 0 = unlimited.
+  size_t maxMemoryBytes = 0;
+  double maxSeconds = 0.0;
+  size_t maxStates = 0;
+};
+
+enum class Cutoff : uint8_t { kNone, kMemory, kTime, kStates };
+
+}  // namespace engine

@@ -1,0 +1,404 @@
+#include "engine/reachability.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <deque>
+#include <random>
+#include <unordered_map>
+
+#include "dbm/minimal.hpp"
+
+namespace engine {
+
+bool Goal::matches(const ta::System& sys, const SymbolicState& s) const {
+  for (const auto& [proc, loc] : locations) {
+    if (s.d.locs[static_cast<size_t>(proc)] != loc) return false;
+  }
+  if (predicate != ta::kNoExpr &&
+      !sys.pool().evalBool(predicate, s.d.vars)) {
+    return false;
+  }
+  if (!clockConstraints.empty()) {
+    dbm::Dbm z = s.zone;
+    for (const ta::ClockConstraint& cc : clockConstraints) {
+      if (!z.constrain(static_cast<uint32_t>(cc.i),
+                       static_cast<uint32_t>(cc.j), cc.bound)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct DiscreteHash {
+  size_t operator()(const DiscreteState& d) const noexcept { return d.hash(); }
+};
+
+/// Passed/waiting store with zone-inclusion checking (UPPAAL's PWList).
+/// With `compact`, zones are held in reduced minimal-constraint form
+/// (the paper's compact data-structure option [9]).
+class PassedStore {
+ public:
+  PassedStore(bool inclusion, bool compact)
+      : inclusion_(inclusion || compact), compact_(compact) {}
+
+  [[nodiscard]] bool covered(const SymbolicState& s) const {
+    if (compact_) {
+      const auto it = compactMap_.find(s.d);
+      if (it == compactMap_.end()) return false;
+      for (const dbm::MinimalDbm& z : it->second) {
+        if (z.includes(s.zone)) return true;
+      }
+      return false;
+    }
+    const auto it = map_.find(s.d);
+    if (it == map_.end()) return false;
+    for (const dbm::Dbm& z : it->second) {
+      if (inclusion_ ? z.includes(s.zone) : z == s.zone) return true;
+    }
+    return false;
+  }
+
+  void insert(const SymbolicState& s) {
+    if (compact_) {
+      auto& zones = compactMap_[s.d];
+      if (zones.empty()) bytes_ += s.d.memoryBytes() + kEntryOverhead;
+      zones.push_back(dbm::MinimalDbm::from(s.zone));
+      bytes_ += zones.back().memoryBytes();
+      ++states_;
+      return;
+    }
+    auto& zones = map_[s.d];
+    if (zones.empty()) bytes_ += s.d.memoryBytes() + kEntryOverhead;
+    if (inclusion_) {
+      // Drop stored zones the new one subsumes.
+      std::erase_if(zones, [&](const dbm::Dbm& z) {
+        if (s.zone.includes(z)) {
+          bytes_ -= z.memoryBytes();
+          --states_;
+          return true;
+        }
+        return false;
+      });
+    }
+    ++states_;
+    bytes_ += s.zone.memoryBytes();
+    zones.push_back(s.zone);
+  }
+
+  [[nodiscard]] size_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] size_t states() const noexcept { return states_; }
+
+ private:
+  static constexpr size_t kEntryOverhead = 64;  // hash-map node estimate
+
+  bool inclusion_;
+  bool compact_;
+  std::unordered_map<DiscreteState, std::vector<dbm::Dbm>, DiscreteHash> map_;
+  std::unordered_map<DiscreteState, std::vector<dbm::MinimalDbm>,
+                     DiscreteHash>
+      compactMap_;
+  size_t bytes_ = 0;
+  size_t states_ = 0;
+};
+
+/// Holzmann-style two-bit bit-state hash table.
+class BitTable {
+ public:
+  explicit BitTable(uint32_t bits)
+      : mask_((size_t{1} << bits) - 1), words_((size_t{1} << bits) / 64 + 1) {}
+
+  [[nodiscard]] bool testAndSet(const SymbolicState& s) {
+    const size_t h1 = s.fullHash() & mask_;
+    // Second independent hash: remix with a different constant.
+    size_t h2 = s.fullHash();
+    h2 ^= h2 >> 33;
+    h2 *= 0xff51afd7ed558ccdull;
+    h2 ^= h2 >> 33;
+    h2 &= mask_;
+    const bool seen = get(h1) && get(h2);
+    set(h1);
+    set(h2);
+    return seen;
+  }
+
+  [[nodiscard]] size_t bytes() const noexcept {
+    return words_.size() * sizeof(uint64_t);
+  }
+
+ private:
+  [[nodiscard]] bool get(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  void set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+
+  size_t mask_;
+  std::vector<uint64_t> words_;
+};
+
+struct CutoffChecker {
+  const Options& opts;
+  Clock::time_point start = Clock::now();
+
+  [[nodiscard]] Cutoff check(const Stats& st) const {
+    if (opts.maxMemoryBytes != 0 && st.bytesStored > opts.maxMemoryBytes)
+      return Cutoff::kMemory;
+    if (opts.maxStates != 0 && st.statesExplored > opts.maxStates)
+      return Cutoff::kStates;
+    if (opts.maxSeconds > 0.0) {
+      const double secs =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (secs > opts.maxSeconds) return Cutoff::kTime;
+    }
+    return Cutoff::kNone;
+  }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  }
+};
+
+}  // namespace
+
+Reachability::Reachability(const ta::System& sys, Options opts)
+    : sys_(sys), opts_(opts), gen_(sys, opts_) {
+  assert((!opts_.bitstateHashing || opts_.order != SearchOrder::kBfs) &&
+         "bit-state hashing requires a depth-first order (as in the paper)");
+}
+
+Result Reachability::run(const Goal& goal) {
+  // Clocks the goal observes must survive the reductions.
+  gen_.observeGoalConstraints(goal.clockConstraints);
+  return opts_.order == SearchOrder::kBfs ? runBfs(goal) : runDfs(goal);
+}
+
+// --------------------------------------------------------------------------
+// Breadth-first: arena with parent pointers for trace reconstruction.
+// --------------------------------------------------------------------------
+
+Result Reachability::runBfs(const Goal& goal) {
+  struct Node {
+    SymbolicState s;
+    Transition via;
+    int64_t parent;
+  };
+
+  Result res;
+  CutoffChecker cut{opts_};
+  PassedStore passed(opts_.inclusionChecking, opts_.compactPassed);
+
+  std::vector<Node> arena;
+  std::deque<int64_t> waiting;
+  size_t arenaBytes = 0;
+
+  const auto buildTrace = [&](int64_t idx) {
+    std::vector<TraceStep> rev;
+    for (int64_t k = idx; k >= 0; k = arena[static_cast<size_t>(k)].parent) {
+      const Node& n = arena[static_cast<size_t>(k)];
+      rev.push_back(TraceStep{n.via, n.s});
+    }
+    std::reverse(rev.begin(), rev.end());
+    res.trace.steps = std::move(rev);
+  };
+
+  const auto finish = [&](Cutoff c, bool exhausted) {
+    res.stats.cutoff = c;
+    res.exhausted = exhausted && c == Cutoff::kNone;
+    res.stats.seconds = cut.seconds();
+    res.stats.statesStored = passed.states();
+    return res;
+  };
+
+  SymbolicState init = gen_.initial();
+  if (!goal.deadlock && goal.matches(sys_, init)) {
+    arena.push_back({std::move(init), Transition{}, -1});
+    res.reachable = true;
+    buildTrace(0);
+    return finish(Cutoff::kNone, false);
+  }
+  passed.insert(init);
+  arenaBytes += init.memoryBytes();
+  arena.push_back({std::move(init), Transition{}, -1});
+  waiting.push_back(0);
+  res.stats.bytesStored = passed.bytes() + arenaBytes;
+  res.stats.peakBytes = res.stats.bytesStored;
+
+  while (!waiting.empty()) {
+    if (const Cutoff c = cut.check(res.stats); c != Cutoff::kNone) {
+      return finish(c, false);
+    }
+    const int64_t idx = waiting.front();
+    waiting.pop_front();
+    ++res.stats.statesExplored;
+
+    // Copy: arena may reallocate while pushing successors.
+    const SymbolicState current = arena[static_cast<size_t>(idx)].s;
+    std::vector<Successor> succs = gen_.successors(current);
+    if (goal.deadlock && succs.empty() && goal.matches(sys_, current)) {
+      res.reachable = true;
+      buildTrace(idx);
+      return finish(Cutoff::kNone, false);
+    }
+    for (Successor& suc : succs) {
+      ++res.stats.statesGenerated;
+      if (!goal.deadlock && goal.matches(sys_, suc.state)) {
+        arena.push_back({std::move(suc.state), std::move(suc.via), idx});
+        res.reachable = true;
+        buildTrace(static_cast<int64_t>(arena.size()) - 1);
+        return finish(Cutoff::kNone, false);
+      }
+      if (passed.covered(suc.state)) continue;
+      passed.insert(suc.state);
+      arenaBytes += suc.state.memoryBytes();
+      arena.push_back({std::move(suc.state), std::move(suc.via), idx});
+      waiting.push_back(static_cast<int64_t>(arena.size()) - 1);
+      res.stats.bytesStored = passed.bytes() + arenaBytes +
+                              arena.size() * sizeof(Node) +
+                              waiting.size() * sizeof(int64_t);
+      res.stats.peakBytes =
+          std::max(res.stats.peakBytes, res.stats.bytesStored);
+    }
+  }
+  return finish(Cutoff::kNone, true);
+}
+
+// --------------------------------------------------------------------------
+// Depth-first (optionally randomized, optionally bit-state hashed):
+// explicit frame stack; the stack itself is the trace.
+// --------------------------------------------------------------------------
+
+Result Reachability::runDfs(const Goal& goal) {
+  struct Frame {
+    SymbolicState s;
+    Transition via;
+    std::vector<Successor> succ;
+    size_t next = 0;
+    size_t bytes = 0;
+  };
+
+  Result res;
+  CutoffChecker cut{opts_};
+  PassedStore passed(opts_.inclusionChecking, opts_.compactPassed);
+  std::optional<BitTable> bits;
+  if (opts_.bitstateHashing) bits.emplace(opts_.hashBits);
+  std::mt19937_64 rng(opts_.seed);
+
+  const auto covered = [&](const SymbolicState& s) {
+    // testAndSet both queries and marks — call sites rely on that.
+    return bits ? bits->testAndSet(s) : passed.covered(s);
+  };
+  const auto store = [&](const SymbolicState& s) {
+    if (!bits) passed.insert(s);
+  };
+
+  std::vector<Frame> stack;
+  size_t stackBytes = 0;
+
+  const auto frameBytes = [](const Frame& f) {
+    size_t b = f.s.memoryBytes() + sizeof(Frame);
+    for (const Successor& suc : f.succ) {
+      b += suc.state.memoryBytes() + sizeof(Successor);
+    }
+    return b;
+  };
+
+  const auto pushFrame = [&](SymbolicState s, Transition via) {
+    Frame f{std::move(s), std::move(via), {}, 0, 0};
+    f.succ = gen_.successors(f.s);
+    if (opts_.order == SearchOrder::kRandomDfs) {
+      std::shuffle(f.succ.begin(), f.succ.end(), rng);
+    } else if (opts_.dfsReverse) {
+      std::reverse(f.succ.begin(), f.succ.end());
+    }
+    f.bytes = frameBytes(f);
+    stackBytes += f.bytes;
+    stack.push_back(std::move(f));
+    res.stats.peakStackDepth =
+        std::max(res.stats.peakStackDepth, stack.size());
+    ++res.stats.statesExplored;
+  };
+
+  const auto accountMemory = [&] {
+    res.stats.bytesStored =
+        stackBytes + (bits ? bits->bytes() : passed.bytes());
+    res.stats.peakBytes = std::max(res.stats.peakBytes, res.stats.bytesStored);
+  };
+
+  const auto buildTrace = [&](const Successor* last) {
+    for (const Frame& f : stack) {
+      res.trace.steps.push_back(TraceStep{f.via, f.s});
+    }
+    if (last != nullptr) {
+      res.trace.steps.push_back(TraceStep{last->via, last->state});
+    }
+  };
+
+  const auto finish = [&](Cutoff c, bool exhausted) {
+    res.stats.cutoff = c;
+    // A completed bit-state-hashed search may have pruned real states.
+    res.exhausted = exhausted && c == Cutoff::kNone && !bits;
+    res.stats.seconds = cut.seconds();
+    res.stats.statesStored = bits ? 0 : passed.states();
+    return res;
+  };
+
+  SymbolicState init = gen_.initial();
+  if (!goal.deadlock && goal.matches(sys_, init)) {
+    stack.push_back(Frame{std::move(init), Transition{}, {}, 0, 0});
+    res.reachable = true;
+    buildTrace(nullptr);
+    return finish(Cutoff::kNone, false);
+  }
+  (void)covered(init);  // mark visited
+  store(init);
+  pushFrame(std::move(init), Transition{});
+  accountMemory();
+
+  // A deadlock goal matches states without successors; the state just
+  // pushed is on top of the stack with its successors precomputed.
+  const auto topIsDeadlock = [&] {
+    return goal.deadlock && stack.back().succ.empty() &&
+           goal.matches(sys_, stack.back().s);
+  };
+  if (topIsDeadlock()) {
+    res.reachable = true;
+    buildTrace(nullptr);
+    return finish(Cutoff::kNone, false);
+  }
+
+  while (!stack.empty()) {
+    if (const Cutoff c = cut.check(res.stats); c != Cutoff::kNone) {
+      return finish(c, false);
+    }
+    Frame& top = stack.back();
+    if (top.next >= top.succ.size()) {
+      stackBytes -= top.bytes;
+      stack.pop_back();
+      continue;
+    }
+    Successor suc = std::move(top.succ[top.next++]);
+    ++res.stats.statesGenerated;
+    if (!goal.deadlock && goal.matches(sys_, suc.state)) {
+      res.reachable = true;
+      buildTrace(&suc);
+      return finish(Cutoff::kNone, false);
+    }
+    if (covered(suc.state)) continue;
+    store(suc.state);
+    pushFrame(std::move(suc.state), std::move(suc.via));
+    if (topIsDeadlock()) {
+      res.reachable = true;
+      buildTrace(nullptr);
+      return finish(Cutoff::kNone, false);
+    }
+    accountMemory();
+  }
+  return finish(Cutoff::kNone, true);
+}
+
+}  // namespace engine

@@ -1,0 +1,70 @@
+// The reachability checker: answers "is a state satisfying the goal
+// reachable?" and, if so, produces the symbolic trace the paper turns
+// into a schedule.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/options.hpp"
+#include "engine/state.hpp"
+#include "engine/stats.hpp"
+#include "engine/successors.hpp"
+#include "ta/system.hpp"
+
+namespace engine {
+
+/// A reachability goal: all listed (process, location) pairs must hold,
+/// the integer predicate must be true, and the zone must intersect the
+/// clock constraints.  With `deadlock`, the goal instead matches states
+/// with no discrete successor at all (after arbitrary delay) that still
+/// satisfy the other conditions — e.g. the batch plant's timelocks at
+/// the strictly-continuous caster.
+struct Goal {
+  std::vector<std::pair<ta::ProcId, ta::LocId>> locations;
+  ta::ExprRef predicate = ta::kNoExpr;
+  std::vector<ta::ClockConstraint> clockConstraints;
+  bool deadlock = false;
+
+  [[nodiscard]] bool matches(const ta::System& sys,
+                             const SymbolicState& s) const;
+};
+
+/// One step of a symbolic trace: the transition fired (empty parts for
+/// the initial state) and the normalized symbolic state reached.
+struct TraceStep {
+  Transition via;
+  SymbolicState state;
+};
+
+struct SymbolicTrace {
+  std::vector<TraceStep> steps;
+};
+
+struct Result {
+  bool reachable = false;
+  /// True when the full (pruned) state space was exhausted without
+  /// finding the goal. Under bit-state hashing a negative answer is
+  /// NOT conclusive (hash collisions prune real states).
+  bool exhausted = false;
+  Stats stats;
+  SymbolicTrace trace;  ///< meaningful iff reachable
+};
+
+class Reachability {
+ public:
+  Reachability(const ta::System& sys, Options opts);
+
+  [[nodiscard]] Result run(const Goal& goal);
+
+ private:
+  [[nodiscard]] Result runBfs(const Goal& goal);
+  [[nodiscard]] Result runDfs(const Goal& goal);
+
+  const ta::System& sys_;
+  Options opts_;
+  SuccessorGenerator gen_;
+};
+
+}  // namespace engine

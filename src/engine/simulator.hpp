@@ -1,0 +1,101 @@
+// Programmatic simulator for timed-automata networks — the counterpart
+// of UPPAAL's simulator pane ("validation (via graphical simulation)"),
+// usable from tests, debuggers and REPL-style tools.
+//
+// The simulator walks *concrete* states: pick one of the currently
+// enabled transitions (optionally after a delay), inspect locations,
+// variables and clocks at every step, rewind to any earlier step.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/state.hpp"
+#include "engine/successors.hpp"
+#include "ta/system.hpp"
+
+namespace engine {
+
+/// One transition currently available from the simulator's state.
+struct EnabledTransition {
+  Transition via;
+  std::string label;
+  /// Smallest additional delay after which the transition can fire.
+  int64_t earliestDelay = 0;
+  /// Largest such delay, or nullopt if unbounded.
+  std::optional<int64_t> latestDelay;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const ta::System& sys);
+
+  // -- Inspection -------------------------------------------------------
+
+  [[nodiscard]] const std::vector<ta::LocId>& locations() const {
+    return locs_;
+  }
+  [[nodiscard]] const std::vector<int32_t>& variables() const {
+    return vars_;
+  }
+  [[nodiscard]] const std::vector<int64_t>& clocks() const { return clocks_; }
+  [[nodiscard]] int64_t time() const { return now_; }
+  [[nodiscard]] size_t steps() const { return history_.size(); }
+
+  /// Human-readable state summary ("P0.l1 P1.idle | v=3 | x=2 y=0 @t=5").
+  [[nodiscard]] std::string describe() const;
+
+  /// Transitions fireable from the current state after some integer
+  /// delay permitted by the invariants.
+  [[nodiscard]] std::vector<EnabledTransition> enabled() const;
+
+  /// Largest delay the invariants allow from here (nullopt: unbounded).
+  [[nodiscard]] std::optional<int64_t> maxDelay() const;
+
+  // -- Stepping -----------------------------------------------------------
+
+  /// Let `delay` time units pass. False (no change) if an invariant or
+  /// urgency forbids it.
+  bool delay(int64_t delay);
+
+  /// Fire the i-th transition of `enabled()` at its earliest delay.
+  /// False if the index is stale or out of range.
+  bool fire(size_t index);
+
+  /// Fire by label (first match). False if no enabled transition has it.
+  bool fireLabeled(const std::string& label);
+
+  /// Undo the last step (delay or fire). False at the initial state.
+  bool undo();
+
+  /// Back to the initial state.
+  void reset();
+
+ private:
+  struct Snapshot {
+    std::vector<ta::LocId> locs;
+    std::vector<int32_t> vars;
+    std::vector<int64_t> clocks;
+    int64_t now;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const {
+    return {locs_, vars_, clocks_, now_};
+  }
+  void restore(const Snapshot& s);
+  [[nodiscard]] bool delayAllowed(int64_t d) const;
+  void applyParts(const Transition& via);
+
+  const ta::System& sys_;
+  Options opts_;
+  SuccessorGenerator gen_;
+  std::vector<ta::LocId> locs_;
+  std::vector<int32_t> vars_;
+  std::vector<int64_t> clocks_;
+  int64_t now_ = 0;
+  std::vector<Snapshot> history_;
+};
+
+}  // namespace engine

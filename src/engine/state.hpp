@@ -1,0 +1,70 @@
+// Symbolic states: a discrete part (location vector + integer variable
+// valuation) paired with a clock zone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dbm/dbm.hpp"
+#include "ta/model.hpp"
+
+namespace engine {
+
+/// The discrete part of a symbolic state.
+struct DiscreteState {
+  std::vector<ta::LocId> locs;  ///< current location per automaton
+  std::vector<int32_t> vars;    ///< integer variable valuation
+
+  [[nodiscard]] bool operator==(const DiscreteState& o) const noexcept {
+    return locs == o.locs && vars == o.vars;
+  }
+
+  [[nodiscard]] size_t hash() const noexcept {
+    size_t h = 1469598103934665603ull;
+    const auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    for (ta::LocId l : locs) mix(static_cast<uint32_t>(l));
+    for (int32_t v : vars) mix(static_cast<uint32_t>(v) + 0x9e3779b9u);
+    return h;
+  }
+
+  [[nodiscard]] size_t memoryBytes() const noexcept {
+    return locs.capacity() * sizeof(ta::LocId) +
+           vars.capacity() * sizeof(int32_t);
+  }
+};
+
+/// One participating (process, edge) of a transition; a binary
+/// synchronization has two parts, an internal step one.
+struct TransitionPart {
+  ta::ProcId proc = -1;
+  int32_t edge = -1;
+};
+
+/// The discrete transition taken between two symbolic states.
+struct Transition {
+  // 0 parts = initial state marker; 1 = internal; 2 = binary sync;
+  // >2 = broadcast (sender first).
+  std::vector<TransitionPart> parts;
+};
+
+struct SymbolicState {
+  DiscreteState d;
+  dbm::Dbm zone;
+
+  [[nodiscard]] size_t memoryBytes() const noexcept {
+    return d.memoryBytes() + zone.memoryBytes();
+  }
+
+  /// Combined hash of discrete part and zone (used by bit-state hashing).
+  [[nodiscard]] size_t fullHash() const noexcept {
+    size_t h = d.hash();
+    h ^= zone.hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+  }
+};
+
+}  // namespace engine

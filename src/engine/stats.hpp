@@ -1,0 +1,26 @@
+// Search statistics — the time/space numbers Table 1 reports.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "engine/options.hpp"
+
+namespace engine {
+
+struct Stats {
+  size_t statesExplored = 0;   ///< states popped and expanded
+  size_t statesGenerated = 0;  ///< successors constructed
+  size_t statesStored = 0;     ///< currently held in passed/waiting
+  size_t bytesStored = 0;      ///< current bytes in passed/waiting/stack
+  size_t peakBytes = 0;        ///< high-water mark of bytesStored
+  size_t peakStackDepth = 0;   ///< DFS only
+  double seconds = 0.0;
+  Cutoff cutoff = Cutoff::kNone;
+
+  [[nodiscard]] double peakMegabytes() const noexcept {
+    return static_cast<double>(peakBytes) / (1024.0 * 1024.0);
+  }
+};
+
+}  // namespace engine

@@ -1,0 +1,234 @@
+#include "engine/successors.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace engine {
+
+namespace {
+
+/// True if any location in the vector forbids delay.
+bool delayForbidden(const ta::System& sys, const DiscreteState& d) {
+  for (size_t p = 0; p < d.locs.size(); ++p) {
+    const ta::Location& l =
+        sys.automaton(static_cast<ta::ProcId>(p)).location(d.locs[p]);
+    if (l.urgent || l.committed) return true;
+  }
+  return false;
+}
+
+bool anyCommitted(const ta::System& sys, const DiscreteState& d) {
+  for (size_t p = 0; p < d.locs.size(); ++p) {
+    if (sys.automaton(static_cast<ta::ProcId>(p)).location(d.locs[p]).committed)
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+SuccessorGenerator::SuccessorGenerator(const ta::System& sys,
+                                       const Options& opts)
+    : sys_(sys),
+      opts_(opts),
+      protected_(sys.dbmDimension(), false),
+      maxBounds_(sys.maxBounds()) {
+  assert(sys.finalized() && "System::finalize() must run before the engine");
+}
+
+bool SuccessorGenerator::applyInvariants(SymbolicState& s) const {
+  for (size_t p = 0; p < s.d.locs.size(); ++p) {
+    const ta::Location& l =
+        sys_.automaton(static_cast<ta::ProcId>(p)).location(s.d.locs[p]);
+    for (const ta::ClockConstraint& cc : l.invariant) {
+      if (!s.zone.constrain(static_cast<uint32_t>(cc.i),
+                            static_cast<uint32_t>(cc.j), cc.bound)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool SuccessorGenerator::normalize(SymbolicState& s) const {
+  if (s.zone.isEmpty()) return false;
+  if (!delayForbidden(sys_, s.d)) {
+    s.zone.up();
+    if (!applyInvariants(s)) return false;
+  }
+  if (opts_.activeClockReduction) {
+    // A clock inactive in every process's current location is reset
+    // before it is next tested, so its value is irrelevant: free it to
+    // merge states that differ only in dead clock values.
+    std::vector<bool> active(sys_.dbmDimension(), false);
+    active[0] = true;
+    for (size_t p = 0; p < s.d.locs.size(); ++p) {
+      const ta::Automaton& a = sys_.automaton(static_cast<ta::ProcId>(p));
+      for (ta::ClockId c : a.activeClocks(s.d.locs[p])) {
+        active[static_cast<size_t>(c)] = true;
+      }
+    }
+    for (uint32_t c = 1; c < sys_.dbmDimension(); ++c) {
+      if (!active[c] && !protected_[c]) s.zone.freeClock(c);
+    }
+  }
+  if (opts_.extrapolation) {
+    s.zone.extrapolateMaxBounds(maxBounds_);
+  }
+  return !s.zone.isEmpty();
+}
+
+SymbolicState SuccessorGenerator::initial() const {
+  SymbolicState s{DiscreteState{}, dbm::Dbm::zero(sys_.dbmDimension())};
+  s.d.locs.reserve(sys_.numAutomata());
+  for (size_t p = 0; p < sys_.numAutomata(); ++p) {
+    s.d.locs.push_back(sys_.automaton(static_cast<ta::ProcId>(p)).initial());
+  }
+  s.d.vars = sys_.initialVars();
+  const bool ok = applyInvariants(s) && normalize(s);
+  assert(ok && "initial state violates invariants");
+  (void)ok;
+  return s;
+}
+
+void SuccessorGenerator::tryFire(const SymbolicState& s,
+                                 const std::vector<TransitionPart>& parts,
+                                 std::vector<Successor>& out) const {
+  // 1. Integer guards — all evaluated against the pre-state valuation.
+  for (const TransitionPart& part : parts) {
+    const ta::Edge& e =
+        sys_.automaton(part.proc).edges()[static_cast<size_t>(part.edge)];
+    if (!sys_.pool().evalBool(e.guard, s.d.vars)) return;
+  }
+
+  SymbolicState next{s.d, s.zone};
+
+  // 2. Clock guards.
+  for (const TransitionPart& part : parts) {
+    const ta::Edge& e =
+        sys_.automaton(part.proc).edges()[static_cast<size_t>(part.edge)];
+    for (const ta::ClockConstraint& cc : e.clockGuard) {
+      if (!next.zone.constrain(static_cast<uint32_t>(cc.i),
+                               static_cast<uint32_t>(cc.j), cc.bound)) {
+        return;
+      }
+    }
+  }
+
+  // 3. Assignments (sender first, sequential semantics) and resets.
+  for (const TransitionPart& part : parts) {
+    const ta::Edge& e =
+        sys_.automaton(part.proc).edges()[static_cast<size_t>(part.edge)];
+    for (const ta::Assign& as : e.assigns) {
+      const int64_t rhs = sys_.pool().eval(as.rhs, next.d.vars);
+      int64_t idx = 0;
+      if (as.index != ta::kNoExpr) {
+        idx = sys_.pool().eval(as.index, next.d.vars);
+        if (idx < 0 || idx >= as.arraySize) {
+          assert(false && "assignment index out of bounds");
+          return;
+        }
+      }
+      next.d.vars[static_cast<size_t>(as.base + idx)] =
+          static_cast<int32_t>(rhs);
+    }
+    for (const ta::ClockReset& r : e.resets) {
+      next.zone.reset(static_cast<uint32_t>(r.clock), r.value);
+    }
+    next.d.locs[static_cast<size_t>(part.proc)] = e.dst;
+  }
+
+  // 4. Target invariants, then delay/reduce/extrapolate.
+  if (!applyInvariants(next)) return;
+  if (!normalize(next)) return;
+
+  out.push_back(Successor{std::move(next), Transition{parts}});
+}
+
+std::vector<Successor> SuccessorGenerator::successors(
+    const SymbolicState& s) const {
+  std::vector<Successor> out;
+  const bool committedPhase = anyCommitted(sys_, s.d);
+  const auto locCommitted = [&](ta::ProcId p) {
+    return sys_.automaton(p).location(s.d.locs[static_cast<size_t>(p)])
+        .committed;
+  };
+
+  const auto numProcs = static_cast<ta::ProcId>(sys_.numAutomata());
+  for (ta::ProcId p = 0; p < numProcs; ++p) {
+    const ta::Automaton& a = sys_.automaton(p);
+    for (int32_t ei : a.outgoing(s.d.locs[static_cast<size_t>(p)])) {
+      const ta::Edge& e = a.edges()[static_cast<size_t>(ei)];
+      switch (e.sync) {
+        case ta::Sync::kNone: {
+          if (committedPhase && !locCommitted(p)) break;
+          tryFire(s, {{p, ei}}, out);
+          break;
+        }
+        case ta::Sync::kSend: {
+          if (sys_.channelKind(e.chan) == ta::ChanKind::kBinary) {
+            for (const auto& [q, ej] : sys_.receivers(e.chan)) {
+              if (q == p) continue;
+              const ta::Edge& r =
+                  sys_.automaton(q).edges()[static_cast<size_t>(ej)];
+              if (r.src != s.d.locs[static_cast<size_t>(q)]) continue;
+              if (committedPhase && !locCommitted(p) && !locCommitted(q))
+                continue;
+              tryFire(s, {{p, ei}, {q, ej}}, out);
+            }
+          } else {
+            // Broadcast: the sender fires unconditionally (given its own
+            // guards); every other process with an enabled receive edge
+            // joins (first enabled edge per process). Clock guards on
+            // broadcast receivers are not supported (as in UPPAAL).
+            std::vector<TransitionPart> parts{{p, ei}};
+            bool receiversCommitted = false;
+            for (ta::ProcId q = 0; q < numProcs; ++q) {
+              if (q == p) continue;
+              const ta::Automaton& b = sys_.automaton(q);
+              for (int32_t ej : b.outgoing(s.d.locs[static_cast<size_t>(q)])) {
+                const ta::Edge& r = b.edges()[static_cast<size_t>(ej)];
+                if (r.sync != ta::Sync::kReceive || r.chan != e.chan) continue;
+                assert(r.clockGuard.empty() &&
+                       "clock guards on broadcast receivers are unsupported");
+                if (!sys_.pool().evalBool(r.guard, s.d.vars)) continue;
+                parts.push_back({q, ej});
+                receiversCommitted = receiversCommitted || locCommitted(q);
+                break;
+              }
+            }
+            if (committedPhase && !locCommitted(p) && !receiversCommitted)
+              break;
+            tryFire(s, parts, out);
+          }
+          break;
+        }
+        case ta::Sync::kReceive:
+          break;  // handled from the sender's side
+      }
+    }
+  }
+  return out;
+}
+
+std::string SuccessorGenerator::label(const Transition& t) const {
+  if (t.parts.empty()) return "(initial)";
+  std::string out;
+  for (size_t k = 0; k < t.parts.size(); ++k) {
+    const TransitionPart& part = t.parts[k];
+    const ta::Automaton& a = sys_.automaton(part.proc);
+    const ta::Edge& e = a.edges()[static_cast<size_t>(part.edge)];
+    if (k > 0) out += "/";
+    if (e.label.empty()) {
+      out += a.name() + "." + a.location(e.src).name + "->" +
+             a.location(e.dst).name;
+    } else if (e.label.find('.') != std::string::npos) {
+      out += e.label;  // already fully qualified ("Unit.Command")
+    } else {
+      out += a.name() + "." + e.label;
+    }
+  }
+  return out;
+}
+
+}  // namespace engine

@@ -1,0 +1,77 @@
+// Symbolic successor computation for a network of timed automata.
+//
+// States handed out are *normalized*: delayed (unless an urgent or
+// committed location forbids it), invariant-constrained, optionally
+// inactive-clock-reduced, and extrapolated. The reachability engine
+// only ever sees normalized states.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/options.hpp"
+#include "engine/state.hpp"
+#include "ta/system.hpp"
+
+namespace engine {
+
+struct Successor {
+  SymbolicState state;
+  Transition via;
+};
+
+class SuccessorGenerator {
+ public:
+  SuccessorGenerator(const ta::System& sys, const Options& opts);
+
+  /// The normalized initial state (all automata in their initial
+  /// locations, variables at declared initial values, clocks zero then
+  /// delayed as permitted).
+  [[nodiscard]] SymbolicState initial() const;
+
+  /// All normalized symbolic successors of `s`.
+  [[nodiscard]] std::vector<Successor> successors(
+      const SymbolicState& s) const;
+
+  /// Human-readable label of a transition, e.g. "b2left!/b2left?" —
+  /// joins the labels of the participating edges.
+  [[nodiscard]] std::string label(const Transition& t) const;
+
+  /// Register the clock constraints a reachability goal observes:
+  /// the named clocks are excluded from the active-clock reduction and
+  /// their constants folded into the extrapolation bounds — otherwise
+  /// either abstraction could satisfy goal constraints spuriously.
+  void observeGoalConstraints(const std::vector<ta::ClockConstraint>& ccs) {
+    for (const ta::ClockConstraint& cc : ccs) {
+      for (ta::ClockId c : {cc.i, cc.j}) {
+        if (c > 0) {
+          protected_[static_cast<size_t>(c)] = true;
+          auto& m = maxBounds_[static_cast<size_t>(c)];
+          m = std::max(m, std::abs(dbm::boundValue(cc.bound)));
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] const ta::System& system() const noexcept { return sys_; }
+
+ private:
+  /// Delay + re-apply invariants + reduce + extrapolate. Returns false
+  /// if the state's zone is empty.
+  bool normalize(SymbolicState& s) const;
+
+  /// Conjoin the invariants of every current location. False if empty.
+  bool applyInvariants(SymbolicState& s) const;
+
+  /// Attempt one discrete transition; appends to `out` on success.
+  void tryFire(const SymbolicState& s,
+               const std::vector<TransitionPart>& parts,
+               std::vector<Successor>& out) const;
+
+  const ta::System& sys_;
+  const Options& opts_;
+  std::vector<bool> protected_;
+  std::vector<dbm::value_t> maxBounds_;
+};
+
+}  // namespace engine

@@ -1,0 +1,417 @@
+#include "engine/trace.hpp"
+
+#include <limits>
+#include <sstream>
+
+namespace engine {
+
+namespace {
+
+constexpr int64_t kUnbounded = std::numeric_limits<int64_t>::max() / 4;
+
+struct Replay {
+  const ta::System& sys;
+  std::vector<ta::LocId> locs;
+  std::vector<int32_t> vars;
+  std::vector<int64_t> clocks;
+  int64_t now = 0;
+  std::string error;
+
+  explicit Replay(const ta::System& s)
+      : sys(s), vars(s.initialVars()), clocks(s.dbmDimension(), 0) {
+    locs.reserve(s.numAutomata());
+    for (size_t p = 0; p < s.numAutomata(); ++p) {
+      locs.push_back(s.automaton(static_cast<ta::ProcId>(p)).initial());
+    }
+  }
+
+  [[nodiscard]] bool fail(std::string msg) {
+    error = std::move(msg);
+    return false;
+  }
+
+  /// Fold one constraint into the [lo, hi] delay window; returns false
+  /// if a delay-invariant (difference) constraint is already violated.
+  [[nodiscard]] bool foldConstraint(const ta::ClockConstraint& cc, int64_t& lo,
+                                    int64_t& hi) {
+    const int64_t val = dbm::boundValue(cc.bound);
+    const bool strict = dbm::isStrict(cc.bound);
+    if (cc.i != 0 && cc.j != 0) {
+      const int64_t diff = clocks[static_cast<size_t>(cc.i)] -
+                           clocks[static_cast<size_t>(cc.j)];
+      if (strict ? diff >= val : diff > val) {
+        return fail("difference constraint " + sys.ccToString(cc) +
+                    " violated at t=" + std::to_string(now));
+      }
+      return true;
+    }
+    if (cc.j == 0) {  // upper bound: x_i + d <= / < val
+      hi = std::min(hi, val - clocks[static_cast<size_t>(cc.i)] -
+                            (strict ? 1 : 0));
+    } else {  // lower bound encoded 0 - x_j <= val, i.e. x_j + d >= -val
+      lo = std::max(lo, -val - clocks[static_cast<size_t>(cc.j)] +
+                            (strict ? 1 : 0));
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool delayWindowFromInvariants(int64_t& lo, int64_t& hi) {
+    for (size_t p = 0; p < locs.size(); ++p) {
+      const ta::Location& l =
+          sys.automaton(static_cast<ta::ProcId>(p)).location(locs[p]);
+      if (l.urgent || l.committed) hi = std::min<int64_t>(hi, 0);
+      for (const ta::ClockConstraint& cc : l.invariant) {
+        if (!foldConstraint(cc, lo, hi)) return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool checkInvariantsNow() {
+    for (size_t p = 0; p < locs.size(); ++p) {
+      const ta::Location& l =
+          sys.automaton(static_cast<ta::ProcId>(p)).location(locs[p]);
+      for (const ta::ClockConstraint& cc : l.invariant) {
+        if (cc.i != 0 && cc.j != 0) continue;  // checked in foldConstraint
+        const int64_t val = dbm::boundValue(cc.bound);
+        const bool strict = dbm::isStrict(cc.bound);
+        const int64_t lhs = cc.j == 0 ? clocks[static_cast<size_t>(cc.i)]
+                                      : -clocks[static_cast<size_t>(cc.j)];
+        if (strict ? lhs >= val : lhs > val) {
+          return fail("invariant " + sys.ccToString(cc) +
+                      " violated entering " + l.name + " at t=" +
+                      std::to_string(now));
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Fire `via` after `delay` time units (delay < 0 means: choose the
+  /// minimal feasible delay and report it through *chosen).
+  [[nodiscard]] bool step(const Transition& via, int64_t delay,
+                          int64_t* chosen) {
+    int64_t lo = 0;
+    int64_t hi = kUnbounded;
+    if (!delayWindowFromInvariants(lo, hi)) return false;
+    for (const TransitionPart& part : via.parts) {
+      const ta::Edge& e =
+          sys.automaton(part.proc).edges()[static_cast<size_t>(part.edge)];
+      for (const ta::ClockConstraint& cc : e.clockGuard) {
+        if (!foldConstraint(cc, lo, hi)) return false;
+      }
+    }
+    const int64_t d = delay >= 0 ? delay : std::max<int64_t>(lo, 0);
+    if (d < lo || d > hi) {
+      return fail("no feasible delay at t=" + std::to_string(now) +
+                  " (window [" + std::to_string(lo) + ", " +
+                  (hi >= kUnbounded ? "inf" : std::to_string(hi)) +
+                  "], requested " + std::to_string(d) + ")");
+    }
+    for (size_t c = 1; c < clocks.size(); ++c) clocks[c] += d;
+    now += d;
+    if (chosen != nullptr) *chosen = d;
+
+    // Integer guards against the pre-assignment valuation.
+    for (const TransitionPart& part : via.parts) {
+      const ta::Edge& e =
+          sys.automaton(part.proc).edges()[static_cast<size_t>(part.edge)];
+      if (!sys.pool().evalBool(e.guard, vars)) {
+        return fail("integer guard of edge '" + e.label +
+                    "' false at t=" + std::to_string(now));
+      }
+    }
+    // Effects: assignments (sender first), clock resets, moves.
+    for (const TransitionPart& part : via.parts) {
+      const ta::Edge& e =
+          sys.automaton(part.proc).edges()[static_cast<size_t>(part.edge)];
+      for (const ta::Assign& as : e.assigns) {
+        const int64_t rhs = sys.pool().eval(as.rhs, vars);
+        int64_t idx = 0;
+        if (as.index != ta::kNoExpr) {
+          idx = sys.pool().eval(as.index, vars);
+          if (idx < 0 || idx >= as.arraySize) {
+            return fail("assignment index out of bounds on edge '" + e.label +
+                        "'");
+          }
+        }
+        vars[static_cast<size_t>(as.base + idx)] = static_cast<int32_t>(rhs);
+      }
+      for (const ta::ClockReset& r : e.resets) {
+        clocks[static_cast<size_t>(r.clock)] = r.value;
+      }
+      locs[static_cast<size_t>(part.proc)] = e.dst;
+    }
+    return checkInvariantsNow();
+  }
+
+  /// Check synchronization well-formedness of a transition.
+  [[nodiscard]] bool checkSyncShape(const Transition& via) {
+    if (via.parts.empty()) return fail("empty transition");
+    const ta::Edge& first =
+        sys.automaton(via.parts[0].proc)
+            .edges()[static_cast<size_t>(via.parts[0].edge)];
+    if (via.parts.size() == 1) {
+      if (first.sync != ta::Sync::kNone) {
+        return fail("lone synchronizing edge '" + first.label + "'");
+      }
+      return true;
+    }
+    if (first.sync != ta::Sync::kSend) {
+      return fail("multi-part transition must lead with a send");
+    }
+    for (size_t k = 1; k < via.parts.size(); ++k) {
+      const ta::Edge& e = sys.automaton(via.parts[k].proc)
+                              .edges()[static_cast<size_t>(via.parts[k].edge)];
+      if (e.sync != ta::Sync::kReceive || e.chan != first.chan) {
+        return fail("mismatched synchronization on '" + e.label + "'");
+      }
+      if (via.parts[k].proc == via.parts[0].proc) {
+        return fail("process synchronizing with itself");
+      }
+    }
+    if (sys.channelKind(first.chan) == ta::ChanKind::kBinary &&
+        via.parts.size() != 2) {
+      return fail("binary channel with " + std::to_string(via.parts.size()) +
+                  " participants");
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+namespace {
+
+/// Integer value of a zone's lower bound on clock i (smallest integer
+/// the clock may take).
+int64_t lowerInt(const dbm::Dbm& z, uint32_t i) {
+  const dbm::raw_t b = z.at(0, i);  // 0 - x_i <= v  ->  x_i >= -v
+  return -dbm::boundValue(b) + (dbm::isStrict(b) ? 1 : 0);
+}
+
+/// Integer value of a zone's upper bound on clock i, or nullopt if
+/// unbounded.
+std::optional<int64_t> upperInt(const dbm::Dbm& z, uint32_t i) {
+  const dbm::raw_t b = z.at(i, 0);
+  if (b == dbm::kInfinity) return std::nullopt;
+  return dbm::boundValue(b) - (dbm::isStrict(b) ? 1 : 0);
+}
+
+/// Pick one integer valuation inside a non-empty zone by successively
+/// pinning each clock to its (integer) lower bound.  All plant-model
+/// bounds are weak and integral, so the corner search succeeds; a
+/// failure is reported, never silently mis-timed.
+std::optional<std::vector<int64_t>> pickPoint(dbm::Dbm z) {
+  const uint32_t dim = z.dimension();
+  std::vector<int64_t> point(dim, 0);
+  for (uint32_t i = 1; i < dim; ++i) {
+    const int64_t lo = lowerInt(z, i);
+    const auto v = static_cast<dbm::value_t>(lo);
+    if (!z.constrain(i, 0, dbm::boundWeak(v)) ||
+        !z.constrain(0, i, dbm::boundWeak(-v))) {
+      return std::nullopt;  // fractional-only zone (strict bounds)
+    }
+    point[i] = lo;
+  }
+  return point;
+}
+
+/// Conjoin the invariants of the location vector into `z`.
+bool conjoinInvariants(const ta::System& sys,
+                       const std::vector<ta::LocId>& locs, dbm::Dbm& z) {
+  for (size_t p = 0; p < locs.size(); ++p) {
+    const ta::Location& l =
+        sys.automaton(static_cast<ta::ProcId>(p)).location(locs[p]);
+    for (const ta::ClockConstraint& cc : l.invariant) {
+      if (!z.constrain(static_cast<uint32_t>(cc.i),
+                       static_cast<uint32_t>(cc.j), cc.bound)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool locsForbidDelay(const ta::System& sys,
+                     const std::vector<ta::LocId>& locs) {
+  for (size_t p = 0; p < locs.size(); ++p) {
+    const ta::Location& l =
+        sys.automaton(static_cast<ta::ProcId>(p)).location(locs[p]);
+    if (l.urgent || l.committed) return true;
+  }
+  return false;
+}
+
+/// The firing zone of step k: delay (when allowed) from the previous
+/// post-transition zone under the previous invariants, then the fired
+/// edges' clock guards.
+std::optional<dbm::Dbm> firingZone(const ta::System& sys,
+                                   const dbm::Dbm& prevPost,
+                                   const std::vector<ta::LocId>& prevLocs,
+                                   const Transition& via) {
+  dbm::Dbm f = prevPost;
+  if (!locsForbidDelay(sys, prevLocs)) {
+    f.up();
+    if (!conjoinInvariants(sys, prevLocs, f)) return std::nullopt;
+  }
+  for (const TransitionPart& part : via.parts) {
+    const ta::Edge& e =
+        sys.automaton(part.proc).edges()[static_cast<size_t>(part.edge)];
+    for (const ta::ClockConstraint& cc : e.clockGuard) {
+      if (!f.constrain(static_cast<uint32_t>(cc.i),
+                       static_cast<uint32_t>(cc.j), cc.bound)) {
+        return std::nullopt;
+      }
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+std::optional<ConcreteTrace> concretize(const ta::System& sys,
+                                        const SymbolicTrace& trace,
+                                        std::string* error) {
+  const auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  if (trace.steps.empty()) return fail("empty symbolic trace");
+
+  const uint32_t dim = sys.dbmDimension();
+  const size_t n = trace.steps.size();
+
+  // ---- Forward pass: exact post-transition zones. --------------------
+  std::vector<dbm::Dbm> post;
+  post.reserve(n);
+  {
+    dbm::Dbm z0 = dbm::Dbm::zero(dim);
+    if (!conjoinInvariants(sys, trace.steps[0].state.d.locs, z0)) {
+      return fail("initial state violates invariants");
+    }
+    post.push_back(std::move(z0));
+  }
+  for (size_t k = 1; k < n; ++k) {
+    const auto f = firingZone(sys, post[k - 1],
+                              trace.steps[k - 1].state.d.locs,
+                              trace.steps[k].via);
+    if (!f.has_value()) {
+      return fail("symbolic trace infeasible at step " + std::to_string(k) +
+                  " (engine abstraction bug?)");
+    }
+    dbm::Dbm z = *f;
+    for (const TransitionPart& part : trace.steps[k].via.parts) {
+      const ta::Edge& e =
+          sys.automaton(part.proc).edges()[static_cast<size_t>(part.edge)];
+      for (const ta::ClockReset& r : e.resets) {
+        z.reset(static_cast<uint32_t>(r.clock), r.value);
+      }
+    }
+    if (!conjoinInvariants(sys, trace.steps[k].state.d.locs, z)) {
+      return fail("target invariant infeasible at step " + std::to_string(k));
+    }
+    post.push_back(std::move(z));
+  }
+
+  // ---- Backward pass: concrete valuations and delays. -----------------
+  std::vector<std::vector<int64_t>> points(n);
+  std::vector<int64_t> delays(n, 0);
+  {
+    const auto p = pickPoint(post[n - 1]);
+    if (!p.has_value()) return fail("final zone has no integer point");
+    points[n - 1] = *p;
+  }
+  for (size_t k = n - 1; k >= 1; --k) {
+    auto f = firingZone(sys, post[k - 1], trace.steps[k - 1].state.d.locs,
+                        trace.steps[k].via);
+    if (!f.has_value()) return fail("backward firing-zone recomputation failed");
+
+    // Clocks reset by step k may take any firing value; all others must
+    // equal the chosen post-transition value.
+    std::vector<bool> isReset(dim, false);
+    for (const TransitionPart& part : trace.steps[k].via.parts) {
+      const ta::Edge& e =
+          sys.automaton(part.proc).edges()[static_cast<size_t>(part.edge)];
+      for (const ta::ClockReset& r : e.resets) {
+        isReset[static_cast<size_t>(r.clock)] = true;
+      }
+    }
+    for (uint32_t i = 1; i < dim; ++i) {
+      if (isReset[i]) continue;
+      const auto v = static_cast<dbm::value_t>(points[k][i]);
+      if (!f->constrain(i, 0, dbm::boundWeak(v)) ||
+          !f->constrain(0, i, dbm::boundWeak(-v))) {
+        return fail("post-transition point has no firing preimage at step " +
+                    std::to_string(k));
+      }
+    }
+    const auto w = pickPoint(*f);
+    if (!w.has_value()) return fail("firing zone has no integer point");
+
+    // Smallest delay d >= 0 with (w - d) inside the previous post zone.
+    int64_t dLo = 0;
+    int64_t dHi = std::numeric_limits<int64_t>::max() / 4;
+    for (uint32_t i = 1; i < dim; ++i) {
+      if (const auto hi = upperInt(post[k - 1], i); hi.has_value()) {
+        dLo = std::max(dLo, (*w)[i] - *hi);
+      }
+      dHi = std::min(dHi, (*w)[i] - lowerInt(post[k - 1], i));
+    }
+    if (dLo > dHi) {
+      return fail("no feasible integer delay at step " + std::to_string(k));
+    }
+    delays[k] = dLo;
+    points[k - 1].assign(dim, 0);
+    for (uint32_t i = 1; i < dim; ++i) points[k - 1][i] = (*w)[i] - dLo;
+  }
+
+  // ---- Assemble. -------------------------------------------------------
+  ConcreteTrace out;
+  int64_t now = 0;
+  for (size_t k = 0; k < n; ++k) {
+    now += delays[k];
+    out.steps.push_back(ConcreteStep{delays[k], now, trace.steps[k].via,
+                                     trace.steps[k].state.d, points[k]});
+  }
+  return out;
+}
+
+bool validate(const ta::System& sys, const ConcreteTrace& trace,
+              std::string* error) {
+  Replay rp(sys);
+  const auto setError = [&] {
+    if (error != nullptr) *error = rp.error;
+    return false;
+  };
+  if (trace.steps.empty()) {
+    if (error != nullptr) *error = "empty trace";
+    return false;
+  }
+  for (size_t k = 1; k < trace.steps.size(); ++k) {
+    const ConcreteStep& st = trace.steps[k];
+    if (!rp.checkSyncShape(st.via)) return setError();
+    if (!rp.step(st.via, st.delay, nullptr)) return setError();
+    if (rp.locs != st.d.locs || rp.vars != st.d.vars ||
+        rp.clocks != st.clocks || rp.now != st.timestamp) {
+      rp.error = "recorded state differs from replay at step " +
+                 std::to_string(k);
+      return setError();
+    }
+  }
+  return true;
+}
+
+std::string toString(const ta::System& sys, const ConcreteTrace& trace) {
+  std::ostringstream os;
+  Options opts;  // only needed to construct a label helper
+  SuccessorGenerator gen(sys, opts);
+  for (size_t k = 1; k < trace.steps.size(); ++k) {
+    const ConcreteStep& st = trace.steps[k];
+    if (st.delay > 0) os << "Delay(" << st.delay << ")\n";
+    os << "t=" << st.timestamp << "  " << gen.label(st.via) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace engine

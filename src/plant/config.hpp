@@ -1,0 +1,176 @@
+// Configuration of the SIDMAR batch-plant model (VHS case study 5).
+//
+// Plant layout (mirrors Figure 2 of the paper):
+//
+//   converter1 -> track1:  IN  M1  seg  M2  seg  M3  OUT
+//   converter2 -> track2:  IN  M4  seg  M5  OUT
+//   overhead crane track:  K0    K1     K2     K3    K4        K5
+//                       (T1_OUT BUFFER T2_OUT HOLD  CAST_OUT  STORAGE)
+//   casting machine fed from HOLD, ejecting empty ladles to CAST_OUT;
+//   empty ladles leave via STORAGE.
+//
+// Machines 1 and 4 are type A, 2 and 5 type B, 3 type C (the paper:
+// "Machines number one and four are of the same type and so are
+// machines number two and five").  A recipe is a list of
+// (machine type, treatment time) stages; the production order is a list
+// of recipes.  Every slot holds at most one ladle, the two cranes share
+// one overhead track and cannot overtake, moves take worst-case times,
+// casting is continuous and each batch must finish casting within
+// `rtotal` of pouring.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace plant {
+
+enum class MachineType : uint8_t { kA, kB, kC };
+
+/// One treatment step of a recipe.
+struct Stage {
+  MachineType type;
+  int32_t duration;
+};
+
+/// A steel quality == its recipe (ordered treatments).
+using Quality = std::vector<Stage>;
+
+/// How much guidance is compiled into the model (paper Section 4 /
+/// Table 1 columns).
+enum class GuideLevel : uint8_t {
+  kNone,  ///< the original model: all physical behaviours
+  kSome,  ///< all guides except the `nextbatch` ones (Table 1 middle)
+  kAll,   ///< every guide
+};
+
+[[nodiscard]] inline const char* toString(GuideLevel g) {
+  switch (g) {
+    case GuideLevel::kNone: return "No Guides";
+    case GuideLevel::kSome: return "Some Guides";
+    case GuideLevel::kAll: return "All Guides";
+  }
+  return "?";
+}
+
+// -- Plant topology constants ------------------------------------------
+
+inline constexpr int32_t kT1Slots = 7;  ///< IN M1 seg M2 seg M3 OUT
+inline constexpr int32_t kT2Slots = 5;  ///< IN M4 seg M5 OUT
+inline constexpr int32_t kT1Out = 6;
+inline constexpr int32_t kT2Out = 4;
+
+/// Crane overhead positions and the ground slot each hovers over.
+enum CranePos : int32_t {
+  kOverT1Out = 0,
+  kOverBuffer = 1,
+  kOverT2Out = 2,
+  kOverHold = 3,
+  kOverCastOut = 4,
+  kOverStorage = 5,
+};
+inline constexpr int32_t kCranePositions = 6;
+inline constexpr int32_t kNumCranes = 2;
+
+/// Values of the per-batch `next` guidance variable (paper Section 4:
+/// "The value of next specifies where the batch should go next").
+enum NextVal : int32_t {
+  kNextNone = 0,
+  kNextM1 = 1,
+  kNextM2 = 2,
+  kNextM3 = 3,
+  kNextM4 = 4,
+  kNextM5 = 5,
+  kNextCast = 6,  ///< the paper's `fin`: go to the holding place
+  kNextStore = 7, ///< empty ladle: go to the storage place
+};
+
+/// Machine catalogue: id 1..5, type, track (1/2), slot on that track.
+struct MachineInfo {
+  int32_t id;
+  MachineType type;
+  int32_t track;
+  int32_t slot;
+};
+
+inline constexpr MachineInfo kMachines[5] = {
+    {1, MachineType::kA, 1, 1}, {2, MachineType::kB, 1, 3},
+    {3, MachineType::kC, 1, 5}, {4, MachineType::kA, 2, 1},
+    {5, MachineType::kB, 2, 3},
+};
+
+/// Machine of `type` on `track`, or -1 (track 2 has no type C machine).
+[[nodiscard]] constexpr int32_t machineOn(int32_t track, MachineType type) {
+  for (const MachineInfo& m : kMachines) {
+    if (m.track == track && m.type == type) return m.id;
+  }
+  return -1;
+}
+
+struct PlantConfig {
+  /// Production order: the recipe of every batch, casting order == index.
+  std::vector<Quality> order;
+
+  GuideLevel guides = GuideLevel::kAll;
+
+  // -- Worst-case movement / process times (model time units). The
+  //    defaults are LEGO-plant-scale numbers; the paper re-measured
+  //    them whenever the batteries wore out.
+  int32_t bmove = 2;    ///< batch move between adjacent track slots
+  int32_t cmove = 1;    ///< crane move between adjacent overhead positions
+  int32_t cupdown = 1;  ///< crane lift / lower
+  /// Casting duration. Casting is the slow stage of the real plant
+  /// (continuous casting of a ladle takes far longer than a treatment),
+  /// and it paces the whole pipeline: a batch's pour-to-hold path must
+  /// fit within one casting period for strict continuity to be
+  /// satisfiable.
+  int32_t tcast = 30;
+  int32_t rtotal = 90;  ///< max time from pouring to end of casting
+  /// Slack allowed between one casting ending and the next starting;
+  /// 0 reproduces the paper's strict continuity requirement.
+  int32_t castGap = 0;
+
+  /// Add a never-reset global clock to the model so callers can bound
+  /// the schedule makespan (goal constraint `g <= B`) and binary-search
+  /// time-optimal schedules — the paper's future-work direction of
+  /// "generating more optimal programs".
+  bool makespanClock = false;
+
+  // -- Fault-injection switches reproducing the three modelling errors
+  //    the paper found by running programs in the physical plant (§6).
+  /// Error 1: "when the crane picked up an empty ladle ... it started to
+  /// move horizontally at the same time as the pickup started, so here a
+  /// delay was missing" — model the lift as instantaneous.
+  bool bugNoLiftDelay = false;
+  /// Error 2: "when two cranes ... started to move in the same direction
+  /// they could collide because the crane in front was started last" —
+  /// free the source overhead slot at move *start* instead of move end,
+  /// so the schedule may start the rear crane first.
+  bool bugFreeSourceEarly = false;
+  /// Error 3: "the casting machine did not turn correctly in systems
+  /// with only one batch" — skip the eject step after the final batch.
+  bool bugCasterSkipsFinalEject = false;
+
+  [[nodiscard]] int32_t numBatches() const {
+    return static_cast<int32_t>(order.size());
+  }
+};
+
+/// The qualities used throughout examples / benchmarks: A-then-B (the
+/// paper's Figure 7 recipe shape), a single-treatment A, a B-then-C,
+/// and a single C.
+[[nodiscard]] inline Quality qualityAB() {
+  return {{MachineType::kA, 6}, {MachineType::kB, 4}};
+}
+[[nodiscard]] inline Quality qualityA() { return {{MachineType::kA, 6}}; }
+[[nodiscard]] inline Quality qualityB() { return {{MachineType::kB, 4}}; }
+[[nodiscard]] inline Quality qualityC() { return {{MachineType::kC, 5}}; }
+[[nodiscard]] inline Quality qualityBC() {
+  return {{MachineType::kB, 4}, {MachineType::kC, 5}};
+}
+
+/// A production order of n batches cycling through the standard
+/// qualities the way the benchmarks do.
+[[nodiscard]] std::vector<Quality> standardOrder(int32_t n);
+
+}  // namespace plant

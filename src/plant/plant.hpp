@@ -1,0 +1,42 @@
+// The built plant model: a timed-automata network plus the handles the
+// scheduling / synthesis layers need (process ids, the reachability
+// goal "every batch poured, treated, cast and dumped", and counters).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/reachability.hpp"
+#include "plant/config.hpp"
+#include "ta/system.hpp"
+
+namespace plant {
+
+struct Plant {
+  PlantConfig config;
+  ta::System sys;
+
+  // Process handles (indices into sys).
+  std::vector<ta::ProcId> batches;
+  std::vector<ta::ProcId> recipes;
+  std::vector<ta::ProcId> cranes;
+  ta::ProcId caster = -1;
+  ta::ProcId monitor = -1;
+
+  /// Goal: the monitor sits in its `alldone` location — every batch was
+  /// cast in order and its empty ladle has left the plant.
+  engine::Goal goal;
+
+  /// The global makespan clock (only when config.makespanClock), else -1.
+  ta::ClockId makespan = -1;
+
+  [[nodiscard]] size_t numAutomata() const { return sys.numAutomata(); }
+  [[nodiscard]] uint32_t numClocks() const { return sys.numClocks(); }
+};
+
+/// Build the full plant model for a configuration. The returned system
+/// is finalized and ready for the engine.
+[[nodiscard]] std::unique_ptr<Plant> buildPlant(const PlantConfig& cfg);
+
+}  // namespace plant

@@ -1,0 +1,118 @@
+// The physical plant, simulated at fine-grained tick resolution — our
+// stand-in for the paper's LEGO MINDSTORMS plant (§6).
+//
+// The physics executes unit commands ("Track1Right", "Pickup3",
+// "Start2", ...) with real durations, moves cranes continuously along
+// the shared overhead track, and checks every physical invariant the
+// LEGO plant enforces the hard way: one ladle per slot, no crane
+// overtaking or near-collision, no horizontal movement while hoisting,
+// continuous casting, the steel temperature deadline, and nothing left
+// behind at the end of the run.  Violations are collected as SimErrors
+// (the paper found three modelling errors exactly this way).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "plant/config.hpp"
+
+namespace rcx {
+
+struct SimError {
+  int64_t tick = 0;
+  std::string what;
+};
+
+class PlantPhysics {
+ public:
+  PlantPhysics(const plant::PlantConfig& cfg, int32_t ticksPerUnit,
+               int64_t slackTicks);
+
+  /// Execute a command arriving at `tick`. Physical impossibilities are
+  /// recorded as errors; the unit still acknowledges receipt (the
+  /// paper's plant gives no richer feedback).
+  void command(const std::string& unit, const std::string& cmd, int64_t tick);
+
+  /// Advance the plant by one tick (complete moves/lifts/casts, update
+  /// crane positions, check for collisions).
+  void step(int64_t tick);
+
+  /// End-of-program checks: every ladle out, caster empty, machines off.
+  void finish(int64_t tick);
+
+  [[nodiscard]] const std::vector<SimError>& errors() const noexcept {
+    return errors_;
+  }
+  [[nodiscard]] int64_t exitedCount() const noexcept;
+  [[nodiscard]] bool allExited() const noexcept;
+
+  // -- Introspection for tests ---------------------------------------
+  [[nodiscard]] int64_t cranePosMilli(int c) const;
+  [[nodiscard]] bool loadExited(int b) const;
+  [[nodiscard]] bool loadInCaster(int b) const;
+
+ private:
+  struct Load {
+    enum class Where {
+      kNone,
+      kTrack,
+      kTrackMoving,
+      kGround,   ///< on a crane-served pad (buffer/hold/castout/storage)
+      kLifting,
+      kOnCrane,
+      kLowering,
+      kInCaster,
+      kExited,
+    };
+    Where where = Where::kNone;
+    int32_t track = 0, slot = 0, toSlot = 0;
+    int32_t groundK = 0;
+    int32_t crane = -1;
+    int64_t actionDone = 0;
+    int64_t pourTick = -1;
+  };
+
+  struct Crane {
+    int64_t basePos = 0;  ///< milli-positions (1000 per overhead slot)
+    bool moving = false;
+    int32_t dir = 0;
+    int64_t moveStart = 0, moveDone = 0;
+    bool lifting = false, lowering = false;
+    int64_t hoistDone = 0;
+    int32_t hoistLoad = -1, hoistK = -1;
+    int32_t carrying = -1;
+  };
+
+  struct Machine {
+    bool on = false;
+    int32_t load = -1;
+  };
+
+  void fail(int64_t tick, std::string what) {
+    errors_.push_back(SimError{tick, std::move(what)});
+  }
+
+  [[nodiscard]] bool trackSlotOccupied(int32_t track, int32_t slot) const;
+  [[nodiscard]] bool groundOccupied(int32_t k) const;
+  /// Load standing (not moving/lifting) at ground position k, or -1.
+  [[nodiscard]] int32_t loadAtGround(int32_t k) const;
+  [[nodiscard]] int64_t cranePosAt(const Crane& c, int64_t tick) const;
+
+  plant::PlantConfig cfg_;
+  int64_t tpu_;    ///< ticks per model time unit
+  int64_t slack_;  ///< tolerance for timing checks, in ticks
+
+  std::vector<Load> loads_;
+  Crane cranes_[plant::kNumCranes];
+  Machine machines_[5];
+  int32_t casting_ = -1;       ///< batch currently in the caster
+  bool castComplete_ = false;  ///< casting done, awaiting eject
+  int64_t castDone_ = 0;
+  int64_t lastCastEnd_ = -1;
+  bool collisionReported_ = false;
+  std::vector<SimError> errors_;
+};
+
+}  // namespace rcx

@@ -1,0 +1,101 @@
+#include "rcx/plant_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <random>
+
+#include "rcx/vm.hpp"
+
+namespace rcx {
+
+namespace {
+
+struct InFlight {
+  int64_t deliverAt;
+  int32_t msgId;
+  bool towardCentral;  ///< ack (unit -> central) vs command
+};
+
+}  // namespace
+
+SimResult runProgram(const synthesis::RcxProgram& program,
+                     const plant::PlantConfig& cfg, int32_t ticksPerTimeUnit,
+                     const SimOptions& opts) {
+  SimResult res;
+  PlantPhysics physics(cfg, ticksPerTimeUnit, opts.slackTicks);
+  std::mt19937_64 rng(opts.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  std::deque<InFlight> air;
+  int32_t centralMsgBuffer = 0;
+  // Per-unit dedup: the last message id a unit executed. Resent
+  // commands (lost acks) must not re-execute.
+  std::map<std::string, int32_t> lastExecuted;
+
+  VmHost host;
+  host.send = [&](int32_t msgId, int64_t tick) {
+    ++res.commandsSent;
+    if (coin(rng) < opts.messageLossProb) {
+      ++res.commandsLost;
+      return;  // the ether ate it
+    }
+    air.push_back(InFlight{tick + opts.latencyTicks, msgId, false});
+  };
+  host.readMessage = [&] { return centralMsgBuffer; };
+  host.clearMessage = [&] { centralMsgBuffer = 0; };
+
+  RcxVm vm(program, host, opts.instrTicks);
+
+  int64_t tick = 0;
+  for (; tick < opts.maxTicks; ++tick) {
+    vm.run(tick);
+    // Deliver due messages.
+    for (size_t i = 0; i < air.size();) {
+      if (air[i].deliverAt > tick) {
+        ++i;
+        continue;
+      }
+      const InFlight m = air[i];
+      air.erase(air.begin() + static_cast<std::ptrdiff_t>(i));
+      if (m.towardCentral) {
+        centralMsgBuffer = m.msgId;
+        continue;
+      }
+      const synthesis::RcxCommand* c = program.commandById(m.msgId);
+      if (c == nullptr) continue;  // stray message
+      auto [it, fresh] = lastExecuted.try_emplace(c->unit, 0);
+      if (it->second != m.msgId) {
+        physics.command(c->unit, c->command, tick);
+        it->second = m.msgId;
+      } else {
+        ++res.duplicatesIgnored;
+      }
+      // Acknowledge receipt (also lossy).
+      if (coin(rng) < opts.messageLossProb) {
+        ++res.acksLost;
+      } else {
+        air.push_back(
+            InFlight{tick + opts.latencyTicks, m.msgId, true});
+      }
+    }
+    physics.step(tick);
+    if (vm.finished() && air.empty()) break;
+  }
+
+  // Let outstanding physical actions (final lowering etc.) finish.
+  const int64_t drain =
+      tick + (static_cast<int64_t>(cfg.tcast) + cfg.cupdown + cfg.cmove) *
+                 ticksPerTimeUnit;
+  for (; tick < drain; ++tick) physics.step(tick);
+
+  physics.finish(tick);
+  res.programCompleted = vm.finished();
+  res.allExited = physics.allExited();
+  res.exited = physics.exitedCount();
+  res.errors = physics.errors();
+  res.ticks = tick;
+  return res;
+}
+
+}  // namespace rcx

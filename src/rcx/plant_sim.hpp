@@ -1,0 +1,60 @@
+// Glue: run a synthesized central-controller program against the
+// simulated physical plant over a lossy RCX-style message channel.
+//
+// This is the reproduction of paper §6: "The synthesized program will
+// run in a central controller sending commands to the distributed local
+// controllers... the only feedback from the local controllers are
+// acknowledgements of commands received."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plant/config.hpp"
+#include "rcx/physics.hpp"
+#include "synthesis/rcx_codegen.hpp"
+
+namespace rcx {
+
+struct SimOptions {
+  /// Probability that any single message (command or ack) is lost.
+  double messageLossProb = 0.01;
+  uint64_t seed = 42;
+  /// One-way message latency in ticks.
+  int32_t latencyTicks = 5;
+  /// Cost of one VM instruction in ticks.
+  int32_t instrTicks = 1;
+  /// Physical tolerance for the timing checks (continuity, deadline):
+  /// the command segments and retries make the program drift a little
+  /// relative to the ideal schedule, just as the real plant tolerates
+  /// small deviations.
+  int64_t slackTicks = 600;
+  int64_t maxTicks = 200'000'000;
+};
+
+struct SimResult {
+  bool programCompleted = false;
+  bool allExited = false;
+  std::vector<SimError> errors;
+  int64_t ticks = 0;
+  int64_t exited = 0;
+  // Channel statistics.
+  int64_t commandsSent = 0;     ///< SendPBMessage executions (incl. resends)
+  int64_t commandsLost = 0;
+  int64_t acksLost = 0;
+  int64_t duplicatesIgnored = 0;
+
+  [[nodiscard]] bool ok() const {
+    return programCompleted && allExited && errors.empty();
+  }
+};
+
+/// Execute the program in the simulated plant. `ticksPerTimeUnit` must
+/// match the value used at synthesis time.
+[[nodiscard]] SimResult runProgram(const synthesis::RcxProgram& program,
+                                   const plant::PlantConfig& cfg,
+                                   int32_t ticksPerTimeUnit = 100,
+                                   const SimOptions& opts = {});
+
+}  // namespace rcx

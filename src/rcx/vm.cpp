@@ -1,0 +1,98 @@
+#include "rcx/vm.hpp"
+
+#include <cassert>
+#include <stack>
+
+namespace rcx {
+
+using synthesis::RcxOp;
+
+RcxVm::RcxVm(const synthesis::RcxProgram& program, VmHost host,
+             int32_t instrTicks)
+    : program_(&program),
+      host_(std::move(host)),
+      instrTicks_(instrTicks),
+      vars_(16, 0),
+      match_(program.code.size(), 0) {
+  std::stack<size_t> open;
+  for (size_t i = 0; i < program.code.size(); ++i) {
+    switch (program.code[i].op) {
+      case RcxOp::kWhileVarNe:
+      case RcxOp::kIfVarGe:
+        open.push(i);
+        break;
+      case RcxOp::kEndWhile:
+      case RcxOp::kEndIf: {
+        assert(!open.empty() && "unbalanced While/If");
+        const size_t start = open.top();
+        open.pop();
+        match_[start] = i;
+        match_[i] = start;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  assert(open.empty() && "unbalanced While/If");
+}
+
+void RcxVm::run(int64_t now) {
+  while (pc_ < program_->code.size() && wake_ <= now) {
+    const synthesis::RcxInstr& ins = program_->code[pc_];
+    wake_ += instrTicks_;
+    switch (ins.op) {
+      case RcxOp::kPlaySystemSound:
+        if (host_.playSound) host_.playSound(ins.a);
+        ++pc_;
+        break;
+      case RcxOp::kSendPBMessage:
+        host_.send(ins.a, wake_);
+        ++sends_;
+        ++pc_;
+        break;
+      case RcxOp::kSetVar:
+        vars_[static_cast<size_t>(ins.a)] = ins.b;
+        ++pc_;
+        break;
+      case RcxOp::kSetVarFromMsg:
+        vars_[static_cast<size_t>(ins.a)] = host_.readMessage();
+        ++pc_;
+        break;
+      case RcxOp::kSumVar:
+        vars_[static_cast<size_t>(ins.a)] += ins.b;
+        ++pc_;
+        break;
+      case RcxOp::kClearPBMessage:
+        host_.clearMessage();
+        ++pc_;
+        break;
+      case RcxOp::kWait:
+        wake_ += ins.a;
+        ++pc_;
+        break;
+      case RcxOp::kWhileVarNe:
+        if (vars_[static_cast<size_t>(ins.a)] != ins.b) {
+          ++pc_;
+        } else {
+          pc_ = match_[pc_] + 1;  // past EndWhile
+        }
+        break;
+      case RcxOp::kEndWhile:
+        pc_ = match_[pc_];  // re-test the While condition
+        break;
+      case RcxOp::kIfVarGe:
+        if (vars_[static_cast<size_t>(ins.a)] >= ins.b) {
+          ++pc_;
+        } else {
+          pc_ = match_[pc_] + 1;  // past EndIf
+        }
+        break;
+      case RcxOp::kEndIf:
+        ++pc_;
+        break;
+    }
+  }
+}
+
+}  // namespace rcx

@@ -1,0 +1,59 @@
+// A small interpreter for the RCX-like central-controller programs the
+// synthesizer emits (see synthesis/rcx_codegen.hpp).
+//
+// The VM is host-agnostic: message sends, message reads, and sounds go
+// through a Host interface, so unit tests can drive it without the
+// physical-plant simulator.  Every instruction costs `instrTicks`
+// simulated ticks (the RCX is slow), Wait costs its operand.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "synthesis/rcx_codegen.hpp"
+
+namespace rcx {
+
+struct VmHost {
+  /// Broadcast a message (a command id) to the plant units.
+  std::function<void(int32_t msgId, int64_t tick)> send;
+  /// Last received message, 0 if none.
+  std::function<int32_t()> readMessage;
+  std::function<void()> clearMessage;
+  std::function<void(int32_t sound)> playSound;
+};
+
+class RcxVm {
+ public:
+  RcxVm(const synthesis::RcxProgram& program, VmHost host,
+        int32_t instrTicks = 1);
+
+  /// True when the program has run to completion.
+  [[nodiscard]] bool finished() const noexcept {
+    return pc_ >= program_->code.size();
+  }
+
+  /// Tick at which the VM next wants to run (it may be waiting).
+  [[nodiscard]] int64_t nextWakeTick() const noexcept { return wake_; }
+
+  /// Execute instructions until the VM blocks on a Wait that ends
+  /// after `now`, or the program ends.  `now` is the current tick.
+  void run(int64_t now);
+
+  [[nodiscard]] int64_t sendsIssued() const noexcept { return sends_; }
+
+ private:
+  const synthesis::RcxProgram* program_;
+  VmHost host_;
+  int32_t instrTicks_;
+  size_t pc_ = 0;
+  int64_t wake_ = 0;
+  int64_t sends_ = 0;
+  std::vector<int32_t> vars_;
+  /// Matching jump targets, precomputed: for While -> index of its
+  /// EndWhile, for If -> its EndIf, and EndWhile -> its While.
+  std::vector<size_t> match_;
+};
+
+}  // namespace rcx

@@ -1,0 +1,27 @@
+#include "synthesis/io.hpp"
+
+#include <fstream>
+
+namespace synthesis {
+
+bool writeScheduleFile(const Schedule& schedule, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# schedule: " << schedule.items.size() << " commands, makespan "
+      << schedule.makespan << "\n";
+  out << schedule.toText();
+  return static_cast<bool>(out);
+}
+
+bool writeProgramFile(const RcxProgram& program, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "' message-id table\n";
+  for (const RcxCommand& c : program.commands) {
+    out << "'   " << c.msgId << " = " << c.unit << "." << c.command << "\n";
+  }
+  out << "\n" << program.toText();
+  return static_cast<bool>(out);
+}
+
+}  // namespace synthesis

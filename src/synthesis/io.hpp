@@ -1,0 +1,22 @@
+// File output for synthesis artefacts: schedules (Table 2 format) and
+// RCX programs (Figure 6 format), so the pipeline's products can be
+// inspected or diffed outside the process.
+#pragma once
+
+#include <string>
+
+#include "synthesis/rcx_codegen.hpp"
+#include "synthesis/schedule.hpp"
+
+namespace synthesis {
+
+/// Write the schedule in Table 2 format. Returns false on I/O error.
+[[nodiscard]] bool writeScheduleFile(const Schedule& schedule,
+                                     const std::string& path);
+
+/// Write the program in Figure 6 format, preceded by its message-id
+/// table. Returns false on I/O error.
+[[nodiscard]] bool writeProgramFile(const RcxProgram& program,
+                                    const std::string& path);
+
+}  // namespace synthesis

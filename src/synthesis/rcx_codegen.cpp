@@ -1,0 +1,129 @@
+#include "synthesis/rcx_codegen.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace synthesis {
+
+namespace {
+
+// Register conventions (as in Figure 6): var 1 holds the last received
+// message, var 2 counts unacknowledged polls.
+constexpr int32_t kAckVar = 1;
+constexpr int32_t kCtrVar = 2;
+
+}  // namespace
+
+RcxProgram synthesize(const Schedule& schedule, const CodegenOptions& opts) {
+  RcxProgram prog;
+
+  // One message id per schedule item (not per distinct command text):
+  // the local controllers treat a repeated id as a retry of a command
+  // they already executed, so legitimately repeated commands need fresh
+  // ids.  (The real RCX is limited to one message byte; we do not
+  // emulate that restriction.)
+  const auto commandId = [&](const ScheduleItem& item) {
+    const auto id = static_cast<int32_t>(prog.commands.size()) + 1;
+    prog.commands.push_back(RcxCommand{item.unit, item.command, id});
+    return id;
+  };
+
+  const auto emit = [&](RcxOp op, int32_t a, int32_t b, std::string comment) {
+    prog.code.push_back(RcxInstr{op, a, b, std::move(comment)});
+  };
+
+  // Delays are emitted as plain relative waits (exactly Figure 6's
+  // shape).  Command segments cost extra ticks on top, so the program
+  // can only run *later* than the ideal schedule — never earlier — and
+  // every model-derived minimum separation (move durations, treatment
+  // times) is preserved.  Use a tick resolution that makes the segment
+  // overhead small against one model time unit; the plant's timing
+  // tolerance absorbs the residual drift.
+  int64_t now = 0;  // schedule time already covered, in time units
+  for (const ScheduleItem& item : schedule.items) {
+    if (item.time > now) {
+      const int64_t delay = item.time - now;
+      emit(RcxOp::kWait,
+           static_cast<int32_t>(delay * opts.ticksPerTimeUnit), 0,
+           "Delay " + std::to_string(delay));
+      now = item.time;
+    }
+    const int32_t id = commandId(item);
+    // The in-lined send + acknowledge-retry segment of Figure 6.
+    emit(RcxOp::kPlaySystemSound, 1, 0, item.text());
+    emit(RcxOp::kSendPBMessage, id, 0,
+         "send " + item.command + " to " + item.unit);
+    emit(RcxOp::kSetVar, kAckVar, 0, "wait for ack");
+    emit(RcxOp::kWhileVarNe, kAckVar, id, "");
+    emit(RcxOp::kWait, opts.ackPollTicks, 0, "");
+    emit(RcxOp::kSetVarFromMsg, kAckVar, 0, "read the message");
+    emit(RcxOp::kClearPBMessage, 0, 0, "");
+    emit(RcxOp::kSumVar, kCtrVar, 1, "");
+    emit(RcxOp::kIfVarGe, kCtrVar, opts.resendAfterPolls,
+         "if looped " + std::to_string(opts.resendAfterPolls) + " times");
+    emit(RcxOp::kPlaySystemSound, 1, 0, "");
+    emit(RcxOp::kSendPBMessage, id, 0, "then send message again");
+    emit(RcxOp::kSetVar, kCtrVar, 0, "");
+    emit(RcxOp::kEndIf, 0, 0, "");
+    emit(RcxOp::kEndWhile, 0, 0, "");
+    emit(RcxOp::kSetVar, kCtrVar, 0, "");
+  }
+  return prog;
+}
+
+std::string RcxProgram::toText() const {
+  std::ostringstream os;
+  int indent = 0;
+  for (const RcxInstr& ins : code) {
+    std::string line;
+    switch (ins.op) {
+      case RcxOp::kPlaySystemSound:
+        line = "PB.PlaySystemSound " + std::to_string(ins.a);
+        break;
+      case RcxOp::kSendPBMessage:
+        line = "PB.SendPBMessage 2, " + std::to_string(ins.a);
+        break;
+      case RcxOp::kSetVar:
+        line = "PB.SetVar " + std::to_string(ins.a) + ", 2, " +
+               std::to_string(ins.b);
+        break;
+      case RcxOp::kSetVarFromMsg:
+        line = "PB.SetVar " + std::to_string(ins.a) + ", 15, 0";
+        break;
+      case RcxOp::kSumVar:
+        line = "PB.SumVar " + std::to_string(ins.a) + ", 2, " +
+               std::to_string(ins.b);
+        break;
+      case RcxOp::kClearPBMessage:
+        line = "PB.ClearPBMessage";
+        break;
+      case RcxOp::kWait:
+        line = "PB.Wait 2, " + std::to_string(ins.a);
+        break;
+      case RcxOp::kWhileVarNe:
+        line = "PB.While 0, " + std::to_string(ins.a) + ", 3, 2, " +
+               std::to_string(ins.b);
+        break;
+      case RcxOp::kEndWhile:
+        --indent;
+        line = "PB.EndWhile";
+        break;
+      case RcxOp::kIfVarGe:
+        line = "PB.If 0, " + std::to_string(ins.a) + ", 2, 2, " +
+               std::to_string(ins.b);
+        break;
+      case RcxOp::kEndIf:
+        --indent;
+        line = "PB.EndIf";
+        break;
+    }
+    for (int k = 0; k < indent; ++k) os << "  ";
+    os << line;
+    if (!ins.comment.empty()) os << "\t' " << ins.comment;
+    os << "\n";
+    if (ins.op == RcxOp::kWhileVarNe || ins.op == RcxOp::kIfVarGe) ++indent;
+  }
+  return os.str();
+}
+
+}  // namespace synthesis

@@ -1,0 +1,83 @@
+// Synthesis of RCX central-controller programs from schedules
+// (paper Section 6, Figure 6).
+//
+// The LEGO plant's inter-brick communication is unreliable and slow,
+// and the only feedback from the local controllers is an
+// acknowledgement of each received command.  Every schedule line is
+// therefore translated into an in-lined code segment that sends the
+// command, polls for the acknowledgement, and re-sends after a number
+// of failed polls; Delay lines become Wait instructions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synthesis/schedule.hpp"
+
+namespace synthesis {
+
+/// The RCX instruction subset Figure 6 uses. Programs are flat with
+/// matching End markers (the RCX language has no procedure calls —
+/// "the code has to be in-lined").
+enum class RcxOp : uint8_t {
+  kPlaySystemSound,  ///< a = sound id
+  kSendPBMessage,    ///< a = message id (the command)
+  kSetVar,           ///< a = var, b = constant
+  kSetVarFromMsg,    ///< a = var := last received message
+  kSumVar,           ///< a = var, b = constant (var += b)
+  kClearPBMessage,
+  kWait,             ///< a = ticks
+  kWhileVarNe,       ///< a = var, b = constant; loop while var != b
+  kEndWhile,
+  kIfVarGe,          ///< a = var, b = constant
+  kEndIf,
+};
+
+struct RcxInstr {
+  RcxOp op;
+  int32_t a = 0;
+  int32_t b = 0;
+  std::string comment;
+};
+
+struct RcxCommand {
+  std::string unit;
+  std::string command;
+  int32_t msgId = 0;
+};
+
+struct RcxProgram {
+  std::vector<RcxInstr> code;
+  /// Message-id table: what each SendPBMessage id means. The local
+  /// controllers acknowledge a command by echoing its message id.
+  std::vector<RcxCommand> commands;
+
+  [[nodiscard]] const RcxCommand* commandById(int32_t msgId) const {
+    // Ids are assigned densely from 1 in emission order.
+    if (msgId < 1 || static_cast<size_t>(msgId) > commands.size())
+      return nullptr;
+    return &commands[static_cast<size_t>(msgId) - 1];
+  }
+
+  /// Figure 6-style rendering ("PB.SendPBMessage 2, 99  ' Move up...").
+  [[nodiscard]] std::string toText() const;
+};
+
+struct CodegenOptions {
+  /// Fine-grained simulator ticks per model time unit (the paper's
+  /// Delay 12 becomes PB.Wait 2, 1200 — 100 ticks per unit).
+  int32_t ticksPerTimeUnit = 100;
+  /// Poll interval inside the acknowledgement loop (PB.Wait 2, 20).
+  int32_t ackPollTicks = 20;
+  /// Re-send the command after this many unacknowledged polls
+  /// ("If looped 20 times ... Then Send message, again").
+  int32_t resendAfterPolls = 20;
+};
+
+/// Translate a schedule into a central-controller program: each command
+/// becomes a send + ack-retry segment, each gap a Wait.
+[[nodiscard]] RcxProgram synthesize(const Schedule& schedule,
+                                    const CodegenOptions& opts = {});
+
+}  // namespace synthesis

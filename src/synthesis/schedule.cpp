@@ -1,0 +1,43 @@
+#include "synthesis/schedule.hpp"
+
+#include <sstream>
+
+namespace synthesis {
+
+std::string Schedule::toText() const {
+  std::ostringstream os;
+  int64_t now = 0;
+  for (const ScheduleItem& item : items) {
+    if (item.time > now) {
+      os << "Delay(" << (item.time - now) << ")\n";
+      now = item.time;
+    }
+    os << item.text() << "\n";
+  }
+  return os.str();
+}
+
+Schedule project(const ta::System& sys, const engine::ConcreteTrace& trace) {
+  Schedule out;
+  for (const engine::ConcreteStep& step : trace.steps) {
+    for (const engine::TransitionPart& part : step.via.parts) {
+      const ta::Edge& e =
+          sys.automaton(part.proc).edges()[static_cast<size_t>(part.edge)];
+      // Plant commands are the labels of the form "Unit.Command"; the
+      // model's internal synchronizations carry other labels (or none)
+      // and are projected away — "Some of the synchronizations are not
+      // relevant for the scheduling" (paper §6).
+      const size_t dot = e.label.find('.');
+      if (dot == std::string::npos || dot == 0 ||
+          dot + 1 == e.label.size()) {
+        continue;
+      }
+      out.items.push_back(ScheduleItem{
+          step.timestamp, e.label.substr(0, dot), e.label.substr(dot + 1)});
+    }
+  }
+  out.makespan = trace.makespan();
+  return out;
+}
+
+}  // namespace synthesis

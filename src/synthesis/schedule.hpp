@@ -1,0 +1,43 @@
+// Schedules: the projection of a concrete model trace onto the actions
+// that drive the physical plant (paper Section 6 / Table 2).
+//
+// Every plant-relevant edge in the model carries a label of the form
+// "<Unit>.<Command>" (e.g. "Load1.Track1Right", "Crane2.Pickup4",
+// "Caster.Start1"); projection keeps exactly those labels together with
+// their concrete timestamps and derives the Delay() lines between them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/trace.hpp"
+#include "ta/system.hpp"
+
+namespace synthesis {
+
+/// One command of a schedule, with its structured interpretation.
+struct ScheduleItem {
+  int64_t time = 0;     ///< absolute model time the command fires
+  std::string unit;     ///< "Load1", "Crane2", "Caster", ...
+  std::string command;  ///< "Track1Right", "Pickup4", "Start1", ...
+
+  [[nodiscard]] std::string text() const { return unit + "." + command; }
+};
+
+struct Schedule {
+  std::vector<ScheduleItem> items;
+  int64_t makespan = 0;
+
+  /// Render in the paper's Table 2 style: Delay(d) lines interleaved
+  /// with Unit.Command lines.
+  [[nodiscard]] std::string toText() const;
+};
+
+/// Project a concrete trace to the plant schedule: keep the steps whose
+/// fired edges carry "Unit.Command" labels, in timestamp order.
+[[nodiscard]] Schedule project(const ta::System& sys,
+                               const engine::ConcreteTrace& trace);
+
+}  // namespace synthesis

@@ -1,0 +1,637 @@
+#include "ta/parser.hpp"
+
+#include <cctype>
+#include <map>
+
+namespace ta {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+enum class Tok : uint8_t {
+  kEnd, kIdent, kInt, kString,
+  kLBrace, kRBrace, kLBracket, kRBracket, kLParen, kRParen,
+  kSemi, kComma, kDot, kArrow, kAssign,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAnd, kOr, kNot, kBang, kQuest, kColon,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  int64_t value = 0;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { advance(); }
+
+  [[nodiscard]] const Token& peek() const { return cur_; }
+  Token next() {
+    Token t = cur_;
+    advance();
+    return t;
+  }
+  [[nodiscard]] int line() const { return cur_.line; }
+
+ private:
+  void advance() {
+    skipSpace();
+    cur_ = Token{};
+    cur_.line = line_;
+    if (pos_ >= text_.size()) return;  // kEnd
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      cur_.kind = Tok::kIdent;
+      cur_.text = text_.substr(start, pos_ - start);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      cur_.kind = Tok::kInt;
+      cur_.value = std::stoll(text_.substr(start, pos_ - start));
+      return;
+    }
+    if (c == '"') {
+      size_t start = ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
+      cur_.kind = Tok::kString;
+      cur_.text = text_.substr(start, pos_ - start);
+      if (pos_ < text_.size()) ++pos_;  // closing quote
+      return;
+    }
+    const auto two = [&](char a, char b, Tok k) {
+      if (c == a && pos_ + 1 < text_.size() && text_[pos_ + 1] == b) {
+        cur_.kind = k;
+        pos_ += 2;
+        return true;
+      }
+      return false;
+    };
+    if (two('-', '>', Tok::kArrow) || two('<', '=', Tok::kLe) ||
+        two('>', '=', Tok::kGe) || two('=', '=', Tok::kEq) ||
+        two('!', '=', Tok::kNe) || two('&', '&', Tok::kAnd) ||
+        two('|', '|', Tok::kOr)) {
+      return;
+    }
+    ++pos_;
+    switch (c) {
+      case '{': cur_.kind = Tok::kLBrace; break;
+      case '}': cur_.kind = Tok::kRBrace; break;
+      case '[': cur_.kind = Tok::kLBracket; break;
+      case ']': cur_.kind = Tok::kRBracket; break;
+      case '(': cur_.kind = Tok::kLParen; break;
+      case ')': cur_.kind = Tok::kRParen; break;
+      case ';': cur_.kind = Tok::kSemi; break;
+      case ',': cur_.kind = Tok::kComma; break;
+      case '.': cur_.kind = Tok::kDot; break;
+      case '=': cur_.kind = Tok::kAssign; break;
+      case '<': cur_.kind = Tok::kLt; break;
+      case '>': cur_.kind = Tok::kGt; break;
+      case '+': cur_.kind = Tok::kPlus; break;
+      case '-': cur_.kind = Tok::kMinus; break;
+      case '*': cur_.kind = Tok::kStar; break;
+      case '/': cur_.kind = Tok::kSlash; break;
+      case '%': cur_.kind = Tok::kPercent; break;
+      case '!': cur_.kind = Tok::kBang; break;
+      case '?': cur_.kind = Tok::kQuest; break;
+      case ':': cur_.kind = Tok::kColon; break;
+      default: cur_.kind = Tok::kEnd; break;  // caller reports error
+    }
+  }
+
+  void skipSpace() {
+    for (;;) {
+      while (pos_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        if (text_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ + 1 < text_.size() && text_[pos_] == '/' &&
+          text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      break;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  Token cur_;
+};
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct ParseError {
+  int line;
+  std::string message;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lex_(text) {
+    result_.system = std::make_unique<System>();
+  }
+
+  std::optional<ParseResult> run(std::string* error) {
+    try {
+      while (lex_.peek().kind != Tok::kEnd) {
+        const Token t = expect(Tok::kIdent, "declaration");
+        if (t.text == "clock") {
+          parseClockDecl();
+        } else if (t.text == "int") {
+          parseIntDecl();
+        } else if (t.text == "chan") {
+          parseChanDecl(ChanKind::kBinary);
+        } else if (t.text == "broadcast") {
+          expectKeyword("chan");
+          parseChanDecl(ChanKind::kBroadcast);
+        } else if (t.text == "process") {
+          parseProcess();
+        } else if (t.text == "query") {
+          parseQuery();
+        } else {
+          throw ParseError{t.line, "unexpected '" + t.text + "'"};
+        }
+      }
+      sys().finalize();
+      return std::move(result_);
+    } catch (const ParseError& e) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(e.line) + ": " + e.message;
+      }
+      return std::nullopt;
+    }
+  }
+
+ private:
+  [[nodiscard]] System& sys() { return *result_.system; }
+
+  Token expect(Tok kind, const char* what) {
+    const Token t = lex_.next();
+    if (t.kind != kind) {
+      throw ParseError{t.line, std::string("expected ") + what};
+    }
+    return t;
+  }
+
+  void expectKeyword(const std::string& kw) {
+    const Token t = expect(Tok::kIdent, kw.c_str());
+    if (t.text != kw) throw ParseError{t.line, "expected '" + kw + "'"};
+  }
+
+  bool accept(Tok kind) {
+    if (lex_.peek().kind == kind) {
+      lex_.next();
+      return true;
+    }
+    return false;
+  }
+
+  // -- Declarations -----------------------------------------------------
+
+  void checkFresh(const std::string& name, int line) {
+    if (clocks_.count(name) != 0 || vars_.count(name) != 0 ||
+        chans_.count(name) != 0 || procs_.count(name) != 0) {
+      throw ParseError{line, "'" + name + "' already declared"};
+    }
+  }
+
+  void parseClockDecl() {
+    do {
+      const Token n = expect(Tok::kIdent, "clock name");
+      checkFresh(n.text, n.line);
+      clocks_[n.text] = sys().addClock(n.text);
+    } while (accept(Tok::kComma));
+    expect(Tok::kSemi, "';'");
+  }
+
+  void parseIntDecl() {
+    do {
+      const Token n = expect(Tok::kIdent, "variable name");
+      checkFresh(n.text, n.line);
+      int32_t size = 1;
+      if (accept(Tok::kLBracket)) {
+        size = static_cast<int32_t>(expect(Tok::kInt, "array size").value);
+        if (size <= 0) throw ParseError{n.line, "array size must be > 0"};
+        expect(Tok::kRBracket, "']'");
+      }
+      int32_t init = 0;
+      if (accept(Tok::kAssign)) {
+        const bool neg = accept(Tok::kMinus);
+        init = static_cast<int32_t>(expect(Tok::kInt, "initializer").value);
+        if (neg) init = -init;
+      }
+      const VarId base = size == 1 ? sys().addVar(n.text, init)
+                                   : sys().addArray(n.text, size, init);
+      vars_[n.text] = {base, size};
+    } while (accept(Tok::kComma));
+    expect(Tok::kSemi, "';'");
+  }
+
+  void parseChanDecl(ChanKind kind) {
+    do {
+      const Token n = expect(Tok::kIdent, "channel name");
+      checkFresh(n.text, n.line);
+      chans_[n.text] = sys().addChannel(n.text, kind);
+    } while (accept(Tok::kComma));
+    expect(Tok::kSemi, "';'");
+  }
+
+  // -- Processes ----------------------------------------------------------
+
+  void parseProcess() {
+    const Token n = expect(Tok::kIdent, "process name");
+    checkFresh(n.text, n.line);
+    const ProcId p = sys().addAutomaton(n.text);
+    procs_[n.text] = p;
+    auto& locs = procLocs_[n.text];
+    expect(Tok::kLBrace, "'{'");
+    bool haveInit = false;
+    while (!accept(Tok::kRBrace)) {
+      const Token t = expect(Tok::kIdent, "process item");
+      bool urgent = false, committed = false;
+      std::string kw = t.text;
+      if (kw == "urgent" || kw == "committed") {
+        urgent = kw == "urgent";
+        committed = kw == "committed";
+        expectKeyword("loc");
+        kw = "loc";
+      }
+      if (kw == "loc") {
+        const Token ln = expect(Tok::kIdent, "location name");
+        if (locs.count(ln.text) != 0) {
+          throw ParseError{ln.line, "location '" + ln.text + "' redeclared"};
+        }
+        const LocId l =
+            sys().automaton(p).addLocation(ln.text, urgent, committed);
+        locs[ln.text] = l;
+        if (accept(Tok::kLBrace)) {
+          expectKeyword("inv");
+          do {
+            sys().automaton(p).addInvariant(l, parseClockAtomPair().first);
+            if (auto second = parseClockAtomPair_second()) {
+              sys().automaton(p).addInvariant(l, *second);
+            }
+          } while (accept(Tok::kAnd));
+          expect(Tok::kSemi, "';'");
+          expect(Tok::kRBrace, "'}'");
+        }
+        accept(Tok::kSemi);
+      } else if (kw == "init") {
+        const Token ln = expect(Tok::kIdent, "location name");
+        const auto it = locs.find(ln.text);
+        if (it == locs.end()) {
+          throw ParseError{ln.line,
+                           "init location '" + ln.text + "' not declared"};
+        }
+        sys().automaton(p).setInitial(it->second);
+        haveInit = true;
+        expect(Tok::kSemi, "';'");
+      } else if (kw == "edge") {
+        parseEdge(p, locs);
+      } else {
+        throw ParseError{t.line, "unexpected '" + kw + "' in process"};
+      }
+    }
+    if (!haveInit && !locs.empty()) {
+      // Default: first declared location (already location 0).
+      sys().automaton(p).setInitial(0);
+    }
+  }
+
+  void parseEdge(ProcId p, const std::map<std::string, LocId>& locs) {
+    const Token from = expect(Tok::kIdent, "source location");
+    expect(Tok::kArrow, "'->'");
+    const Token to = expect(Tok::kIdent, "target location");
+    const auto fi = locs.find(from.text);
+    const auto ti = locs.find(to.text);
+    if (fi == locs.end()) {
+      throw ParseError{from.line, "unknown location '" + from.text + "'"};
+    }
+    if (ti == locs.end()) {
+      throw ParseError{to.line, "unknown location '" + to.text + "'"};
+    }
+    EdgeBuilder eb = sys().edge(p, fi->second, ti->second);
+    expect(Tok::kLBrace, "'{'");
+    while (!accept(Tok::kRBrace)) {
+      const Token t = expect(Tok::kIdent, "edge item");
+      if (t.text == "guard") {
+        do {
+          parseGuardAtom(eb);
+        } while (accept(Tok::kAnd));
+      } else if (t.text == "sync") {
+        const Token cn = expect(Tok::kIdent, "channel name");
+        const auto ci = chans_.find(cn.text);
+        if (ci == chans_.end()) {
+          throw ParseError{cn.line, "unknown channel '" + cn.text + "'"};
+        }
+        if (accept(Tok::kBang)) {
+          eb.send(ci->second);
+        } else if (accept(Tok::kQuest)) {
+          eb.receive(ci->second);
+        } else {
+          throw ParseError{cn.line, "expected '!' or '?' after channel"};
+        }
+      } else if (t.text == "reset") {
+        do {
+          const Token cn = expect(Tok::kIdent, "clock name");
+          const auto ci = clocks_.find(cn.text);
+          if (ci == clocks_.end()) {
+            throw ParseError{cn.line, "unknown clock '" + cn.text + "'"};
+          }
+          dbm::value_t v = 0;
+          if (accept(Tok::kAssign)) {
+            v = static_cast<dbm::value_t>(
+                expect(Tok::kInt, "reset value").value);
+          }
+          eb.reset(ci->second, v);
+        } while (accept(Tok::kComma));
+      } else if (t.text == "assign") {
+        do {
+          const Token vn = expect(Tok::kIdent, "variable name");
+          const auto vi = vars_.find(vn.text);
+          if (vi == vars_.end()) {
+            throw ParseError{vn.line, "unknown variable '" + vn.text + "'"};
+          }
+          ExprRef index = kNoExpr;
+          if (accept(Tok::kLBracket)) {
+            index = parseExpr();
+            expect(Tok::kRBracket, "']'");
+          }
+          expect(Tok::kAssign, "'='");
+          const ExprRef rhs = parseExpr();
+          if (index == kNoExpr) {
+            eb.assign(vi->second.first, Ex(sys().pool(), rhs));
+          } else {
+            eb.assignCell(vi->second.first, Ex(sys().pool(), index),
+                          vi->second.second, Ex(sys().pool(), rhs));
+          }
+        } while (accept(Tok::kComma));
+      } else if (t.text == "label") {
+        eb.label(expect(Tok::kString, "label string").text);
+      } else {
+        throw ParseError{t.line, "unexpected '" + t.text + "' in edge"};
+      }
+      expect(Tok::kSemi, "';'");
+    }
+  }
+
+  // -- Guards / queries -----------------------------------------------------
+
+  [[nodiscard]] bool nextIsClockAtom() {
+    const Token& t = lex_.peek();
+    return t.kind == Tok::kIdent && clocks_.count(t.text) != 0;
+  }
+
+  /// Parse one clock atom. `x == c` yields two constraints; the second
+  /// is stashed for parseClockAtomPair_second().
+  std::pair<ClockConstraint, bool> parseClockAtomPair() {
+    const Token cn = expect(Tok::kIdent, "clock name");
+    const auto ci = clocks_.find(cn.text);
+    if (ci == clocks_.end()) {
+      throw ParseError{cn.line, "unknown clock '" + cn.text + "'"};
+    }
+    const ClockId x = ci->second;
+    ClockId y = 0;
+    if (accept(Tok::kMinus)) {
+      const Token cn2 = expect(Tok::kIdent, "clock name");
+      const auto ci2 = clocks_.find(cn2.text);
+      if (ci2 == clocks_.end()) {
+        throw ParseError{cn2.line, "unknown clock '" + cn2.text + "'"};
+      }
+      y = ci2->second;
+    }
+    const Token op = lex_.next();
+    const bool neg = accept(Tok::kMinus);
+    const Token val = expect(Tok::kInt, "integer bound");
+    auto c = static_cast<dbm::value_t>(val.value);
+    if (neg) c = -c;
+    pendingSecond_.reset();
+    switch (op.kind) {
+      case Tok::kLe: return {{x, y, dbm::boundWeak(c)}, true};
+      case Tok::kLt: return {{x, y, dbm::boundStrict(c)}, true};
+      case Tok::kGe: return {{y, x, dbm::boundWeak(-c)}, true};
+      case Tok::kGt: return {{y, x, dbm::boundStrict(-c)}, true};
+      case Tok::kEq:
+        pendingSecond_ = ClockConstraint{y, x, dbm::boundWeak(-c)};
+        return {{x, y, dbm::boundWeak(c)}, true};
+      default:
+        throw ParseError{op.line, "expected a comparison after clock"};
+    }
+  }
+
+  std::optional<ClockConstraint> parseClockAtomPair_second() {
+    auto s = pendingSecond_;
+    pendingSecond_.reset();
+    return s;
+  }
+
+  /// One guard conjunct: a clock atom or an integer expression (no
+  /// top-level && — use parentheses).
+  void parseGuardAtom(EdgeBuilder& eb) {
+    if (nextIsClockAtom()) {
+      const auto [cc, ok] = parseClockAtomPair();
+      (void)ok;
+      eb.when(cc);
+      if (const auto second = parseClockAtomPair_second()) eb.when(*second);
+      return;
+    }
+    eb.guard(Ex(sys().pool(), parseOrNoAnd()));
+  }
+
+  // Expression grammar (precedence climbing).
+  ExprRef parseExpr() { return parseTernary(); }
+
+  ExprRef parseTernary() {
+    const ExprRef cond = parseOr();
+    if (!accept(Tok::kQuest)) return cond;
+    const ExprRef a = parseExpr();
+    expect(Tok::kColon, "':'");
+    const ExprRef b = parseExpr();
+    return sys().pool().ite(cond, a, b);
+  }
+
+  ExprRef parseOr() {
+    ExprRef e = parseAnd();
+    while (accept(Tok::kOr)) {
+      e = sys().pool().binary(Op::kOr, e, parseAnd());
+    }
+    return e;
+  }
+
+  /// Or-level that refuses to eat a top-level && (guard separator).
+  ExprRef parseOrNoAnd() {
+    ExprRef e = parseCmp();
+    while (accept(Tok::kOr)) {
+      e = sys().pool().binary(Op::kOr, e, parseCmp());
+    }
+    return e;
+  }
+
+  ExprRef parseAnd() {
+    ExprRef e = parseCmp();
+    while (accept(Tok::kAnd)) {
+      e = sys().pool().binary(Op::kAnd, e, parseCmp());
+    }
+    return e;
+  }
+
+  ExprRef parseCmp() {
+    ExprRef e = parseAdd();
+    const Tok k = lex_.peek().kind;
+    Op op;
+    switch (k) {
+      case Tok::kLt: op = Op::kLt; break;
+      case Tok::kLe: op = Op::kLe; break;
+      case Tok::kGt: op = Op::kGt; break;
+      case Tok::kGe: op = Op::kGe; break;
+      case Tok::kEq: op = Op::kEq; break;
+      case Tok::kNe: op = Op::kNe; break;
+      default: return e;
+    }
+    lex_.next();
+    return sys().pool().binary(op, e, parseAdd());
+  }
+
+  ExprRef parseAdd() {
+    ExprRef e = parseMul();
+    for (;;) {
+      if (accept(Tok::kPlus)) {
+        e = sys().pool().binary(Op::kAdd, e, parseMul());
+      } else if (accept(Tok::kMinus)) {
+        e = sys().pool().binary(Op::kSub, e, parseMul());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprRef parseMul() {
+    ExprRef e = parseUnary();
+    for (;;) {
+      if (accept(Tok::kStar)) {
+        e = sys().pool().binary(Op::kMul, e, parseUnary());
+      } else if (accept(Tok::kSlash)) {
+        e = sys().pool().binary(Op::kDiv, e, parseUnary());
+      } else if (accept(Tok::kPercent)) {
+        e = sys().pool().binary(Op::kMod, e, parseUnary());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprRef parseUnary() {
+    if (accept(Tok::kMinus)) {
+      return sys().pool().unary(Op::kNeg, parseUnary());
+    }
+    if (accept(Tok::kBang)) {
+      return sys().pool().unary(Op::kNot, parseUnary());
+    }
+    return parsePrimary();
+  }
+
+  ExprRef parsePrimary() {
+    const Token t = lex_.next();
+    if (t.kind == Tok::kInt) {
+      return sys().pool().constant(static_cast<int32_t>(t.value));
+    }
+    if (t.kind == Tok::kLParen) {
+      const ExprRef e = parseExpr();
+      expect(Tok::kRParen, "')'");
+      return e;
+    }
+    if (t.kind == Tok::kIdent) {
+      if (t.text == "true") return sys().pool().constant(1);
+      if (t.text == "false") return sys().pool().constant(0);
+      const auto vi = vars_.find(t.text);
+      if (vi == vars_.end()) {
+        throw ParseError{t.line, "unknown variable '" + t.text + "'"};
+      }
+      if (accept(Tok::kLBracket)) {
+        const ExprRef idx = parseExpr();
+        expect(Tok::kRBracket, "']'");
+        return sys().pool().arrayCell(vi->second.first, idx,
+                                      vi->second.second);
+      }
+      return sys().pool().var(vi->second.first);
+    }
+    throw ParseError{t.line, "expected an expression"};
+  }
+
+  // -- Queries ----------------------------------------------------------
+
+  void parseQuery() {
+    expectKeyword("reach");
+    ParsedQuery q;
+    ExprRef pred = kNoExpr;
+    do {
+      // Location atom: Proc.loc
+      const Token& t = lex_.peek();
+      if (t.kind == Tok::kIdent && procs_.count(t.text) != 0) {
+        const Token pn = lex_.next();
+        expect(Tok::kDot, "'.'");
+        const Token ln = expect(Tok::kIdent, "location name");
+        const auto& locs = procLocs_[pn.text];
+        const auto li = locs.find(ln.text);
+        if (li == locs.end()) {
+          throw ParseError{ln.line, "unknown location '" + pn.text + "." +
+                                        ln.text + "'"};
+        }
+        q.locations.push_back({procs_[pn.text], li->second});
+      } else if (nextIsClockAtom()) {
+        const auto [cc, ok] = parseClockAtomPair();
+        (void)ok;
+        q.clockConstraints.push_back(cc);
+        if (const auto second = parseClockAtomPair_second()) {
+          q.clockConstraints.push_back(*second);
+        }
+      } else {
+        const ExprRef atom = parseOrNoAnd();
+        pred = pred == kNoExpr ? atom
+                               : sys().pool().binary(Op::kAnd, pred, atom);
+      }
+    } while (accept(Tok::kAnd));
+    expect(Tok::kSemi, "';'");
+    q.predicate = pred;
+    result_.queries.push_back(std::move(q));
+  }
+
+  Lexer lex_;
+  ParseResult result_;
+  std::map<std::string, ClockId> clocks_;
+  std::map<std::string, std::pair<VarId, int32_t>> vars_;  // base, size
+  std::map<std::string, ChanId> chans_;
+  std::map<std::string, ProcId> procs_;
+  std::map<std::string, std::map<std::string, LocId>> procLocs_;
+  std::optional<ClockConstraint> pendingSecond_;
+};
+
+}  // namespace
+
+std::optional<ParseResult> parseModel(const std::string& text,
+                                      std::string* error) {
+  return Parser(text).run(error);
+}
+
+}  // namespace ta

@@ -1,0 +1,62 @@
+// A small textual model format and parser, so networks of timed
+// automata can be written and checked without C++ (UPPAAL models are
+// XML + a C-like expression language; this is the equivalent idea in a
+// compact form):
+//
+//   // one-line comments
+//   clock x, y;
+//   int v = 0;
+//   int pos[4] = 0;
+//   chan go;
+//   broadcast chan all;
+//
+//   process Worker {
+//     init warmup;
+//     loc warmup { inv x <= 5; }
+//     loc done;
+//     urgent loc hold;
+//     committed loc now;
+//     edge warmup -> done {
+//       guard x >= 3 && v < 2;
+//       sync go!;
+//       reset x;
+//       assign v = v + 1, pos[v] = 0;
+//       label "go";
+//     }
+//   }
+//
+//   query reach Worker.done && v == 1;
+//
+// Guards mix clock atoms (x >= 3, x - y < 2 — recognized because the
+// names resolve to clocks) and integer expressions, conjoined at the
+// top level exactly as in UPPAAL.  `query reach` lines compile into
+// engine::Goal-compatible results.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ta/system.hpp"
+
+namespace ta {
+
+/// A parsed `query reach ...` line: location requirements plus an
+/// integer predicate (kNoExpr if none).
+struct ParsedQuery {
+  std::vector<std::pair<ProcId, LocId>> locations;
+  ExprRef predicate = kNoExpr;
+  std::vector<ClockConstraint> clockConstraints;
+};
+
+struct ParseResult {
+  std::unique_ptr<System> system;
+  std::vector<ParsedQuery> queries;
+};
+
+/// Parse a model text. On error returns nullopt and fills *error with
+/// "line N: message".  The returned system is finalized.
+[[nodiscard]] std::optional<ParseResult> parseModel(const std::string& text,
+                                                    std::string* error);
+
+}  // namespace ta

@@ -1,0 +1,223 @@
+#include "ta/system.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace ta {
+
+EdgeBuilder& EdgeBuilder::send(ChanId c) {
+  assert(c >= 0 && static_cast<size_t>(c) < sys_->numChannels());
+  edge_->chan = c;
+  edge_->sync = Sync::kSend;
+  if (edge_->label.empty()) edge_->label = sys_->channelName(c) + "!";
+  return *this;
+}
+
+EdgeBuilder& EdgeBuilder::receive(ChanId c) {
+  assert(c >= 0 && static_cast<size_t>(c) < sys_->numChannels());
+  edge_->chan = c;
+  edge_->sync = Sync::kReceive;
+  if (edge_->label.empty()) edge_->label = sys_->channelName(c) + "?";
+  return *this;
+}
+
+EdgeBuilder& EdgeBuilder::guard(Ex e) { return guard(e.ref()); }
+
+EdgeBuilder& EdgeBuilder::guard(ExprRef e) {
+  edge_->guard = edge_->guard == kNoExpr
+                     ? e
+                     : sys_->pool().binary(Op::kAnd, edge_->guard, e);
+  return *this;
+}
+
+EdgeBuilder& EdgeBuilder::assign(VarId v, int32_t rhs) {
+  edge_->assigns.push_back({v, kNoExpr, 1, sys_->pool().constant(rhs)});
+  return *this;
+}
+
+EdgeBuilder& EdgeBuilder::assignCellConst(VarId base, int32_t index,
+                                          int32_t size, int32_t rhs) {
+  assert(index >= 0 && index < size);
+  (void)size;
+  edge_->assigns.push_back(
+      {base + index, kNoExpr, 1, sys_->pool().constant(rhs)});
+  return *this;
+}
+
+namespace {
+
+void bumpMax(std::vector<dbm::value_t>& maxBounds, const ClockConstraint& cc) {
+  const dbm::value_t c = std::abs(dbm::boundValue(cc.bound));
+  if (cc.i != 0) maxBounds[static_cast<size_t>(cc.i)] =
+      std::max(maxBounds[static_cast<size_t>(cc.i)], c);
+  if (cc.j != 0) maxBounds[static_cast<size_t>(cc.j)] =
+      std::max(maxBounds[static_cast<size_t>(cc.j)], c);
+}
+
+}  // namespace
+
+void System::finalize() {
+  assert(!finalized_);
+
+  maxBounds_.assign(dbmDimension(), -1);
+  maxBounds_[0] = 0;
+  receiversByChan_.assign(chanNames_.size(), {});
+
+  for (auto& ap : automata_) {
+    Automaton& a = *ap;
+    a.outgoing_.assign(a.locs_.size(), {});
+    for (size_t e = 0; e < a.edges_.size(); ++e) {
+      const Edge& edge = a.edges_[e];
+      assert(edge.src >= 0 &&
+             static_cast<size_t>(edge.src) < a.locs_.size());
+      assert(edge.dst >= 0 &&
+             static_cast<size_t>(edge.dst) < a.locs_.size());
+      a.outgoing_[static_cast<size_t>(edge.src)].push_back(
+          static_cast<int32_t>(e));
+      if (edge.sync == Sync::kReceive) {
+        const auto proc = static_cast<ProcId>(&ap - automata_.data());
+        receiversByChan_[static_cast<size_t>(edge.chan)].push_back(
+            {proc, static_cast<int32_t>(e)});
+      }
+      for (const ClockConstraint& cc : edge.clockGuard) {
+        if (maxBounds_[static_cast<size_t>(cc.i)] == -1 && cc.i != 0)
+          maxBounds_[static_cast<size_t>(cc.i)] = 0;
+        if (maxBounds_[static_cast<size_t>(cc.j)] == -1 && cc.j != 0)
+          maxBounds_[static_cast<size_t>(cc.j)] = 0;
+        bumpMax(maxBounds_, cc);
+      }
+      // A reset to value v means the clock can hold value v outright;
+      // make sure extrapolation does not erase that information.
+      for (const ClockReset& r : edge.resets) {
+        auto& m = maxBounds_[static_cast<size_t>(r.clock)];
+        m = std::max(m, r.value);
+      }
+    }
+    for (const Location& l : a.locs_) {
+      for (const ClockConstraint& cc : l.invariant) bumpMax(maxBounds_, cc);
+    }
+
+    // Per-location active clocks: backwards fixpoint.  A clock is active
+    // at l if it appears in l's invariant or in the guard of an edge
+    // from l, or is active at a successor location without being reset
+    // on the connecting edge.
+    std::vector<std::set<ClockId>> act(a.locs_.size());
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t li = 0; li < a.locs_.size(); ++li) {
+        std::set<ClockId>& s = act[li];
+        const size_t before = s.size();
+        for (const ClockConstraint& cc : a.locs_[li].invariant) {
+          if (cc.i != 0) s.insert(cc.i);
+          if (cc.j != 0) s.insert(cc.j);
+        }
+        for (int32_t ei : a.outgoing_[li]) {
+          const Edge& e = a.edges_[static_cast<size_t>(ei)];
+          for (const ClockConstraint& cc : e.clockGuard) {
+            if (cc.i != 0) s.insert(cc.i);
+            if (cc.j != 0) s.insert(cc.j);
+          }
+          for (ClockId c : act[static_cast<size_t>(e.dst)]) {
+            const bool isReset =
+                std::any_of(e.resets.begin(), e.resets.end(),
+                            [&](const ClockReset& r) { return r.clock == c; });
+            if (!isReset) s.insert(c);
+          }
+        }
+        if (s.size() != before) changed = true;
+      }
+    }
+    a.active_.resize(a.locs_.size());
+    for (size_t li = 0; li < a.locs_.size(); ++li) {
+      a.active_[li].assign(act[li].begin(), act[li].end());
+    }
+  }
+
+  finalized_ = true;
+}
+
+std::string System::ccToString(const ClockConstraint& cc) const {
+  const auto name = [&](ClockId c) -> std::string {
+    return c == 0 ? "0" : clockName(c);
+  };
+  std::ostringstream os;
+  if (cc.j == 0) {
+    os << name(cc.i) << (dbm::isStrict(cc.bound) ? "<" : "<=")
+       << dbm::boundValue(cc.bound);
+  } else if (cc.i == 0) {
+    os << name(cc.j) << (dbm::isStrict(cc.bound) ? ">" : ">=")
+       << -dbm::boundValue(cc.bound);
+  } else {
+    os << name(cc.i) << "-" << name(cc.j)
+       << (dbm::isStrict(cc.bound) ? "<" : "<=") << dbm::boundValue(cc.bound);
+  }
+  return os.str();
+}
+
+std::string System::dump() const {
+  std::ostringstream os;
+  os << "system: " << automata_.size() << " automata, " << numClocks()
+     << " clocks, " << numVars() << " int variables, " << numChannels()
+     << " channels\n";
+  for (const auto& ap : automata_) {
+    const Automaton& a = *ap;
+    os << "\nprocess " << a.name() << " (init "
+       << a.location(a.initial()).name << ")\n";
+    for (size_t li = 0; li < a.numLocations(); ++li) {
+      const Location& l = a.location(static_cast<LocId>(li));
+      os << "  loc " << l.name;
+      if (l.urgent) os << " [urgent]";
+      if (l.committed) os << " [committed]";
+      if (!l.invariant.empty()) {
+        os << " inv{";
+        for (size_t k = 0; k < l.invariant.size(); ++k) {
+          os << (k ? ", " : "") << ccToString(l.invariant[k]);
+        }
+        os << "}";
+      }
+      os << "\n";
+    }
+    for (const Edge& e : a.edges()) {
+      os << "  " << a.location(e.src).name << " -> " << a.location(e.dst).name;
+      if (!e.clockGuard.empty() || e.guard != kNoExpr) {
+        os << "  guard{";
+        bool first = true;
+        for (const ClockConstraint& cc : e.clockGuard) {
+          os << (first ? "" : ", ") << ccToString(cc);
+          first = false;
+        }
+        if (e.guard != kNoExpr) {
+          os << (first ? "" : ", ") << pool_.toString(e.guard, varNames_);
+        }
+        os << "}";
+      }
+      if (e.sync != Sync::kNone) {
+        os << "  " << channelName(e.chan)
+           << (e.sync == Sync::kSend ? "!" : "?");
+      }
+      if (!e.resets.empty() || !e.assigns.empty()) {
+        os << "  do{";
+        bool first = true;
+        for (const ClockReset& r : e.resets) {
+          os << (first ? "" : ", ") << clockName(r.clock) << ":=" << r.value;
+          first = false;
+        }
+        for (const Assign& as : e.assigns) {
+          os << (first ? "" : ", ");
+          os << varName(as.base);
+          if (as.index != kNoExpr)
+            os << "[" << pool_.toString(as.index, varNames_) << "]";
+          os << ":=" << pool_.toString(as.rhs, varNames_);
+          first = false;
+        }
+        os << "}";
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ta

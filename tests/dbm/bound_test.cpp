@@ -1,0 +1,70 @@
+#include "dbm/bound.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dbm {
+namespace {
+
+TEST(Bound, EncodingRoundTrip) {
+  EXPECT_EQ(boundValue(boundWeak(5)), 5);
+  EXPECT_FALSE(isStrict(boundWeak(5)));
+  EXPECT_EQ(boundValue(boundStrict(5)), 5);
+  EXPECT_TRUE(isStrict(boundStrict(5)));
+  EXPECT_EQ(boundValue(boundWeak(-7)), -7);
+  EXPECT_EQ(boundValue(boundStrict(-7)), -7);
+}
+
+TEST(Bound, OrderMatchesSemantics) {
+  // (n, <) < (n, <=) < (n+1, <)
+  EXPECT_LT(boundStrict(3), boundWeak(3));
+  EXPECT_LT(boundWeak(3), boundStrict(4));
+  EXPECT_LT(boundWeak(-1), boundStrict(0));
+  EXPECT_LT(boundStrict(0), boundWeak(0));
+}
+
+TEST(Bound, InfinityIsLargest) {
+  EXPECT_GT(kInfinity, boundWeak(kMaxValue));
+  EXPECT_GT(kInfinity, boundStrict(kMaxValue));
+}
+
+TEST(Bound, AdditionWeakWeak) {
+  EXPECT_EQ(boundAdd(boundWeak(2), boundWeak(3)), boundWeak(5));
+}
+
+TEST(Bound, AdditionStrictDominates) {
+  EXPECT_EQ(boundAdd(boundStrict(2), boundWeak(3)), boundStrict(5));
+  EXPECT_EQ(boundAdd(boundWeak(2), boundStrict(3)), boundStrict(5));
+  EXPECT_EQ(boundAdd(boundStrict(2), boundStrict(3)), boundStrict(5));
+}
+
+TEST(Bound, AdditionWithNegatives) {
+  EXPECT_EQ(boundAdd(boundWeak(-4), boundWeak(3)), boundWeak(-1));
+  EXPECT_EQ(boundAdd(boundStrict(-4), boundWeak(4)), boundStrict(0));
+}
+
+TEST(Bound, InfinityAbsorbs) {
+  EXPECT_EQ(boundAdd(kInfinity, boundWeak(3)), kInfinity);
+  EXPECT_EQ(boundAdd(boundStrict(-100), kInfinity), kInfinity);
+  EXPECT_EQ(boundAdd(kInfinity, kInfinity), kInfinity);
+}
+
+TEST(Bound, Negation) {
+  // not(x <= 3)  ==  x > 3  ==  (-3, <) on the flipped difference
+  EXPECT_EQ(boundNegate(boundWeak(3)), boundStrict(-3));
+  EXPECT_EQ(boundNegate(boundStrict(3)), boundWeak(-3));
+  EXPECT_EQ(boundNegate(boundNegate(boundWeak(9))), boundWeak(9));
+}
+
+TEST(Bound, ToString) {
+  EXPECT_EQ(boundToString(boundWeak(3)), "<=3");
+  EXPECT_EQ(boundToString(boundStrict(-2)), "<-2");
+  EXPECT_EQ(boundToString(kInfinity), "<inf");
+}
+
+TEST(Bound, ZeroBoundIsWeakZero) {
+  EXPECT_EQ(boundValue(kZeroBound), 0);
+  EXPECT_FALSE(isStrict(kZeroBound));
+}
+
+}  // namespace
+}  // namespace dbm

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "dbm/dbm.hpp"
+
+namespace dbm {
+namespace {
+
+TEST(DbmAccessors, InfimumAndUpperBound) {
+  Dbm z = Dbm::zero(3);
+  z.up();
+  ASSERT_TRUE(z.constrainLower(1, 4, false));
+  ASSERT_TRUE(z.constrainUpper(1, 9, false));
+  EXPECT_EQ(z.infimum(1), 4);
+  EXPECT_EQ(boundValue(z.upperBound(1)), 9);
+  // Delay from the zero zone keeps x1 == x2, so x2 inherits both bounds.
+  EXPECT_EQ(boundValue(z.upperBound(2)), 9);
+  EXPECT_EQ(z.infimum(2), 4);
+}
+
+TEST(DbmAccessors, MemoryBytesScalesQuadratically) {
+  const Dbm small = Dbm::zero(4);
+  const Dbm big = Dbm::zero(40);
+  EXPECT_GE(big.memoryBytes(), 50 * small.memoryBytes());
+}
+
+TEST(DbmAccessors, ToStringHasMatrixShape) {
+  const Dbm z = Dbm::zero(2);
+  const std::string s = z.toString();
+  // 2x2 entries, tab-separated rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+  EXPECT_NE(s.find("<=0"), std::string::npos);
+}
+
+TEST(DbmAccessors, SetEmptyIsSticky) {
+  Dbm z = Dbm::zero(3);
+  z.setEmpty();
+  EXPECT_TRUE(z.isEmpty());
+  EXPECT_FALSE(z.constrain(1, 0, boundWeak(100)));
+}
+
+TEST(DbmAccessors, DownContainsTheOriginalZone) {
+  Dbm z = Dbm::zero(3);
+  z.up();
+  ASSERT_TRUE(z.constrainLower(1, 3, false));
+  ASSERT_TRUE(z.constrainUpper(1, 5, false));
+  Dbm d = z;
+  d.down();
+  EXPECT_TRUE(d.includes(z));
+  EXPECT_TRUE(d.containsPoint(std::vector<int64_t>{0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace dbm

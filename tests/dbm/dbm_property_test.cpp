@@ -1,0 +1,204 @@
+// Property-based DBM tests: random sequences of zone operations are
+// cross-checked against brute-force point sampling over a small grid.
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dbm/dbm.hpp"
+
+namespace dbm {
+namespace {
+
+constexpr int64_t kGrid = 8;  // sample clock values 0..kGrid
+
+/// Enumerate all grid points of a dim-3 valuation space.
+std::vector<std::vector<int64_t>> gridPoints() {
+  std::vector<std::vector<int64_t>> pts;
+  for (int64_t a = 0; a <= kGrid; ++a) {
+    for (int64_t b = 0; b <= kGrid; ++b) {
+      pts.push_back({0, a, b});
+    }
+  }
+  return pts;
+}
+
+class RandomZone {
+ public:
+  explicit RandomZone(uint64_t seed) : rng_(seed) {}
+
+  /// A random non-empty canonical zone of dimension 3 built from a few
+  /// random constraints over the unconstrained zone.
+  Dbm next() {
+    for (;;) {
+      Dbm z = Dbm::unconstrained(3);
+      std::uniform_int_distribution<int> nCons(0, 4);
+      std::uniform_int_distribution<int> clock(0, 2);
+      std::uniform_int_distribution<int> val(-kGrid, kGrid);
+      std::uniform_int_distribution<int> strict(0, 1);
+      const int n = nCons(rng_);
+      bool ok = true;
+      for (int k = 0; k < n && ok; ++k) {
+        const uint32_t i = static_cast<uint32_t>(clock(rng_));
+        uint32_t j = static_cast<uint32_t>(clock(rng_));
+        if (i == j) j = (j + 1) % 3;
+        ok = z.constrain(i, j, bound(val(rng_), strict(rng_) != 0));
+      }
+      if (ok && !z.isEmpty()) return z;
+    }
+  }
+
+  std::mt19937_64& rng() { return rng_; }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+class DbmProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DbmProperty, InclusionAgreesWithPointwiseContainment) {
+  RandomZone gen(GetParam());
+  const auto pts = gridPoints();
+  for (int iter = 0; iter < 50; ++iter) {
+    const Dbm a = gen.next();
+    const Dbm b = gen.next();
+    if (a.includes(b)) {
+      for (const auto& p : pts) {
+        if (b.containsPoint(p)) {
+          EXPECT_TRUE(a.containsPoint(p))
+              << "a claims to include b but misses a point of b";
+        }
+      }
+    } else {
+      // Not-included zones need no witness on the integer grid (the
+      // separating point may be fractional), so only the positive
+      // direction is checked.
+    }
+  }
+}
+
+TEST_P(DbmProperty, IntersectionIsPointwiseAnd) {
+  RandomZone gen(GetParam());
+  const auto pts = gridPoints();
+  for (int iter = 0; iter < 50; ++iter) {
+    const Dbm a = gen.next();
+    const Dbm b = gen.next();
+    Dbm c = a;
+    const bool nonEmpty = c.intersect(b);
+    for (const auto& p : pts) {
+      const bool expect = a.containsPoint(p) && b.containsPoint(p);
+      EXPECT_EQ(c.containsPoint(p), expect);
+      if (expect) {
+        EXPECT_TRUE(nonEmpty);
+      }
+    }
+  }
+}
+
+TEST_P(DbmProperty, UpIsPointwiseDelayClosure) {
+  RandomZone gen(GetParam());
+  const auto pts = gridPoints();
+  for (int iter = 0; iter < 30; ++iter) {
+    const Dbm a = gen.next();
+    Dbm u = a;
+    u.up();
+    // Every point of a delayed by d stays in up(a).
+    for (const auto& p : pts) {
+      if (!a.containsPoint(p)) continue;
+      for (int64_t d = 0; d <= 3; ++d) {
+        const std::vector<int64_t> q{0, p[1] + d, p[2] + d};
+        EXPECT_TRUE(u.containsPoint(q));
+      }
+    }
+    // Conversely every grid point of up(a) is some point of a delayed.
+    for (const auto& p : pts) {
+      if (!u.containsPoint(p)) continue;
+      bool witness = false;
+      const int64_t dmax = std::min(p[1], p[2]);
+      for (int64_t d = 0; d <= dmax && !witness; ++d) {
+        witness = a.containsPoint(std::vector<int64_t>{0, p[1] - d, p[2] - d});
+      }
+      // The witness may be fractional; only insist when a is "integral
+      // enough": all its bounds weak.
+      bool allWeak = true;
+      for (uint32_t i = 0; i < 3; ++i) {
+        for (uint32_t j = 0; j < 3; ++j) {
+          if (a.at(i, j) != kInfinity && isStrict(a.at(i, j)) && i != j) {
+            allWeak = false;
+          }
+        }
+      }
+      if (allWeak) {
+        EXPECT_TRUE(witness) << "grid point in up(a) with no delay witness";
+      }
+    }
+  }
+}
+
+TEST_P(DbmProperty, ResetIsPointwiseProjection) {
+  RandomZone gen(GetParam());
+  const auto pts = gridPoints();
+  std::uniform_int_distribution<int> vdist(0, 3);
+  for (int iter = 0; iter < 30; ++iter) {
+    const Dbm a = gen.next();
+    const int64_t v = vdist(gen.rng());
+    Dbm r = a;
+    r.reset(1, static_cast<value_t>(v));
+    for (const auto& p : pts) {
+      // Point is in reset(a) iff p[1] == v and some x1 value completes
+      // it into a point of a.
+      bool expect = false;
+      if (p[1] == v) {
+        for (int64_t x = 0; x <= kGrid * 2 && !expect; ++x) {
+          expect = a.containsPoint(std::vector<int64_t>{0, x, p[2]});
+        }
+      }
+      // Same fractional-witness caveat as above.
+      if (expect) {
+        EXPECT_TRUE(r.containsPoint(p));
+      }
+      if (p[1] != v) {
+        EXPECT_FALSE(r.containsPoint(p));
+      }
+    }
+  }
+}
+
+TEST_P(DbmProperty, CloseIsIdempotentAndPreservesPoints) {
+  RandomZone gen(GetParam());
+  const auto pts = gridPoints();
+  for (int iter = 0; iter < 30; ++iter) {
+    Dbm a = gen.next();
+    Dbm closed = a;
+    ASSERT_TRUE(closed.close());
+    EXPECT_EQ(closed.relation(a), Relation::kEqual)
+        << "zones from constrain() should already be canonical";
+    for (const auto& p : pts) {
+      EXPECT_EQ(a.containsPoint(p), closed.containsPoint(p));
+    }
+  }
+}
+
+TEST_P(DbmProperty, ExtrapolationOnlyGrowsZone) {
+  RandomZone gen(GetParam());
+  const std::vector<value_t> max{0, 3, 3};
+  const auto pts = gridPoints();
+  for (int iter = 0; iter < 50; ++iter) {
+    const Dbm a = gen.next();
+    Dbm e = a;
+    e.extrapolateMaxBounds(max);
+    EXPECT_TRUE(e.includes(a));
+    // Below the max bounds the zone is unchanged.
+    for (const auto& p : pts) {
+      if (p[1] <= 3 && p[2] <= 3 && a.containsPoint(p)) {
+        EXPECT_TRUE(e.containsPoint(p));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbmProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace dbm

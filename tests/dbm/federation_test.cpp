@@ -1,0 +1,81 @@
+#include "dbm/federation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dbm {
+namespace {
+
+Dbm interval(value_t lo, value_t hi) {
+  Dbm z = Dbm::zero(2);
+  z.up();
+  EXPECT_TRUE(z.constrainLower(1, lo, false));
+  EXPECT_TRUE(z.constrainUpper(1, hi, false));
+  return z;
+}
+
+TEST(Federation, StartsEmpty) {
+  const Federation f = Federation::empty(2);
+  EXPECT_TRUE(f.isEmpty());
+  EXPECT_EQ(f.size(), 0u);
+}
+
+TEST(Federation, AddAndContain) {
+  Federation f(2);
+  f.add(interval(0, 2));
+  f.add(interval(5, 7));
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_TRUE(f.containsPoint(std::vector<int64_t>{0, 1}));
+  EXPECT_TRUE(f.containsPoint(std::vector<int64_t>{0, 6}));
+  EXPECT_FALSE(f.containsPoint(std::vector<int64_t>{0, 3}));
+}
+
+TEST(Federation, AddCoveredZoneIsNoOp) {
+  Federation f(2);
+  f.add(interval(0, 10));
+  f.add(interval(2, 5));  // covered
+  EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(Federation, AddCoveringZoneReplacesMembers) {
+  Federation f(2);
+  f.add(interval(1, 2));
+  f.add(interval(4, 5));
+  f.add(interval(0, 10));  // covers both
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_TRUE(f.containsPoint(std::vector<int64_t>{0, 7}));
+}
+
+TEST(Federation, EmptyZoneIgnored) {
+  Federation f(2);
+  Dbm e = Dbm::zero(2);
+  e.setEmpty();
+  f.add(e);
+  EXPECT_TRUE(f.isEmpty());
+}
+
+TEST(Federation, IncludesZoneSingleMember) {
+  Federation f(2);
+  f.add(interval(0, 10));
+  EXPECT_TRUE(f.includesZone(interval(2, 5)));
+  EXPECT_FALSE(f.includesZone(interval(8, 12)));
+}
+
+TEST(Federation, IntersectDropsEmptiedMembers) {
+  Federation f(2);
+  f.add(interval(0, 2));
+  f.add(interval(5, 7));
+  f.intersect(interval(6, 10));
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_TRUE(f.containsPoint(std::vector<int64_t>{0, 6}));
+  EXPECT_FALSE(f.containsPoint(std::vector<int64_t>{0, 1}));
+}
+
+TEST(Federation, UpDelaysAllMembers) {
+  Federation f(2);
+  f.add(interval(0, 1));
+  f.up();
+  EXPECT_TRUE(f.containsPoint(std::vector<int64_t>{0, 50}));
+}
+
+}  // namespace
+}  // namespace dbm

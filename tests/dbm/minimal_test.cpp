@@ -1,0 +1,96 @@
+// Tests of the reduced "minimal constraint form" (compact passed-list
+// representation).
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "dbm/minimal.hpp"
+
+namespace dbm {
+namespace {
+
+Dbm randomZone(uint32_t dim, std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> clock(0, static_cast<int>(dim) - 1);
+  std::uniform_int_distribution<int> val(-8, 8);
+  std::uniform_int_distribution<int> strict(0, 1);
+  for (;;) {
+    Dbm z = Dbm::unconstrained(dim);
+    bool ok = true;
+    for (uint32_t k = 0; k < dim + 2 && ok; ++k) {
+      const auto i = static_cast<uint32_t>(clock(rng));
+      auto j = static_cast<uint32_t>(clock(rng));
+      if (i == j) j = (j + 1) % dim;
+      ok = z.constrain(i, j, bound(val(rng), strict(rng) != 0));
+    }
+    if (ok && !z.isEmpty()) return z;
+  }
+}
+
+TEST(MinimalDbm, ReconstructionIsExactOnRandomZones) {
+  std::mt19937_64 rng(11);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Dbm z = randomZone(4, rng);
+    const MinimalDbm m = MinimalDbm::from(z);
+    const Dbm back = m.reconstruct();
+    EXPECT_EQ(back.relation(z), Relation::kEqual)
+        << "reduction lost information:\n"
+        << z.toString() << "vs\n"
+        << back.toString();
+  }
+}
+
+TEST(MinimalDbm, ReductionIsSmallerThanFullMatrix) {
+  std::mt19937_64 rng(12);
+  size_t total = 0, full = 0;
+  for (int iter = 0; iter < 50; ++iter) {
+    const Dbm z = randomZone(6, rng);
+    total += MinimalDbm::from(z).size();
+    full += 6 * 5;  // off-diagonal entries
+  }
+  EXPECT_LT(total, full / 2) << "reduction should drop most entries";
+}
+
+TEST(MinimalDbm, ZeroZoneReducesToPointConstraints) {
+  const Dbm z = Dbm::zero(4);
+  const MinimalDbm m = MinimalDbm::from(z);
+  EXPECT_EQ(m.reconstruct().relation(z), Relation::kEqual);
+  // A point zone of n clocks needs at most 2n constraints (a cycle
+  // through the zero-equivalence class would be n+... allow 2n).
+  EXPECT_LE(m.size(), 8u);
+}
+
+TEST(MinimalDbm, InclusionAgreesWithFullCheck) {
+  std::mt19937_64 rng(13);
+  for (int iter = 0; iter < 300; ++iter) {
+    const Dbm a = randomZone(4, rng);
+    const Dbm b = randomZone(4, rng);
+    const MinimalDbm ma = MinimalDbm::from(a);
+    EXPECT_EQ(ma.includes(b), a.includes(b));
+  }
+}
+
+TEST(MinimalDbm, IncludesItselfAndSubsets) {
+  std::mt19937_64 rng(14);
+  for (int iter = 0; iter < 100; ++iter) {
+    const Dbm a = randomZone(4, rng);
+    const MinimalDbm ma = MinimalDbm::from(a);
+    EXPECT_TRUE(ma.includes(a));
+    Dbm sub = a;
+    if (sub.constrain(1, 0, boundWeak(3)) && !sub.isEmpty()) {
+      EXPECT_TRUE(ma.includes(sub));
+    }
+  }
+}
+
+TEST(MinimalDbm, MemorySmallerThanFullDbmForSparseZones) {
+  // A delayed zone of a large system is mostly unconstrained: the
+  // reduced form must be far smaller than the n^2 matrix.
+  Dbm z = Dbm::zero(64);
+  z.up();
+  const MinimalDbm m = MinimalDbm::from(z);
+  EXPECT_LT(m.memoryBytes(), z.memoryBytes() / 4);
+  EXPECT_EQ(m.reconstruct().relation(z), Relation::kEqual);
+}
+
+}  // namespace
+}  // namespace dbm

@@ -1,0 +1,75 @@
+// The compact (reduced-form) passed list must answer exactly like the
+// full-zone store.
+#include <gtest/gtest.h>
+
+#include "engine/reachability.hpp"
+#include "plant/plant.hpp"
+
+namespace engine {
+namespace {
+
+TEST(CompactStore, SameAnswersAsFullStoreOnPlant) {
+  for (const int batches : {1, 2, 3}) {
+    plant::PlantConfig cfg;
+    cfg.order = plant::standardOrder(batches);
+    const auto p = plant::buildPlant(cfg);
+
+    Options full;
+    full.order = SearchOrder::kDfs;
+    full.dfsReverse = true;
+    full.maxSeconds = 60.0;
+    Options compact = full;
+    compact.compactPassed = true;
+
+    Reachability a(p->sys, full);
+    const Result ra = a.run(p->goal);
+    const auto p2 = plant::buildPlant(cfg);
+    Reachability b(p2->sys, compact);
+    const Result rb = b.run(p2->goal);
+
+    EXPECT_EQ(ra.reachable, rb.reachable) << batches << " batches";
+    EXPECT_TRUE(ra.reachable);
+    // Identical search (same order, same coverage decisions modulo the
+    // store's subsumption-removal, which only affects memory).
+    EXPECT_EQ(ra.stats.statesExplored, rb.stats.statesExplored);
+  }
+}
+
+TEST(CompactStore, NegativeAnswerStillExhaustive) {
+  plant::PlantConfig cfg;
+  cfg.order = {plant::qualityA()};
+  const auto p = plant::buildPlant(cfg);
+  Options o;
+  o.compactPassed = true;
+  // Unsatisfiable goal: the monitor done with ndone == 2 in a 1-batch
+  // plant.
+  Goal impossible = p->goal;
+  impossible.predicate = (p->sys.rd(0) == -123).ref();  // posi[0] == -123
+  Reachability checker(p->sys, o);
+  const Result res = checker.run(impossible);
+  EXPECT_FALSE(res.reachable);
+  EXPECT_TRUE(res.exhausted);
+}
+
+TEST(CompactStore, UsesLessMemoryOnLargerRuns) {
+  plant::PlantConfig cfg;
+  cfg.order = plant::standardOrder(8);
+  const auto p1 = plant::buildPlant(cfg);
+  const auto p2 = plant::buildPlant(cfg);
+  Options full;
+  full.order = SearchOrder::kDfs;
+  full.dfsReverse = true;
+  full.maxSeconds = 60.0;
+  Options compact = full;
+  compact.compactPassed = true;
+  Reachability a(p1->sys, full);
+  Reachability b(p2->sys, compact);
+  const Result ra = a.run(p1->goal);
+  const Result rb = b.run(p2->goal);
+  ASSERT_TRUE(ra.reachable);
+  ASSERT_TRUE(rb.reachable);
+  EXPECT_LT(rb.stats.peakBytes, ra.stats.peakBytes);
+}
+
+}  // namespace
+}  // namespace engine

@@ -1,0 +1,141 @@
+// Differential testing of the reachability engine: random small
+// timed-automata networks, explored exhaustively under every engine
+// configuration — all configurations must agree on reachability, and
+// every positive answer must concretize into a validated timed trace.
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "engine/reachability.hpp"
+#include "engine/trace.hpp"
+#include "ta/system.hpp"
+
+namespace engine {
+namespace {
+
+struct RandomModel {
+  std::unique_ptr<ta::System> sys;
+  std::vector<ta::ProcId> procs;
+  Goal goal;
+
+  /// A random network: 2 automata, 3-4 locations each, one clock and
+  /// one shared variable per automaton, a shared channel, random
+  /// guards/invariants/resets with small constants.
+  explicit RandomModel(uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<int> small(0, 4);
+    std::uniform_int_distribution<int> coin(0, 1);
+
+    sys = std::make_unique<ta::System>();
+    const ta::VarId v = sys->addVar("v", 0);
+    const ta::ChanId chan = sys->addChannel("c");
+    std::vector<ta::ClockId> clocks;
+    std::vector<std::vector<ta::LocId>> locs;
+
+    for (int a = 0; a < 2; ++a) {
+      clocks.push_back(sys->addClock("x" + std::to_string(a)));
+      const ta::ProcId p = sys->addAutomaton("P" + std::to_string(a));
+      procs.push_back(p);
+      auto& aut = sys->automaton(p);
+      std::vector<ta::LocId> ls;
+      const int nLocs = 3 + coin(rng);
+      for (int l = 0; l < nLocs; ++l) {
+        ls.push_back(aut.addLocation("l" + std::to_string(l)));
+        if (coin(rng) != 0) {
+          aut.addInvariant(ls.back(), ta::ccLe(clocks[static_cast<size_t>(a)],
+                                               small(rng) + 1));
+        }
+      }
+      locs.push_back(ls);
+      // 4-5 random edges.
+      const int nEdges = 4 + coin(rng);
+      std::uniform_int_distribution<int> pick(0,
+                                              static_cast<int>(ls.size()) - 1);
+      for (int e = 0; e < nEdges; ++e) {
+        auto eb = sys->edge(p, ls[static_cast<size_t>(pick(rng))],
+                            ls[static_cast<size_t>(pick(rng))]);
+        if (coin(rng) != 0) {
+          eb.when(coin(rng) != 0
+                      ? ta::ccGe(clocks[static_cast<size_t>(a)], small(rng))
+                      : ta::ccLe(clocks[static_cast<size_t>(a)],
+                                 small(rng) + 1));
+        }
+        if (coin(rng) != 0) eb.reset(clocks[static_cast<size_t>(a)]);
+        if (coin(rng) != 0) {
+          eb.guard(sys->rd(v) < 3).assign(v, sys->rd(v) + 1);
+        }
+        if (e < 2 && coin(rng) != 0) {
+          if (a == 0) {
+            eb.send(chan);
+          } else {
+            eb.receive(chan);
+          }
+        }
+      }
+    }
+    sys->finalize();
+    // Goal: both automata in their last locations.
+    goal.locations = {{procs[0], locs[0].back()}, {procs[1], locs[1].back()}};
+  }
+};
+
+Options config(int kind) {
+  Options o;
+  o.maxSeconds = 20.0;
+  switch (kind) {
+    case 0: o.order = SearchOrder::kBfs; break;
+    case 1: o.order = SearchOrder::kDfs; break;
+    case 2:
+      o.order = SearchOrder::kDfs;
+      o.dfsReverse = true;
+      break;
+    case 3:
+      o.order = SearchOrder::kRandomDfs;
+      o.seed = 99;
+      break;
+    case 4: o.inclusionChecking = false; break;
+    case 5: o.compactPassed = true; break;
+    case 6: o.activeClockReduction = false; break;
+    default:
+      o.order = SearchOrder::kDfs;
+      o.activeClockReduction = false;
+      o.inclusionChecking = false;
+      break;
+  }
+  return o;
+}
+
+class Differential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Differential, AllConfigurationsAgree) {
+  const uint64_t seed = GetParam();
+  int baseline = -1;
+  for (int kind = 0; kind < 8; ++kind) {
+    RandomModel m(seed);
+    Reachability checker(*m.sys, config(kind));
+    const Result res = checker.run(m.goal);
+    ASSERT_TRUE(res.reachable || res.exhausted)
+        << "seed " << seed << " config " << kind << " hit a cutoff";
+    const int answer = res.reachable ? 1 : 0;
+    if (baseline < 0) {
+      baseline = answer;
+    } else {
+      EXPECT_EQ(answer, baseline)
+          << "seed " << seed << " config " << kind << " disagrees";
+    }
+    if (res.reachable) {
+      std::string err;
+      const auto ct = concretize(*m.sys, res.trace, &err);
+      ASSERT_TRUE(ct.has_value())
+          << "seed " << seed << " config " << kind << ": " << err;
+      EXPECT_TRUE(validate(*m.sys, *ct, &err))
+          << "seed " << seed << " config " << kind << ": " << err;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential,
+                         ::testing::Range<uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace engine

@@ -1,0 +1,160 @@
+#include "engine/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "plant/plant.hpp"
+#include "ta/system.hpp"
+
+namespace engine {
+namespace {
+
+using ta::ccGe;
+using ta::ccLe;
+
+/// worker(warmup -> done, 3 <= x <= 5, signal!) || listener.
+struct Handshake {
+  ta::System sys;
+  ta::ProcId worker, listener;
+
+  Handshake() {
+    const ta::ClockId x = sys.addClock("x");
+    const ta::VarId n = sys.addVar("n", 0);
+    const ta::ChanId sig = sys.addChannel("sig");
+    worker = sys.addAutomaton("W");
+    auto& w = sys.automaton(worker);
+    const ta::LocId warm = w.addLocation("warm");
+    const ta::LocId done = w.addLocation("done");
+    w.setInvariant(warm, {ccLe(x, 5)});
+    sys.edge(worker, warm, done).when(ccGe(x, 3)).send(sig).label("go");
+    listener = sys.addAutomaton("L");
+    auto& l = sys.automaton(listener);
+    const ta::LocId idle = l.addLocation("idle");
+    const ta::LocId got = l.addLocation("got");
+    sys.edge(listener, idle, got).receive(sig).assign(n, sys.rd(n) + 1);
+    sys.finalize();
+  }
+};
+
+TEST(Simulator, InitialStateAndInspection) {
+  Handshake m;
+  Simulator sim(m.sys);
+  EXPECT_EQ(sim.time(), 0);
+  EXPECT_EQ(sim.clocks()[1], 0);
+  EXPECT_EQ(sim.variables()[0], 0);
+  EXPECT_NE(sim.describe().find("W.warm"), std::string::npos);
+  EXPECT_NE(sim.describe().find("L.idle"), std::string::npos);
+}
+
+TEST(Simulator, EnabledReportsDelayWindow) {
+  Handshake m;
+  Simulator sim(m.sys);
+  const auto opts = sim.enabled();
+  ASSERT_EQ(opts.size(), 1u);
+  EXPECT_EQ(opts[0].earliestDelay, 3);  // guard x >= 3
+  ASSERT_TRUE(opts[0].latestDelay.has_value());
+  EXPECT_EQ(*opts[0].latestDelay, 5);  // invariant x <= 5
+  EXPECT_EQ(opts[0].via.parts.size(), 2u);
+}
+
+TEST(Simulator, MaxDelayFromInvariant) {
+  Handshake m;
+  Simulator sim(m.sys);
+  ASSERT_TRUE(sim.maxDelay().has_value());
+  EXPECT_EQ(*sim.maxDelay(), 5);
+  ASSERT_TRUE(sim.delay(2));
+  EXPECT_EQ(*sim.maxDelay(), 3);
+}
+
+TEST(Simulator, DelayBlockedByInvariant) {
+  Handshake m;
+  Simulator sim(m.sys);
+  EXPECT_FALSE(sim.delay(6));
+  EXPECT_EQ(sim.time(), 0);
+  EXPECT_TRUE(sim.delay(5));
+  EXPECT_EQ(sim.time(), 5);
+}
+
+TEST(Simulator, FireAtEarliestDelay) {
+  Handshake m;
+  Simulator sim(m.sys);
+  ASSERT_TRUE(sim.fire(0));
+  EXPECT_EQ(sim.time(), 3);
+  EXPECT_EQ(sim.variables()[0], 1) << "listener's assignment applied";
+  EXPECT_NE(sim.describe().find("W.done"), std::string::npos);
+  EXPECT_TRUE(sim.enabled().empty());
+}
+
+TEST(Simulator, FireByLabel) {
+  Handshake m;
+  Simulator sim(m.sys);
+  EXPECT_FALSE(sim.fireLabeled("nonsense"));
+  EXPECT_TRUE(sim.fireLabeled("W.go/L.sig?"));
+  EXPECT_NE(sim.describe().find("L.got"), std::string::npos);
+}
+
+TEST(Simulator, UndoAndReset) {
+  Handshake m;
+  Simulator sim(m.sys);
+  ASSERT_TRUE(sim.delay(4));
+  ASSERT_TRUE(sim.fire(0));
+  EXPECT_EQ(sim.time(), 4);
+  EXPECT_TRUE(sim.undo());
+  EXPECT_EQ(sim.time(), 4);
+  EXPECT_NE(sim.describe().find("W.warm"), std::string::npos);
+  sim.reset();
+  EXPECT_EQ(sim.time(), 0);
+  EXPECT_EQ(sim.steps(), 0u);
+  EXPECT_FALSE(sim.undo());
+}
+
+TEST(Simulator, GuardBecomesInfeasibleAfterLateDelay) {
+  // Delaying to x == 5 leaves window [0, 0]; past that (impossible due
+  // to the invariant) nothing. After firing at 5, nothing is enabled.
+  Handshake m;
+  Simulator sim(m.sys);
+  ASSERT_TRUE(sim.delay(5));
+  const auto opts = sim.enabled();
+  ASSERT_EQ(opts.size(), 1u);
+  EXPECT_EQ(opts[0].earliestDelay, 0);
+  EXPECT_EQ(*opts[0].latestDelay, 0);
+}
+
+TEST(Simulator, UrgentLocationForbidsDelay) {
+  ta::System sys;
+  const ta::ProcId p = sys.addAutomaton("P");
+  auto& a = sys.automaton(p);
+  const ta::LocId u = a.addLocation("u", /*urgent=*/true);
+  const ta::LocId l = a.addLocation("l");
+  sys.edge(p, u, l);
+  sys.finalize();
+  Simulator sim(sys);
+  EXPECT_EQ(*sim.maxDelay(), 0);
+  EXPECT_FALSE(sim.delay(1));
+  EXPECT_TRUE(sim.fire(0));
+}
+
+TEST(Simulator, WalkThroughPlantPourAndMove) {
+  // Use the simulator to poke the real plant model.
+  plant::PlantConfig cfg;
+  cfg.order = {plant::qualityA()};
+  const auto plantModel = plant::buildPlant(cfg);
+  Simulator sim(plantModel->sys);
+  bool poured = false;
+  for (const EnabledTransition& et : sim.enabled()) {
+    if (et.label.find("Pour") != std::string::npos) {
+      ASSERT_TRUE(sim.fireLabeled(et.label));
+      poured = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(poured);
+  // After pouring, a track move must be among the enabled transitions.
+  bool canMove = false;
+  for (const EnabledTransition& et : sim.enabled()) {
+    canMove = canMove || et.label.find("Track") != std::string::npos;
+  }
+  EXPECT_TRUE(canMove);
+}
+
+}  // namespace
+}  // namespace engine

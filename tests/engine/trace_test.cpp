@@ -1,0 +1,200 @@
+// Tests of symbolic-trace concretization (the forward/backward scheme)
+// and of the independent concrete-trace validator.
+#include <gtest/gtest.h>
+
+#include "engine/reachability.hpp"
+#include "engine/trace.hpp"
+#include "ta/system.hpp"
+
+namespace engine {
+namespace {
+
+using ta::ccGe;
+using ta::ccLe;
+
+TEST(Concretize, GreedyTrapNeedsBackwardPass) {
+  // The model that defeats greedy minimal-delay replay: a process
+  // whose second step must happen at x == 10 exactly, while a free
+  // "tick" self-loop tempts an eager scheduler to fire early and
+  // fragment time.  Construction: step1 may fire any time in [0,10]
+  // resetting y; step2 requires x >= 10 and y <= 2 — so step1 must
+  // fire LATE (x in [8,10]), not at the earliest opportunity.
+  ta::System sys;
+  const ta::ClockId x = sys.addClock("x");
+  const ta::ClockId y = sys.addClock("y");
+  const ta::ProcId p = sys.addAutomaton("P");
+  auto& a = sys.automaton(p);
+  const ta::LocId l0 = a.addLocation("l0");
+  const ta::LocId l1 = a.addLocation("l1");
+  const ta::LocId l2 = a.addLocation("l2");
+  sys.edge(p, l0, l1).when(ccLe(x, 10)).reset(y).label("step1");
+  sys.edge(p, l1, l2).when(ccGe(x, 10)).when(ccLe(y, 2)).label("step2");
+  sys.finalize();
+
+  Reachability checker(sys, Options{});
+  const Result res = checker.run(Goal{{{p, l2}}, ta::kNoExpr, {}});
+  ASSERT_TRUE(res.reachable);
+  std::string err;
+  const auto ct = concretize(sys, res.trace, &err);
+  ASSERT_TRUE(ct.has_value()) << err;
+  EXPECT_TRUE(validate(sys, *ct, &err)) << err;
+  // step1 must have been placed at x >= 8.
+  ASSERT_EQ(ct->steps.size(), 3u);
+  EXPECT_GE(ct->steps[1].timestamp, 8);
+  EXPECT_GE(ct->steps[2].timestamp, 10);
+}
+
+TEST(Concretize, ExactDelayForcedByInvariantGuardPair) {
+  ta::System sys;
+  const ta::ClockId x = sys.addClock("x");
+  const ta::ProcId p = sys.addAutomaton("P");
+  auto& a = sys.automaton(p);
+  const ta::LocId l0 = a.addLocation("l0");
+  const ta::LocId l1 = a.addLocation("l1");
+  a.setInvariant(l0, {ccLe(x, 7)});
+  sys.edge(p, l0, l1).when(ccGe(x, 7));
+  sys.finalize();
+  Reachability checker(sys, Options{});
+  const Result res = checker.run(Goal{{{p, l1}}, ta::kNoExpr, {}});
+  ASSERT_TRUE(res.reachable);
+  std::string err;
+  const auto ct = concretize(sys, res.trace, &err);
+  ASSERT_TRUE(ct.has_value()) << err;
+  EXPECT_EQ(ct->steps[1].delay, 7);
+}
+
+TEST(Concretize, UrgentLocationGetsZeroDelay) {
+  ta::System sys;
+  const ta::ClockId x = sys.addClock("x");
+  const ta::ProcId p = sys.addAutomaton("P");
+  auto& a = sys.automaton(p);
+  const ta::LocId l0 = a.addLocation("l0");
+  const ta::LocId lu = a.addLocation("lu", /*urgent=*/true);
+  const ta::LocId l1 = a.addLocation("l1");
+  sys.edge(p, l0, lu).when(ccGe(x, 2));
+  sys.edge(p, lu, l1);
+  sys.finalize();
+  Reachability checker(sys, Options{});
+  const Result res = checker.run(Goal{{{p, l1}}, ta::kNoExpr, {}});
+  ASSERT_TRUE(res.reachable);
+  std::string err;
+  const auto ct = concretize(sys, res.trace, &err);
+  ASSERT_TRUE(ct.has_value()) << err;
+  EXPECT_EQ(ct->steps[2].delay, 0);
+  EXPECT_EQ(ct->steps[2].timestamp, ct->steps[1].timestamp);
+}
+
+TEST(Concretize, ClockValuesTrackDelaysAndResets) {
+  ta::System sys;
+  const ta::ClockId x = sys.addClock("x");
+  const ta::ClockId y = sys.addClock("y");
+  const ta::ProcId p = sys.addAutomaton("P");
+  auto& a = sys.automaton(p);
+  const ta::LocId l0 = a.addLocation("l0");
+  const ta::LocId l1 = a.addLocation("l1");
+  const ta::LocId l2 = a.addLocation("l2");
+  a.setInvariant(l0, {ccLe(x, 3)});
+  sys.edge(p, l0, l1).when(ccGe(x, 3)).reset(y);
+  a.setInvariant(l1, {ccLe(y, 4)});
+  sys.edge(p, l1, l2).when(ccGe(y, 4));
+  sys.finalize();
+  Reachability checker(sys, Options{});
+  const Result res = checker.run(Goal{{{p, l2}}, ta::kNoExpr, {}});
+  ASSERT_TRUE(res.reachable);
+  std::string err;
+  const auto ct = concretize(sys, res.trace, &err);
+  ASSERT_TRUE(ct.has_value()) << err;
+  ASSERT_EQ(ct->steps.size(), 3u);
+  EXPECT_EQ(ct->steps[1].clocks[static_cast<size_t>(x)], 3);
+  EXPECT_EQ(ct->steps[1].clocks[static_cast<size_t>(y)], 0);
+  EXPECT_EQ(ct->steps[2].clocks[static_cast<size_t>(x)], 7);
+  EXPECT_EQ(ct->steps[2].clocks[static_cast<size_t>(y)], 4);
+  EXPECT_EQ(ct->makespan(), 7);
+}
+
+TEST(Validate, RejectsTamperedDelay) {
+  ta::System sys;
+  const ta::ClockId x = sys.addClock("x");
+  const ta::ProcId p = sys.addAutomaton("P");
+  auto& a = sys.automaton(p);
+  const ta::LocId l0 = a.addLocation("l0");
+  const ta::LocId l1 = a.addLocation("l1");
+  a.setInvariant(l0, {ccLe(x, 5)});
+  sys.edge(p, l0, l1).when(ccGe(x, 3));
+  sys.finalize();
+  Reachability checker(sys, Options{});
+  const Result res = checker.run(Goal{{{p, l1}}, ta::kNoExpr, {}});
+  ASSERT_TRUE(res.reachable);
+  std::string err;
+  auto ct = concretize(sys, res.trace, &err);
+  ASSERT_TRUE(ct.has_value()) << err;
+
+  ConcreteTrace early = *ct;
+  early.steps[1].delay = 2;  // violates the x >= 3 guard
+  EXPECT_FALSE(validate(sys, early, &err));
+
+  ConcreteTrace late = *ct;
+  late.steps[1].delay = 6;  // violates the x <= 5 invariant
+  EXPECT_FALSE(validate(sys, late, &err));
+}
+
+TEST(Validate, RejectsTamperedVariables) {
+  ta::System sys;
+  const ta::VarId v = sys.addVar("v", 0);
+  const ta::ProcId p = sys.addAutomaton("P");
+  auto& a = sys.automaton(p);
+  const ta::LocId l0 = a.addLocation("l0");
+  const ta::LocId l1 = a.addLocation("l1");
+  sys.edge(p, l0, l1).assign(v, 5);
+  sys.finalize();
+  Reachability checker(sys, Options{});
+  const Result res = checker.run(Goal{{{p, l1}}, ta::kNoExpr, {}});
+  ASSERT_TRUE(res.reachable);
+  std::string err;
+  auto ct = concretize(sys, res.trace, &err);
+  ASSERT_TRUE(ct.has_value()) << err;
+  ct->steps[1].d.vars[static_cast<size_t>(v)] = 99;
+  EXPECT_FALSE(validate(sys, *ct, &err));
+  EXPECT_NE(err.find("differs from replay"), std::string::npos);
+}
+
+TEST(Validate, RejectsEmptyTrace) {
+  ta::System sys;
+  (void)sys.addAutomaton("P");
+  sys.automaton(0).addLocation("l");
+  sys.finalize();
+  std::string err;
+  EXPECT_FALSE(validate(sys, ConcreteTrace{}, &err));
+}
+
+TEST(Concretize, SyncDelaysRespectBothParties) {
+  // Sender ready at x >= 4, receiver must sync before y <= 6: the
+  // joint transition is forced into [4, 6].
+  ta::System sys;
+  const ta::ClockId x = sys.addClock("x");
+  const ta::ClockId y = sys.addClock("y");
+  const ta::ChanId c = sys.addChannel("c");
+  const ta::ProcId ps = sys.addAutomaton("S");
+  auto& s = sys.automaton(ps);
+  const ta::LocId s0 = s.addLocation("s0");
+  const ta::LocId s1 = s.addLocation("s1");
+  sys.edge(ps, s0, s1).when(ccGe(x, 4)).send(c);
+  const ta::ProcId pr = sys.addAutomaton("R");
+  auto& r = sys.automaton(pr);
+  const ta::LocId r0 = r.addLocation("r0");
+  const ta::LocId r1 = r.addLocation("r1");
+  r.setInvariant(r0, {ccLe(y, 6)});
+  sys.edge(pr, r0, r1).receive(c);
+  sys.finalize();
+  Reachability checker(sys, Options{});
+  const Result res = checker.run(Goal{{{ps, s1}, {pr, r1}}, ta::kNoExpr, {}});
+  ASSERT_TRUE(res.reachable);
+  std::string err;
+  const auto ct = concretize(sys, res.trace, &err);
+  ASSERT_TRUE(ct.has_value()) << err;
+  EXPECT_GE(ct->steps[1].timestamp, 4);
+  EXPECT_LE(ct->steps[1].timestamp, 6);
+}
+
+}  // namespace
+}  // namespace engine

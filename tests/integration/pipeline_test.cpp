@@ -1,0 +1,105 @@
+// Integration: the full Figure 1 methodology, parameterized over batch
+// counts, guide levels and message-loss rates.  Model -> schedule ->
+// program -> simulated plant, all invariants checked at every stage.
+#include <gtest/gtest.h>
+
+#include "engine/trace.hpp"
+#include "plant/plant.hpp"
+#include "rcx/plant_sim.hpp"
+#include "synthesis/rcx_codegen.hpp"
+#include "synthesis/schedule.hpp"
+
+namespace {
+
+struct PipelineCase {
+  int batches;
+  double loss;
+};
+
+class FullPipeline : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(FullPipeline, ModelToPlantRunsClean) {
+  const PipelineCase c = GetParam();
+  plant::PlantConfig cfg;
+  cfg.order = plant::standardOrder(c.batches);
+
+  const auto p = plant::buildPlant(cfg);
+  engine::Options opts;
+  opts.order = engine::SearchOrder::kDfs;
+  opts.dfsReverse = true;
+  opts.maxSeconds = 120.0;
+  engine::Reachability checker(p->sys, opts);
+  const engine::Result res = checker.run(p->goal);
+  ASSERT_TRUE(res.reachable);
+
+  std::string err;
+  const auto ct = engine::concretize(p->sys, res.trace, &err);
+  ASSERT_TRUE(ct.has_value()) << err;
+  ASSERT_TRUE(engine::validate(p->sys, *ct, &err)) << err;
+
+  const synthesis::Schedule sched = synthesis::project(p->sys, *ct);
+  ASSERT_FALSE(sched.items.empty());
+
+  synthesis::CodegenOptions cg;
+  cg.ticksPerTimeUnit = 1000;
+  const synthesis::RcxProgram prog = synthesis::synthesize(sched, cg);
+
+  rcx::SimOptions sim;
+  sim.messageLossProb = c.loss;
+  sim.slackTicks = 3000 + static_cast<int64_t>(c.loss * 60000);
+  sim.seed = 99;
+  const rcx::SimResult out = rcx::runProgram(prog, cfg, 1000, sim);
+  EXPECT_TRUE(out.programCompleted);
+  EXPECT_TRUE(out.allExited)
+      << out.exited << "/" << c.batches << " batches exited";
+  for (const rcx::SimError& e : out.errors) {
+    ADD_FAILURE() << "tick " << e.tick << ": " << e.what;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BatchesAndLoss, FullPipeline,
+    ::testing::Values(PipelineCase{1, 0.0}, PipelineCase{2, 0.0},
+                      PipelineCase{3, 0.0}, PipelineCase{4, 0.0},
+                      PipelineCase{2, 0.05}, PipelineCase{3, 0.02},
+                      PipelineCase{6, 0.0}, PipelineCase{8, 0.01}),
+    [](const ::testing::TestParamInfo<PipelineCase>& info) {
+      return "b" + std::to_string(info.param.batches) + "_loss" +
+             std::to_string(static_cast<int>(info.param.loss * 100));
+    });
+
+class QualityMix : public ::testing::TestWithParam<int> {};
+
+TEST_P(QualityMix, SingleBatchOfEachQualityRunsClean) {
+  const std::vector<plant::Quality> all = {
+      plant::qualityAB(), plant::qualityA(), plant::qualityB(),
+      plant::qualityC(), plant::qualityBC()};
+  plant::PlantConfig cfg;
+  cfg.order = {all[static_cast<size_t>(GetParam())]};
+
+  const auto p = plant::buildPlant(cfg);
+  engine::Options opts;
+  opts.order = engine::SearchOrder::kDfs;
+  opts.dfsReverse = true;
+  opts.maxSeconds = 60.0;
+  engine::Reachability checker(p->sys, opts);
+  const engine::Result res = checker.run(p->goal);
+  ASSERT_TRUE(res.reachable);
+  std::string err;
+  const auto ct = engine::concretize(p->sys, res.trace, &err);
+  ASSERT_TRUE(ct.has_value()) << err;
+  const synthesis::Schedule sched = synthesis::project(p->sys, *ct);
+  synthesis::CodegenOptions cg;
+  cg.ticksPerTimeUnit = 1000;
+  const synthesis::RcxProgram prog = synthesis::synthesize(sched, cg);
+  rcx::SimOptions sim;
+  sim.messageLossProb = 0.0;
+  sim.slackTicks = 3000;
+  const rcx::SimResult out = rcx::runProgram(prog, cfg, 1000, sim);
+  EXPECT_TRUE(out.ok()) << (out.errors.empty() ? "incomplete"
+                                               : out.errors[0].what);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQualities, QualityMix, ::testing::Range(0, 5));
+
+}  // namespace

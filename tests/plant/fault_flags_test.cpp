@@ -1,0 +1,106 @@
+// Structural checks of the fault-injection model variants (the buggy
+// models the paper's physical runs exposed).
+#include <gtest/gtest.h>
+
+#include "plant/plant.hpp"
+
+namespace plant {
+namespace {
+
+TEST(FaultFlags, BugNoLiftDelayMakesRisingCommitted) {
+  PlantConfig cfg;
+  cfg.order = {qualityA()};
+  cfg.bugNoLiftDelay = true;
+  const auto p = buildPlant(cfg);
+  const ta::Automaton& crane = p->sys.automaton(p->cranes[0]);
+  const ta::LocId rise = crane.findLocation("rise0");
+  ASSERT_GE(rise, 0);
+  EXPECT_TRUE(crane.location(rise).committed)
+      << "buggy lift takes no model time";
+  EXPECT_TRUE(crane.location(rise).invariant.empty());
+  // The corrected model has a timed rising location.
+  cfg.bugNoLiftDelay = false;
+  const auto good = buildPlant(cfg);
+  const ta::Automaton& crane2 = good->sys.automaton(good->cranes[0]);
+  const ta::LocId rise2 = crane2.findLocation("rise0");
+  EXPECT_FALSE(crane2.location(rise2).committed);
+  EXPECT_FALSE(crane2.location(rise2).invariant.empty());
+}
+
+TEST(FaultFlags, BugFreeSourceEarlyMovesTheClearAssignment) {
+  // In the corrected model the source overhead slot clears on the move
+  // COMPLETION edge; in the buggy model on the move START edge.
+  const auto countStartClears = [](bool buggy) {
+    PlantConfig cfg;
+    cfg.order = {qualityA()};
+    cfg.guides = GuideLevel::kNone;  // no cranereq assignments in the way
+    cfg.bugFreeSourceEarly = buggy;
+    const auto p = buildPlant(cfg);
+    const ta::Automaton& crane = p->sys.automaton(p->cranes[0]);
+    int startClears = 0;
+    for (const ta::Edge& e : crane.edges()) {
+      if (e.label.find("Move1") == std::string::npos) continue;
+      // Move-start edges carry the label; a write of 0 into a cpos cell
+      // on such an edge is an early source-clear.
+      for (const ta::Assign& as : e.assigns) {
+        const bool writesZero =
+            p->sys.pool().node(as.rhs).op == ta::Op::kConst &&
+            p->sys.pool().node(as.rhs).a == 0;
+        if (writesZero) ++startClears;
+      }
+    }
+    return startClears;
+  };
+  EXPECT_EQ(countStartClears(false), 0);
+  EXPECT_GT(countStartClears(true), 0);
+}
+
+TEST(FaultFlags, BugCasterSkipsFinalEjectOnlyDropsTheLabel) {
+  // The buggy model's behaviour is identical (the eject still happens
+  // symbolically); only the command label disappears, so the synthesized
+  // program omits the command.
+  PlantConfig cfg;
+  cfg.order = standardOrder(2);
+  cfg.bugCasterSkipsFinalEject = true;
+  const auto buggy = buildPlant(cfg);
+  cfg.bugCasterSkipsFinalEject = false;
+  const auto good = buildPlant(cfg);
+  const auto ejectLabels = [](const Plant& p) {
+    int n = 0;
+    for (const ta::Edge& e : p.sys.automaton(p.caster).edges()) {
+      if (e.label.rfind("Caster.Eject", 0) == 0) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(ejectLabels(*good), 2);
+  EXPECT_EQ(ejectLabels(*buggy), 1);
+  // Same number of edges either way: behaviour preserved.
+  EXPECT_EQ(buggy->sys.automaton(buggy->caster).edges().size(),
+            good->sys.automaton(good->caster).edges().size());
+}
+
+TEST(FaultFlags, CastGapRelaxationAllowsIdleCaster) {
+  // With a generous castGap, schedules may run batches sequentially;
+  // with the strict default the caster gap location pins the timing.
+  PlantConfig strict;
+  strict.order = standardOrder(2);
+  PlantConfig relaxed = strict;
+  relaxed.castGap = 100;
+  const auto ps = buildPlant(strict);
+  const auto pr = buildPlant(relaxed);
+  // Compare the gap location's invariant constants.
+  const ta::Automaton& cs = ps->sys.automaton(ps->caster);
+  const ta::Automaton& cr = pr->sys.automaton(pr->caster);
+  const ta::LocId g0s = cs.findLocation("gap0");
+  const ta::LocId g0r = cr.findLocation("gap0");
+  ASSERT_GE(g0s, 0);
+  ASSERT_GE(g0r, 0);
+  const auto bound = [](const ta::Location& l) {
+    return dbm::boundValue(l.invariant.at(0).bound);
+  };
+  EXPECT_EQ(bound(cs.location(g0s)), strict.tcast);
+  EXPECT_EQ(bound(cr.location(g0r)), relaxed.tcast + 100);
+}
+
+}  // namespace
+}  // namespace plant

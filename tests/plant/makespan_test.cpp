@@ -1,0 +1,88 @@
+// Time-optimal scheduling via the makespan clock (the paper's
+// "more optimal programs" future-work direction).
+#include <gtest/gtest.h>
+
+#include "engine/trace.hpp"
+#include "plant/plant.hpp"
+
+namespace plant {
+namespace {
+
+engine::Result scheduleWithBound(const PlantConfig& cfg, int32_t bound) {
+  const auto p = buildPlant(cfg);
+  engine::Goal goal = p->goal;
+  if (bound >= 0) {
+    goal.clockConstraints.push_back(ta::ccLe(p->makespan, bound));
+  }
+  engine::Options opts;
+  opts.order = engine::SearchOrder::kDfs;
+  opts.dfsReverse = true;
+  opts.maxSeconds = 60.0;
+  engine::Reachability checker(p->sys, opts);
+  return checker.run(goal);
+}
+
+TEST(Makespan, ClockOnlyAddedWhenRequested) {
+  PlantConfig cfg;
+  cfg.order = {qualityA()};
+  EXPECT_EQ(buildPlant(cfg)->makespan, -1);
+  cfg.makespanClock = true;
+  const auto p = buildPlant(cfg);
+  EXPECT_GT(p->makespan, 0);
+  EXPECT_EQ(p->numClocks(), 3u * 1 + 3 + 1);
+}
+
+TEST(Makespan, BoundedGoalStillSchedulable) {
+  PlantConfig cfg;
+  cfg.order = {qualityA()};
+  cfg.makespanClock = true;
+  // Unbounded is feasible; a generous bound must stay feasible.
+  ASSERT_TRUE(scheduleWithBound(cfg, -1).reachable);
+  EXPECT_TRUE(scheduleWithBound(cfg, 2 * cfg.rtotal).reachable);
+}
+
+TEST(Makespan, TightBoundInfeasible) {
+  PlantConfig cfg;
+  cfg.order = {qualityA()};
+  cfg.makespanClock = true;
+  // Physically impossible: less than the casting duration alone.
+  const engine::Result res = scheduleWithBound(cfg, cfg.tcast - 1);
+  EXPECT_FALSE(res.reachable);
+  EXPECT_TRUE(res.exhausted);
+}
+
+TEST(Makespan, OptimalBoundMatchesConcreteMakespan) {
+  // Binary-search the optimum for one batch and check a bound-B
+  // schedule concretizes to makespan <= B.
+  PlantConfig cfg;
+  cfg.order = {qualityA()};
+  cfg.makespanClock = true;
+  const engine::Result first = scheduleWithBound(cfg, -1);
+  ASSERT_TRUE(first.reachable);
+  const auto p = buildPlant(cfg);
+  std::string err;
+  const auto ft = engine::concretize(p->sys, first.trace, &err);
+  ASSERT_TRUE(ft.has_value()) << err;
+  int32_t lo = 0;
+  int32_t hi = static_cast<int32_t>(ft->makespan());
+  while (lo < hi) {
+    const int32_t mid = lo + (hi - lo) / 2;
+    if (scheduleWithBound(cfg, mid).reachable) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  ASSERT_GT(lo, 0);
+  const engine::Result opt = scheduleWithBound(cfg, lo);
+  ASSERT_TRUE(opt.reachable);
+  const auto ot = engine::concretize(p->sys, opt.trace, &err);
+  ASSERT_TRUE(ot.has_value()) << err;
+  EXPECT_LE(ot->makespan(), lo);
+  EXPECT_LE(lo, ft->makespan());
+  // Sanity: the optimum is at least pour->cast-end on the critical path.
+  EXPECT_GE(lo, cfg.tcast);
+}
+
+}  // namespace
+}  // namespace plant

@@ -1,0 +1,172 @@
+#include "rcx/vm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rcx {
+namespace {
+
+using synthesis::RcxInstr;
+using synthesis::RcxOp;
+using synthesis::RcxProgram;
+
+struct ScriptedHost {
+  std::vector<std::pair<int32_t, int64_t>> sent;
+  int32_t messageBuffer = 0;
+  int sounds = 0;
+
+  VmHost host() {
+    VmHost h;
+    h.send = [this](int32_t id, int64_t tick) { sent.push_back({id, tick}); };
+    h.readMessage = [this] { return messageBuffer; };
+    h.clearMessage = [this] { messageBuffer = 0; };
+    h.playSound = [this](int32_t) { ++sounds; };
+    return h;
+  }
+};
+
+RcxProgram programOf(std::vector<RcxInstr> code) {
+  RcxProgram p;
+  p.code = std::move(code);
+  return p;
+}
+
+TEST(RcxVm, StraightLineExecution) {
+  ScriptedHost sh;
+  const RcxProgram p = programOf({
+      {RcxOp::kPlaySystemSound, 1, 0, ""},
+      {RcxOp::kSendPBMessage, 42, 0, ""},
+      {RcxOp::kSendPBMessage, 43, 0, ""},
+  });
+  RcxVm vm(p, sh.host());
+  vm.run(1000);
+  EXPECT_TRUE(vm.finished());
+  ASSERT_EQ(sh.sent.size(), 2u);
+  EXPECT_EQ(sh.sent[0].first, 42);
+  EXPECT_EQ(sh.sent[1].first, 43);
+  EXPECT_EQ(sh.sounds, 1);
+}
+
+TEST(RcxVm, WaitBlocksUntilTickReached) {
+  ScriptedHost sh;
+  const RcxProgram p = programOf({
+      {RcxOp::kWait, 100, 0, ""},
+      {RcxOp::kSendPBMessage, 1, 0, ""},
+  });
+  RcxVm vm(p, sh.host());
+  vm.run(50);
+  EXPECT_TRUE(sh.sent.empty());
+  EXPECT_FALSE(vm.finished());
+  vm.run(101);
+  EXPECT_EQ(sh.sent.size(), 1u);
+  EXPECT_TRUE(vm.finished());
+}
+
+TEST(RcxVm, InstructionsCostTicks) {
+  ScriptedHost sh;
+  const RcxProgram p = programOf({
+      {RcxOp::kPlaySystemSound, 1, 0, ""},
+      {RcxOp::kSendPBMessage, 7, 0, ""},
+  });
+  RcxVm vm(p, sh.host(), /*instrTicks=*/10);
+  vm.run(0);
+  // The sound costs 10 ticks, so the send cannot have executed yet.
+  EXPECT_TRUE(sh.sent.empty());
+  vm.run(10);
+  // The send is the second instruction: it completes at 2 x 10 ticks.
+  ASSERT_EQ(sh.sent.size(), 1u);
+  EXPECT_EQ(sh.sent[0].second, 20);
+}
+
+TEST(RcxVm, WhileLoopSkipsWhenConditionFalse) {
+  // While var1 != 0 ... never entered (var1 starts 0).
+  ScriptedHost sh;
+  const RcxProgram p = programOf({
+      {RcxOp::kWhileVarNe, 1, 0, ""},
+      {RcxOp::kSendPBMessage, 9, 0, ""},
+      {RcxOp::kEndWhile, 0, 0, ""},
+      {RcxOp::kSendPBMessage, 10, 0, ""},
+  });
+  RcxVm vm(p, sh.host());
+  vm.run(1000);
+  ASSERT_EQ(sh.sent.size(), 1u);
+  EXPECT_EQ(sh.sent[0].first, 10);
+}
+
+TEST(RcxVm, AckLoopTerminatesWhenMessageArrives) {
+  // The synthesized ack-wait shape: loop until var1 == 5.
+  ScriptedHost sh;
+  const RcxProgram p = programOf({
+      {RcxOp::kSetVar, 1, 0, ""},
+      {RcxOp::kWhileVarNe, 1, 5, ""},
+      {RcxOp::kWait, 20, 0, ""},
+      {RcxOp::kSetVarFromMsg, 1, 0, ""},
+      {RcxOp::kClearPBMessage, 0, 0, ""},
+      {RcxOp::kEndWhile, 0, 0, ""},
+      {RcxOp::kSendPBMessage, 99, 0, ""},
+  });
+  RcxVm vm(p, sh.host());
+  vm.run(30);  // a few polls, no ack yet
+  EXPECT_TRUE(sh.sent.empty());
+  sh.messageBuffer = 5;  // ack arrives
+  vm.run(200);
+  ASSERT_EQ(sh.sent.size(), 1u);
+  EXPECT_EQ(sh.sent[0].first, 99);
+  EXPECT_EQ(sh.messageBuffer, 0) << "loop body clears the buffer";
+}
+
+TEST(RcxVm, IfExecutesOnlyWhenGe) {
+  ScriptedHost sh;
+  const RcxProgram p = programOf({
+      {RcxOp::kSetVar, 2, 3, ""},
+      {RcxOp::kIfVarGe, 2, 5, ""},
+      {RcxOp::kSendPBMessage, 1, 0, ""},
+      {RcxOp::kEndIf, 0, 0, ""},
+      {RcxOp::kSumVar, 2, 2, ""},
+      {RcxOp::kIfVarGe, 2, 5, ""},
+      {RcxOp::kSendPBMessage, 2, 0, ""},
+      {RcxOp::kEndIf, 0, 0, ""},
+  });
+  RcxVm vm(p, sh.host());
+  vm.run(1000);
+  ASSERT_EQ(sh.sent.size(), 1u);
+  EXPECT_EQ(sh.sent[0].first, 2);
+}
+
+TEST(RcxVm, RetrySegmentResendsAfterThreshold) {
+  // Full synthesized segment with resend threshold 2: with no ack ever
+  // arriving, the VM must keep re-sending.
+  ScriptedHost sh;
+  const RcxProgram p = programOf({
+      {RcxOp::kSendPBMessage, 42, 0, ""},
+      {RcxOp::kSetVar, 1, 0, ""},
+      {RcxOp::kWhileVarNe, 1, 42, ""},
+      {RcxOp::kWait, 20, 0, ""},
+      {RcxOp::kSetVarFromMsg, 1, 0, ""},
+      {RcxOp::kClearPBMessage, 0, 0, ""},
+      {RcxOp::kSumVar, 2, 1, ""},
+      {RcxOp::kIfVarGe, 2, 2, ""},
+      {RcxOp::kSendPBMessage, 42, 0, ""},
+      {RcxOp::kSetVar, 2, 0, ""},
+      {RcxOp::kEndIf, 0, 0, ""},
+      {RcxOp::kEndWhile, 0, 0, ""},
+  });
+  RcxVm vm(p, sh.host());
+  vm.run(500);
+  EXPECT_GE(sh.sent.size(), 3u) << "initial send plus periodic resends";
+  EXPECT_FALSE(vm.finished());
+  sh.messageBuffer = 42;
+  vm.run(1000);
+  EXPECT_TRUE(vm.finished());
+}
+
+TEST(RcxVm, EmptyProgramFinishesImmediately) {
+  ScriptedHost sh;
+  const RcxProgram p = programOf({});
+  RcxVm vm(p, sh.host());
+  EXPECT_TRUE(vm.finished());
+  vm.run(0);
+  EXPECT_TRUE(vm.finished());
+}
+
+}  // namespace
+}  // namespace rcx

@@ -1,0 +1,56 @@
+#include "synthesis/io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace synthesis {
+namespace {
+
+Schedule sample() {
+  Schedule s;
+  s.items.push_back({0, "Load1", "Pour1"});
+  s.items.push_back({5, "Crane1", "Pickup0"});
+  s.makespan = 5;
+  return s;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(SynthesisIo, ScheduleRoundTripsToFile) {
+  const std::string path = ::testing::TempDir() + "sched.txt";
+  ASSERT_TRUE(writeScheduleFile(sample(), path));
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("# schedule: 2 commands, makespan 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("Load1.Pour1"), std::string::npos);
+  EXPECT_NE(text.find("Delay(5)"), std::string::npos);
+  EXPECT_NE(text.find("Crane1.Pickup0"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SynthesisIo, ProgramFileHasIdTableAndCode) {
+  const RcxProgram prog = synthesize(sample());
+  const std::string path = ::testing::TempDir() + "prog.txt";
+  ASSERT_TRUE(writeProgramFile(prog, path));
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("'   1 = Load1.Pour1"), std::string::npos);
+  EXPECT_NE(text.find("'   2 = Crane1.Pickup0"), std::string::npos);
+  EXPECT_NE(text.find("PB.SendPBMessage 2, 1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SynthesisIo, UnwritablePathReportsFalse) {
+  EXPECT_FALSE(writeScheduleFile(sample(), "/nonexistent/dir/x.txt"));
+  EXPECT_FALSE(writeProgramFile(RcxProgram{}, "/nonexistent/dir/y.txt"));
+}
+
+}  // namespace
+}  // namespace synthesis

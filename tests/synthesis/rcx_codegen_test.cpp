@@ -1,0 +1,108 @@
+#include "synthesis/rcx_codegen.hpp"
+
+#include <gtest/gtest.h>
+
+namespace synthesis {
+namespace {
+
+Schedule smallSchedule() {
+  Schedule s;
+  s.items.push_back({0, "Load1", "Pour1"});
+  s.items.push_back({3, "Load1", "Track1Right"});
+  s.items.push_back({3, "Crane1", "Move1Left"});
+  s.items.push_back({10, "Crane1", "Move1Left"});
+  s.makespan = 10;
+  return s;
+}
+
+TEST(RcxCodegen, OneSegmentPerCommand) {
+  const RcxProgram prog = synthesize(smallSchedule());
+  ASSERT_EQ(prog.commands.size(), 4u);
+  int sends = 0;
+  for (const RcxInstr& i : prog.code) {
+    if (i.op == RcxOp::kSendPBMessage) ++sends;
+  }
+  // One initial send plus one retry send per command segment.
+  EXPECT_EQ(sends, 8);
+}
+
+TEST(RcxCodegen, MessageIdsAreUniquePerItem) {
+  const RcxProgram prog = synthesize(smallSchedule());
+  // Two identical Crane1.Move1Left commands must get distinct ids so
+  // the unit can tell a retry from a genuine repeat.
+  EXPECT_EQ(prog.commands[2].command, prog.commands[3].command);
+  EXPECT_NE(prog.commands[2].msgId, prog.commands[3].msgId);
+}
+
+TEST(RcxCodegen, CommandByIdRoundTrip) {
+  const RcxProgram prog = synthesize(smallSchedule());
+  for (const RcxCommand& c : prog.commands) {
+    const RcxCommand* found = prog.commandById(c.msgId);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->unit, c.unit);
+    EXPECT_EQ(found->command, c.command);
+  }
+  EXPECT_EQ(prog.commandById(0), nullptr);
+  EXPECT_EQ(prog.commandById(99), nullptr);
+}
+
+TEST(RcxCodegen, WaitsConvertTimeUnitsToTicks) {
+  CodegenOptions opts;
+  opts.ticksPerTimeUnit = 100;
+  const RcxProgram prog = synthesize(smallSchedule(), opts);
+  std::vector<int32_t> waits;
+  for (const RcxInstr& i : prog.code) {
+    if (i.op == RcxOp::kWait && i.a != opts.ackPollTicks) {
+      waits.push_back(i.a);
+    }
+  }
+  // Gaps 0->3 and 3->10.
+  ASSERT_EQ(waits.size(), 2u);
+  EXPECT_EQ(waits[0], 300);
+  EXPECT_EQ(waits[1], 700);
+}
+
+TEST(RcxCodegen, WhileAndIfAreBalanced) {
+  const RcxProgram prog = synthesize(smallSchedule());
+  int depth = 0;
+  for (const RcxInstr& i : prog.code) {
+    if (i.op == RcxOp::kWhileVarNe || i.op == RcxOp::kIfVarGe) ++depth;
+    if (i.op == RcxOp::kEndWhile || i.op == RcxOp::kEndIf) --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(RcxCodegen, TextRenderingHasFigure6Shape) {
+  const RcxProgram prog = synthesize(smallSchedule());
+  const std::string text = prog.toText();
+  EXPECT_NE(text.find("PB.PlaySystemSound 1"), std::string::npos);
+  EXPECT_NE(text.find("PB.SendPBMessage 2, 1"), std::string::npos);
+  EXPECT_NE(text.find("PB.While 0, 1, 3, 2, 1"), std::string::npos);
+  EXPECT_NE(text.find("PB.ClearPBMessage"), std::string::npos);
+  EXPECT_NE(text.find("PB.EndWhile"), std::string::npos);
+  EXPECT_NE(text.find("PB.Wait 2, 300"), std::string::npos);
+}
+
+TEST(RcxCodegen, EmptyScheduleGivesEmptyProgram) {
+  const RcxProgram prog = synthesize(Schedule{});
+  EXPECT_TRUE(prog.code.empty());
+  EXPECT_TRUE(prog.commands.empty());
+}
+
+TEST(RcxCodegen, ResendThresholdConfigurable) {
+  CodegenOptions opts;
+  opts.resendAfterPolls = 7;
+  const RcxProgram prog = synthesize(smallSchedule(), opts);
+  bool found = false;
+  for (const RcxInstr& i : prog.code) {
+    if (i.op == RcxOp::kIfVarGe) {
+      EXPECT_EQ(i.b, 7);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace synthesis

@@ -1,0 +1,123 @@
+#include "synthesis/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/trace.hpp"
+#include "plant/plant.hpp"
+
+namespace synthesis {
+namespace {
+
+/// A concrete trace for a one-batch plant, shared across tests.
+class ScheduleTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    plant::PlantConfig cfg;
+    cfg.order = {plant::qualityAB()};
+    plant_ = plant::buildPlant(cfg).release();
+    engine::Options opts;
+    opts.order = engine::SearchOrder::kDfs;
+    opts.dfsReverse = true;
+    opts.maxSeconds = 60.0;
+    engine::Reachability checker(plant_->sys, opts);
+    const engine::Result res = checker.run(plant_->goal);
+    ASSERT_TRUE(res.reachable);
+    std::string err;
+    auto ct = engine::concretize(plant_->sys, res.trace, &err);
+    ASSERT_TRUE(ct.has_value()) << err;
+    trace_ = new engine::ConcreteTrace(std::move(*ct));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete plant_;
+    trace_ = nullptr;
+    plant_ = nullptr;
+  }
+
+  static plant::Plant* plant_;
+  static engine::ConcreteTrace* trace_;
+};
+
+plant::Plant* ScheduleTest::plant_ = nullptr;
+engine::ConcreteTrace* ScheduleTest::trace_ = nullptr;
+
+TEST_F(ScheduleTest, ProjectionKeepsOnlyPlantCommands) {
+  const Schedule s = project(plant_->sys, *trace_);
+  ASSERT_FALSE(s.items.empty());
+  for (const ScheduleItem& item : s.items) {
+    EXPECT_FALSE(item.unit.empty());
+    EXPECT_FALSE(item.command.empty());
+    // Units are the known plant units only.
+    const bool known = item.unit.rfind("Load", 0) == 0 ||
+                       item.unit.rfind("Crane", 0) == 0 ||
+                       item.unit == "Caster";
+    EXPECT_TRUE(known) << item.unit;
+  }
+}
+
+TEST_F(ScheduleTest, TimestampsAreMonotone) {
+  const Schedule s = project(plant_->sys, *trace_);
+  for (size_t k = 1; k < s.items.size(); ++k) {
+    EXPECT_LE(s.items[k - 1].time, s.items[k].time);
+  }
+  EXPECT_EQ(s.makespan, trace_->makespan());
+}
+
+TEST_F(ScheduleTest, OneBatchLifecycleCommandsPresent) {
+  const Schedule s = project(plant_->sys, *trace_);
+  const auto has = [&](const std::string& text) {
+    for (const ScheduleItem& i : s.items) {
+      if (i.text() == text) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("Load1.Pour1") || has("Load1.Pour2"));
+  EXPECT_TRUE(has("Load1.Machine1On") || has("Load1.Machine4On"));
+  EXPECT_TRUE(has("Caster.Start1"));
+  EXPECT_TRUE(has("Caster.Eject1"));
+  EXPECT_TRUE(has("Load1.Exit"));
+}
+
+TEST_F(ScheduleTest, DelaysInTextMatchTimestamps) {
+  const Schedule s = project(plant_->sys, *trace_);
+  const std::string text = s.toText();
+  // Sum of Delay(d) lines == time of the last command.
+  int64_t sum = 0;
+  size_t pos = 0;
+  while ((pos = text.find("Delay(", pos)) != std::string::npos) {
+    sum += std::atoll(text.c_str() + pos + 6);
+    ++pos;
+  }
+  EXPECT_EQ(sum, s.items.back().time);
+}
+
+TEST_F(ScheduleTest, TreatmentDurationVisibleInSchedule) {
+  // Machine1On -> Machine1Off must be exactly the recipe's 6 units
+  // (type A treatment of qualityAB).
+  const Schedule s = project(plant_->sys, *trace_);
+  int64_t on = -1, off = -1;
+  for (const ScheduleItem& i : s.items) {
+    if (i.command == "Machine1On" || i.command == "Machine4On") on = i.time;
+    if (i.command == "Machine1Off" || i.command == "Machine4Off") off = i.time;
+  }
+  ASSERT_GE(on, 0);
+  ASSERT_GE(off, 0);
+  EXPECT_EQ(off - on, 6);
+}
+
+TEST(ScheduleText, EmptyScheduleRendersEmpty) {
+  Schedule s;
+  EXPECT_EQ(s.toText(), "");
+}
+
+TEST(ScheduleText, DelayInsertedBetweenSpacedItems) {
+  Schedule s;
+  s.items.push_back({0, "Load1", "Pour1"});
+  s.items.push_back({5, "Load1", "Track1Right"});
+  s.items.push_back({5, "Crane1", "Move1Left"});
+  EXPECT_EQ(s.toText(),
+            "Load1.Pour1\nDelay(5)\nLoad1.Track1Right\nCrane1.Move1Left\n");
+}
+
+}  // namespace
+}  // namespace synthesis

@@ -1,0 +1,208 @@
+#include "ta/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/reachability.hpp"
+#include "engine/trace.hpp"
+
+namespace ta {
+namespace {
+
+constexpr const char* kHandshake = R"(
+// worker/listener handshake
+clock x;
+int n = 0;
+chan sig;
+
+process Worker {
+  loc warm { inv x <= 5; }
+  loc done;
+  init warm;
+  edge warm -> done { guard x >= 3; sync sig!; label "go"; }
+}
+
+process Listener {
+  loc idle;
+  loc got;
+  init idle;
+  edge idle -> got { sync sig?; assign n = n + 1; }
+}
+
+query reach Worker.done && Listener.got && n == 1;
+)";
+
+TEST(Parser, HandshakeParses) {
+  std::string err;
+  const auto r = parseModel(kHandshake, &err);
+  ASSERT_TRUE(r.has_value()) << err;
+  EXPECT_EQ(r->system->numAutomata(), 2u);
+  EXPECT_EQ(r->system->numClocks(), 1u);
+  EXPECT_EQ(r->system->numVars(), 1u);
+  EXPECT_EQ(r->system->numChannels(), 1u);
+  ASSERT_EQ(r->queries.size(), 1u);
+  EXPECT_EQ(r->queries[0].locations.size(), 2u);
+  EXPECT_NE(r->queries[0].predicate, kNoExpr);
+  EXPECT_TRUE(r->system->finalized());
+}
+
+TEST(Parser, ParsedModelChecksLikeHandBuilt) {
+  std::string err;
+  const auto r = parseModel(kHandshake, &err);
+  ASSERT_TRUE(r.has_value()) << err;
+  engine::Goal goal{r->queries[0].locations, r->queries[0].predicate,
+                    r->queries[0].clockConstraints};
+  engine::Reachability checker(*r->system, engine::Options{});
+  const engine::Result res = checker.run(goal);
+  ASSERT_TRUE(res.reachable);
+  const auto ct = engine::concretize(*r->system, res.trace, &err);
+  ASSERT_TRUE(ct.has_value()) << err;
+  EXPECT_EQ(ct->makespan(), 3) << "guard x >= 3 forces the delay";
+}
+
+TEST(Parser, ArraysAndDynamicIndexing) {
+  const char* text = R"(
+int pos[3] = 0;
+int i = 0;
+process P {
+  loc l;
+  edge l -> l { guard i < 3 && pos[i] == 0; assign pos[i] = 1, i = i + 1; }
+}
+query reach pos[2] == 1;
+)";
+  std::string err;
+  const auto r = parseModel(text, &err);
+  ASSERT_TRUE(r.has_value()) << err;
+  engine::Goal goal{r->queries[0].locations, r->queries[0].predicate, {}};
+  engine::Reachability checker(*r->system, engine::Options{});
+  EXPECT_TRUE(checker.run(goal).reachable);
+}
+
+TEST(Parser, ClockEqualityAndDifferenceAtoms) {
+  const char* text = R"(
+clock x, y;
+process P {
+  loc a { inv x <= 10; }
+  loc b;
+  edge a -> b { guard x == 7 && x - y <= 0; }
+}
+query reach P.b && y >= 7;
+)";
+  std::string err;
+  const auto r = parseModel(text, &err);
+  ASSERT_TRUE(r.has_value()) << err;
+  engine::Goal goal{r->queries[0].locations, r->queries[0].predicate,
+                    r->queries[0].clockConstraints};
+  engine::Reachability checker(*r->system, engine::Options{});
+  const engine::Result res = checker.run(goal);
+  EXPECT_TRUE(res.reachable);
+}
+
+TEST(Parser, UrgentAndCommittedLocations) {
+  const char* text = R"(
+clock x;
+process P {
+  loc a;
+  urgent loc u;
+  committed loc c;
+  loc b;
+  edge a -> u { }
+  edge u -> c { }
+  edge c -> b { guard x >= 1; }
+}
+query reach P.b;
+)";
+  std::string err;
+  const auto r = parseModel(text, &err);
+  ASSERT_TRUE(r.has_value()) << err;
+  // No time may pass in u or c, so x >= 1 can never hold... unless time
+  // passed in a first. a has no invariant: delay there, then race
+  // through. Reachable.
+  engine::Goal goal{r->queries[0].locations, r->queries[0].predicate, {}};
+  engine::Reachability checker(*r->system, engine::Options{});
+  EXPECT_TRUE(checker.run(goal).reachable);
+  // And the parsed flags are set.
+  const Automaton& a = r->system->automaton(0);
+  EXPECT_TRUE(a.location(a.findLocation("u")).urgent);
+  EXPECT_TRUE(a.location(a.findLocation("c")).committed);
+}
+
+TEST(Parser, BroadcastChannel) {
+  const char* text = R"(
+broadcast chan all;
+process S { loc s0; loc s1; edge s0 -> s1 { sync all!; } }
+process R1 { loc r0; loc r1; edge r0 -> r1 { sync all?; } }
+process R2 { loc r0; loc r1; edge r0 -> r1 { sync all?; } }
+query reach S.s1 && R1.r1 && R2.r1;
+)";
+  std::string err;
+  const auto r = parseModel(text, &err);
+  ASSERT_TRUE(r.has_value()) << err;
+  EXPECT_EQ(r->system->channelKind(0), ChanKind::kBroadcast);
+  engine::Goal goal{r->queries[0].locations, r->queries[0].predicate, {}};
+  engine::Reachability checker(*r->system, engine::Options{});
+  const engine::Result res = checker.run(goal);
+  ASSERT_TRUE(res.reachable);
+  EXPECT_EQ(res.trace.steps[1].via.parts.size(), 3u);
+}
+
+TEST(Parser, ResetToValueAndTernary) {
+  const char* text = R"(
+clock x;
+int v = 0;
+process P {
+  loc a;
+  loc b;
+  edge a -> b { guard x >= 2; reset x = 5; assign v = v < 1 ? 10 : 20; }
+  edge b -> a { guard x >= 6; assign v = v + 1; }
+}
+query reach P.a && v == 11;
+)";
+  std::string err;
+  const auto r = parseModel(text, &err);
+  ASSERT_TRUE(r.has_value()) << err;
+  engine::Goal goal{r->queries[0].locations, r->queries[0].predicate, {}};
+  engine::Reachability checker(*r->system, engine::Options{});
+  EXPECT_TRUE(checker.run(goal).reachable);
+}
+
+// -- Error reporting -----------------------------------------------------
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  std::string err;
+  EXPECT_FALSE(parseModel("clock x\nint y;", &err).has_value());
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+}
+
+TEST(Parser, UnknownIdentifiersRejected) {
+  std::string err;
+  EXPECT_FALSE(
+      parseModel("process P { loc a; edge a -> nowhere { } }", &err)
+          .has_value());
+  EXPECT_NE(err.find("nowhere"), std::string::npos);
+
+  EXPECT_FALSE(
+      parseModel("process P { loc a; edge a -> a { sync ghost!; } }", &err)
+          .has_value());
+  EXPECT_NE(err.find("ghost"), std::string::npos);
+
+  EXPECT_FALSE(
+      parseModel("process P { loc a; edge a -> a { reset t; } }", &err)
+          .has_value());
+  EXPECT_NE(err.find("unknown clock"), std::string::npos);
+}
+
+TEST(Parser, DuplicateDeclarationsRejected) {
+  std::string err;
+  EXPECT_FALSE(parseModel("clock x; int x;", &err).has_value());
+  EXPECT_NE(err.find("already declared"), std::string::npos);
+}
+
+TEST(Parser, QueryOnUnknownLocationRejected) {
+  std::string err;
+  EXPECT_FALSE(
+      parseModel("process P { loc a; }\nquery reach P.b;", &err).has_value());
+  EXPECT_NE(err.find("P.b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ta
