@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_engine.cpp" "bench/CMakeFiles/ablation_engine.dir/ablation_engine.cpp.o" "gcc" "bench/CMakeFiles/ablation_engine.dir/ablation_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dbm/CMakeFiles/dbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ta/CMakeFiles/ta.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/plant/CMakeFiles/plant.dir/DependInfo.cmake"
+  "/root/repo/build/src/synthesis/CMakeFiles/synthesis.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcx/CMakeFiles/rcx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbm_micro.dir/dbm_micro.cpp.o"
+  "CMakeFiles/dbm_micro.dir/dbm_micro.cpp.o.d"
+  "dbm_micro"
+  "dbm_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbm_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

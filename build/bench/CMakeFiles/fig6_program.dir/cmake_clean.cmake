@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_program.dir/fig6_program.cpp.o"
+  "CMakeFiles/fig6_program.dir/fig6_program.cpp.o.d"
+  "fig6_program"
+  "fig6_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossy_channel.dir/lossy_channel.cpp.o"
+  "CMakeFiles/lossy_channel.dir/lossy_channel.cpp.o.d"
+  "lossy_channel"
+  "lossy_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossy_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_batches.dir/scaling_batches.cpp.o"
+  "CMakeFiles/scaling_batches.dir/scaling_batches.cpp.o.d"
+  "scaling_batches"
+  "scaling_batches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_batches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_guides.dir/table1_guides.cpp.o"
+  "CMakeFiles/table1_guides.dir/table1_guides.cpp.o.d"
+  "table1_guides"
+  "table1_guides.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_guides.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_schedule.dir/table2_schedule.cpp.o"
+  "CMakeFiles/table2_schedule.dir/table2_schedule.cpp.o.d"
+  "table2_schedule"
+  "table2_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

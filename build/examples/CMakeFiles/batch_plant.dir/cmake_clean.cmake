@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_plant.dir/batch_plant.cpp.o"
+  "CMakeFiles/batch_plant.dir/batch_plant.cpp.o.d"
+  "batch_plant"
+  "batch_plant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_plant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_model.dir/check_model.cpp.o"
+  "CMakeFiles/check_model.dir/check_model.cpp.o.d"
+  "check_model"
+  "check_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

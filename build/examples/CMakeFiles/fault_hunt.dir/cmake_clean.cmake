@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_hunt.dir/fault_hunt.cpp.o"
+  "CMakeFiles/fault_hunt.dir/fault_hunt.cpp.o.d"
+  "fault_hunt"
+  "fault_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

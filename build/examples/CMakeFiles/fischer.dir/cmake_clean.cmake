@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fischer.dir/fischer.cpp.o"
+  "CMakeFiles/fischer.dir/fischer.cpp.o.d"
+  "fischer"
+  "fischer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fischer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

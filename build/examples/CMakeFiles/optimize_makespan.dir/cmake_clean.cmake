@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_makespan.dir/optimize_makespan.cpp.o"
+  "CMakeFiles/optimize_makespan.dir/optimize_makespan.cpp.o.d"
+  "optimize_makespan"
+  "optimize_makespan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

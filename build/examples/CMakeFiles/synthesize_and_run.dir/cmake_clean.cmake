@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesize_and_run.dir/synthesize_and_run.cpp.o"
+  "CMakeFiles/synthesize_and_run.dir/synthesize_and_run.cpp.o.d"
+  "synthesize_and_run"
+  "synthesize_and_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesize_and_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

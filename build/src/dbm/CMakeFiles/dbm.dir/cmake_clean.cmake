@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbm.dir/dbm.cpp.o"
+  "CMakeFiles/dbm.dir/dbm.cpp.o.d"
+  "libdbm.a"
+  "libdbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/reachability.cpp" "src/engine/CMakeFiles/engine.dir/reachability.cpp.o" "gcc" "src/engine/CMakeFiles/engine.dir/reachability.cpp.o.d"
+  "/root/repo/src/engine/simulator.cpp" "src/engine/CMakeFiles/engine.dir/simulator.cpp.o" "gcc" "src/engine/CMakeFiles/engine.dir/simulator.cpp.o.d"
+  "/root/repo/src/engine/successors.cpp" "src/engine/CMakeFiles/engine.dir/successors.cpp.o" "gcc" "src/engine/CMakeFiles/engine.dir/successors.cpp.o.d"
+  "/root/repo/src/engine/trace.cpp" "src/engine/CMakeFiles/engine.dir/trace.cpp.o" "gcc" "src/engine/CMakeFiles/engine.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ta/CMakeFiles/ta.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbm/CMakeFiles/dbm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

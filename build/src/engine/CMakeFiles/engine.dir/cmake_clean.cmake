@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine.dir/reachability.cpp.o"
+  "CMakeFiles/engine.dir/reachability.cpp.o.d"
+  "CMakeFiles/engine.dir/simulator.cpp.o"
+  "CMakeFiles/engine.dir/simulator.cpp.o.d"
+  "CMakeFiles/engine.dir/successors.cpp.o"
+  "CMakeFiles/engine.dir/successors.cpp.o.d"
+  "CMakeFiles/engine.dir/trace.cpp.o"
+  "CMakeFiles/engine.dir/trace.cpp.o.d"
+  "libengine.a"
+  "libengine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plant.dir/builder.cpp.o"
+  "CMakeFiles/plant.dir/builder.cpp.o.d"
+  "libplant.a"
+  "libplant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcx.dir/physics.cpp.o"
+  "CMakeFiles/rcx.dir/physics.cpp.o.d"
+  "CMakeFiles/rcx.dir/plant_sim.cpp.o"
+  "CMakeFiles/rcx.dir/plant_sim.cpp.o.d"
+  "CMakeFiles/rcx.dir/vm.cpp.o"
+  "CMakeFiles/rcx.dir/vm.cpp.o.d"
+  "librcx.a"
+  "librcx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synthesis/io.cpp" "src/synthesis/CMakeFiles/synthesis.dir/io.cpp.o" "gcc" "src/synthesis/CMakeFiles/synthesis.dir/io.cpp.o.d"
+  "/root/repo/src/synthesis/rcx_codegen.cpp" "src/synthesis/CMakeFiles/synthesis.dir/rcx_codegen.cpp.o" "gcc" "src/synthesis/CMakeFiles/synthesis.dir/rcx_codegen.cpp.o.d"
+  "/root/repo/src/synthesis/schedule.cpp" "src/synthesis/CMakeFiles/synthesis.dir/schedule.cpp.o" "gcc" "src/synthesis/CMakeFiles/synthesis.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ta/CMakeFiles/ta.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbm/CMakeFiles/dbm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesis.dir/io.cpp.o"
+  "CMakeFiles/synthesis.dir/io.cpp.o.d"
+  "CMakeFiles/synthesis.dir/rcx_codegen.cpp.o"
+  "CMakeFiles/synthesis.dir/rcx_codegen.cpp.o.d"
+  "CMakeFiles/synthesis.dir/schedule.cpp.o"
+  "CMakeFiles/synthesis.dir/schedule.cpp.o.d"
+  "libsynthesis.a"
+  "libsynthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

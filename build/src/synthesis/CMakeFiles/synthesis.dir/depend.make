@@ -1,0 +1,2 @@
+# Empty dependencies file for synthesis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ta.dir/expr.cpp.o"
+  "CMakeFiles/ta.dir/expr.cpp.o.d"
+  "CMakeFiles/ta.dir/parser.cpp.o"
+  "CMakeFiles/ta.dir/parser.cpp.o.d"
+  "CMakeFiles/ta.dir/system.cpp.o"
+  "CMakeFiles/ta.dir/system.cpp.o.d"
+  "libta.a"
+  "libta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

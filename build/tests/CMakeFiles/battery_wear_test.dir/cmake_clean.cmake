@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_wear_test.dir/integration/battery_wear_test.cpp.o"
+  "CMakeFiles/battery_wear_test.dir/integration/battery_wear_test.cpp.o.d"
+  "battery_wear_test"
+  "battery_wear_test.pdb"
+  "battery_wear_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_wear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

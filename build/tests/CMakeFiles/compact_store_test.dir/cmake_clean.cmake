@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compact_store_test.dir/engine/compact_store_test.cpp.o"
+  "CMakeFiles/compact_store_test.dir/engine/compact_store_test.cpp.o.d"
+  "compact_store_test"
+  "compact_store_test.pdb"
+  "compact_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compact_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbm_accessor_test.dir/dbm/dbm_accessor_test.cpp.o"
+  "CMakeFiles/dbm_accessor_test.dir/dbm/dbm_accessor_test.cpp.o.d"
+  "dbm_accessor_test"
+  "dbm_accessor_test.pdb"
+  "dbm_accessor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbm_accessor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

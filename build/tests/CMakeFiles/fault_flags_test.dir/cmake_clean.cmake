@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_flags_test.dir/plant/fault_flags_test.cpp.o"
+  "CMakeFiles/fault_flags_test.dir/plant/fault_flags_test.cpp.o.d"
+  "fault_flags_test"
+  "fault_flags_test.pdb"
+  "fault_flags_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_flags_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fischer_test.dir/engine/fischer_test.cpp.o"
+  "CMakeFiles/fischer_test.dir/engine/fischer_test.cpp.o.d"
+  "fischer_test"
+  "fischer_test.pdb"
+  "fischer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fischer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimal_test.dir/dbm/minimal_test.cpp.o"
+  "CMakeFiles/minimal_test.dir/dbm/minimal_test.cpp.o.d"
+  "minimal_test"
+  "minimal_test.pdb"
+  "minimal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

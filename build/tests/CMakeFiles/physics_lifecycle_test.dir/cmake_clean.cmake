@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/physics_lifecycle_test.dir/rcx/physics_lifecycle_test.cpp.o"
+  "CMakeFiles/physics_lifecycle_test.dir/rcx/physics_lifecycle_test.cpp.o.d"
+  "physics_lifecycle_test"
+  "physics_lifecycle_test.pdb"
+  "physics_lifecycle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/physics_lifecycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plant_build_test.dir/plant/plant_build_test.cpp.o"
+  "CMakeFiles/plant_build_test.dir/plant/plant_build_test.cpp.o.d"
+  "plant_build_test"
+  "plant_build_test.pdb"
+  "plant_build_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plant_build_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

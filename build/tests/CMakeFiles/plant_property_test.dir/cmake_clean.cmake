@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plant_property_test.dir/plant/plant_property_test.cpp.o"
+  "CMakeFiles/plant_property_test.dir/plant/plant_property_test.cpp.o.d"
+  "plant_property_test"
+  "plant_property_test.pdb"
+  "plant_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plant_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

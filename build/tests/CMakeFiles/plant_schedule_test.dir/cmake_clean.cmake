@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plant_schedule_test.dir/plant/plant_schedule_test.cpp.o"
+  "CMakeFiles/plant_schedule_test.dir/plant/plant_schedule_test.cpp.o.d"
+  "plant_schedule_test"
+  "plant_schedule_test.pdb"
+  "plant_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plant_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

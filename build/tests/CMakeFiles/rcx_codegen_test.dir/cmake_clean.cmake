@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcx_codegen_test.dir/synthesis/rcx_codegen_test.cpp.o"
+  "CMakeFiles/rcx_codegen_test.dir/synthesis/rcx_codegen_test.cpp.o.d"
+  "rcx_codegen_test"
+  "rcx_codegen_test.pdb"
+  "rcx_codegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcx_codegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

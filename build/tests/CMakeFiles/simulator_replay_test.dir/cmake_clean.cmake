@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulator_replay_test.dir/integration/simulator_replay_test.cpp.o"
+  "CMakeFiles/simulator_replay_test.dir/integration/simulator_replay_test.cpp.o.d"
+  "simulator_replay_test"
+  "simulator_replay_test.pdb"
+  "simulator_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulator_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
