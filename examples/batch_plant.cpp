@@ -3,7 +3,7 @@
 // schedule statistics and (optionally) the schedule itself.
 //
 // Usage: batch_plant [batches] [guides: all|some|none] [search: dfs|bfs|rdfs]
-//                    [seconds] [--trace]
+//                    [seconds] [--trace] [--threads N]
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -37,6 +37,9 @@ int main(int argc, char** argv) {
   for (int i = 5; i < argc; ++i) {
     if (std::string(argv[i]) == "--trace") showTrace = true;
     if (std::string(argv[i]) == "--reverse") opts.dfsReverse = true;
+    if (std::string(argv[i]) == "--threads" && i + 1 < argc) {
+      opts.threads = static_cast<size_t>(std::atoi(argv[++i]));
+    }
   }
   if (const char* s = std::getenv("SEED")) opts.seed = std::atoi(s);
   if (const char* m = std::getenv("MAX_MB")) opts.maxMemoryBytes = std::atoll(m) * 1024 * 1024;

@@ -2,7 +2,8 @@
 // for the format), run its `query reach ...` lines, print verdicts and
 // timed witness traces — the UPPAAL-shaped entry point of the library.
 //
-// Usage: check_model <model-file> [bfs|dfs|rdfs] [--trace]
+// Usage: check_model <model-file> [bfs|dfs|rdfs] [--trace] [--threads N]
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -13,7 +14,8 @@
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: check_model <model-file> [bfs|dfs|rdfs] [--trace]\n";
+    std::cerr << "usage: check_model <model-file> [bfs|dfs|rdfs] [--trace]"
+                 " [--threads N]\n";
     return 2;
   }
   std::ifstream in(argv[1]);
@@ -41,6 +43,9 @@ int main(int argc, char** argv) {
     if (a == "dfs") opts.order = engine::SearchOrder::kDfs;
     if (a == "rdfs") opts.order = engine::SearchOrder::kRandomDfs;
     if (a == "--trace") showTrace = true;
+    if (a == "--threads" && i + 1 < argc) {
+      opts.threads = static_cast<size_t>(std::atoi(argv[++i]));
+    }
   }
 
   if (parsed->queries.empty()) {

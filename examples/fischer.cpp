@@ -11,8 +11,9 @@
 // Mutual exclusion holds iff K >= D (the write must settle before
 // anyone re-reads).  We verify both directions.
 //
-// Usage: fischer [processes] [D] [K]
+// Usage: fischer [processes] [D] [K] [--threads N]
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <vector>
 
@@ -57,12 +58,21 @@ struct Fischer {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int n = argc > 1 ? std::atoi(argv[1]) : 4;
-  const int d = argc > 2 ? std::atoi(argv[2]) : 2;
-  const int k = argc > 3 ? std::atoi(argv[3]) : 3;
+  size_t threads = 1;
+  std::vector<int> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<size_t>(std::atoi(argv[++i]));
+    } else {
+      positional.push_back(std::atoi(argv[i]));
+    }
+  }
+  const int n = positional.size() > 0 ? positional[0] : 4;
+  const int d = positional.size() > 1 ? positional[1] : 2;
+  const int k = positional.size() > 2 ? positional[2] : 3;
 
   std::cout << "Fischer's protocol, " << n << " processes, D=" << d
-            << " K=" << k << "\n";
+            << " K=" << k << ", " << threads << " thread(s)\n";
 
   Fischer model(n, d, k);
 
@@ -75,6 +85,7 @@ int main(int argc, char** argv) {
                        {model.procs[j], model.critical[j]}};
       engine::Options opts;
       opts.maxSeconds = 60.0;
+      opts.threads = threads;
       engine::Reachability checker(model.sys, opts);
       const engine::Result res = checker.run(bad);
       if (res.reachable) {

@@ -17,6 +17,7 @@ Dbm Dbm::unconstrained(uint32_t dim) {
 }
 
 bool Dbm::close() {
+  invalidateHash();
   const uint32_t n = dim_;
   for (uint32_t k = 0; k < n; ++k) {
     for (uint32_t i = 0; i < n; ++i) {
@@ -36,6 +37,7 @@ bool Dbm::close() {
 }
 
 bool Dbm::closeAfterConstrain(uint32_t a, uint32_t b) {
+  invalidateHash();
   const uint32_t n = dim_;
   const raw_t dab = raw_[a * n + b];
   if (boundAdd(dab, raw_[b * n + a]) < kZeroBound) {
@@ -62,10 +64,12 @@ bool Dbm::constrain(uint32_t i, uint32_t j, raw_t b) {
 }
 
 void Dbm::up() {
+  invalidateHash();
   for (uint32_t i = 1; i < dim_; ++i) raw_[i * dim_] = kInfinity;
 }
 
 void Dbm::down() {
+  invalidateHash();
   // Relax lower bounds: x_j may be anything a past valuation allowed,
   // clamped at 0.  Preserves canonical form (UDBM's dbm_down).
   const uint32_t n = dim_;
@@ -79,6 +83,7 @@ void Dbm::down() {
 }
 
 void Dbm::reset(uint32_t i, value_t v) {
+  invalidateHash();
   assert(i > 0 && i < dim_);
   const uint32_t n = dim_;
   const raw_t up_b = boundWeak(v);
@@ -91,6 +96,7 @@ void Dbm::reset(uint32_t i, value_t v) {
 }
 
 void Dbm::copyClock(uint32_t i, uint32_t j) {
+  invalidateHash();
   assert(i > 0 && i != j);
   const uint32_t n = dim_;
   for (uint32_t k = 0; k < n; ++k) {
@@ -103,6 +109,7 @@ void Dbm::copyClock(uint32_t i, uint32_t j) {
 }
 
 void Dbm::freeClock(uint32_t i) {
+  invalidateHash();
   assert(i > 0 && i < dim_);
   const uint32_t n = dim_;
   for (uint32_t j = 0; j < n; ++j) {
@@ -186,12 +193,16 @@ bool Dbm::containsPoint(std::span<const int64_t> val) const noexcept {
 }
 
 size_t Dbm::hash() const noexcept {
+  size_t h = hash_.load(std::memory_order_relaxed);
+  if (h != 0) return h;
   // FNV-1a over the raw entries.
-  size_t h = 1469598103934665603ull;
+  h = 1469598103934665603ull;
   for (raw_t r : raw_) {
     h ^= static_cast<size_t>(static_cast<uint32_t>(r));
     h *= 1099511628211ull;
   }
+  if (h == 0) h = 0x9e3779b97f4a7c15ull;  // 0 is the "not computed" sentinel
+  hash_.store(h, std::memory_order_relaxed);
   return h;
 }
 

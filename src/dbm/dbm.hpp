@@ -10,6 +10,7 @@
 // represented canonically by at(0,0) < (0, <=).
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <functional>
@@ -20,6 +21,8 @@
 #include "dbm/bound.hpp"
 
 namespace dbm {
+
+class ZonePool;
 
 /// Result of comparing two zones over the same clock set.
 enum class Relation : uint8_t {
@@ -36,6 +39,31 @@ class Dbm {
   /// Uninitialized-to-zero zone of the given dimension: all clocks == 0.
   explicit Dbm(uint32_t dim) : dim_(dim), raw_(dim * dim, kZeroBound) {
     assert(dim >= 1);
+  }
+
+  // The memoized hash lives in an atomic, which is neither copyable nor
+  // movable — spell out the special members it would otherwise delete.
+  Dbm(const Dbm& o) : dim_(o.dim_), raw_(o.raw_) {
+    hash_.store(o.hash_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
+  Dbm(Dbm&& o) noexcept : dim_(o.dim_), raw_(std::move(o.raw_)) {
+    hash_.store(o.hash_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
+  Dbm& operator=(const Dbm& o) {
+    dim_ = o.dim_;
+    raw_ = o.raw_;
+    hash_.store(o.hash_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
+  Dbm& operator=(Dbm&& o) noexcept {
+    dim_ = o.dim_;
+    raw_ = std::move(o.raw_);
+    hash_.store(o.hash_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
   }
 
   /// The zone where every clock equals zero (the initial zone).
@@ -56,13 +84,17 @@ class Dbm {
   void setRaw(uint32_t i, uint32_t j, raw_t b) noexcept {
     assert(i < dim_ && j < dim_);
     raw_[i * dim_ + j] = b;
+    invalidateHash();
   }
 
   /// True if the zone contains no valuation.
   [[nodiscard]] bool isEmpty() const noexcept { return raw_[0] < kZeroBound; }
 
   /// Mark the zone empty (canonical empty representation).
-  void setEmpty() noexcept { raw_[0] = boundStrict(0); }
+  void setEmpty() noexcept {
+    raw_[0] = boundStrict(0);
+    invalidateHash();
+  }
 
   // -- Canonicalization -----------------------------------------------
 
@@ -152,6 +184,10 @@ class Dbm {
 
   // -- Misc ---------------------------------------------------------------
 
+  /// FNV-1a over the raw entries, memoized: computed on first call and
+  /// cached until the next mutating operation. The cache is a relaxed
+  /// atomic so concurrent readers of a shared (immutable) zone may race
+  /// on it benignly; 0 doubles as the "not computed" sentinel.
   [[nodiscard]] size_t hash() const noexcept;
 
   [[nodiscard]] bool operator==(const Dbm& other) const noexcept {
@@ -167,8 +203,22 @@ class Dbm {
   }
 
  private:
+  friend class ZonePool;
+
+  /// Adopt an existing buffer (already holding dim*dim entries) —
+  /// the ZonePool's recycling constructor.
+  Dbm(uint32_t dim, std::vector<raw_t>&& buf) noexcept
+      : dim_(dim), raw_(std::move(buf)) {
+    assert(raw_.size() == size_t{dim} * dim);
+  }
+
+  void invalidateHash() noexcept {
+    hash_.store(0, std::memory_order_relaxed);
+  }
+
   uint32_t dim_;
   std::vector<raw_t> raw_;
+  mutable std::atomic<size_t> hash_{0};
 };
 
 }  // namespace dbm

@@ -40,7 +40,12 @@ class MinimalDbm {
     // a witness chain ending in finally-kept edges, so the closure of
     // the kept set reproduces the full matrix. (Sound; minimal up to
     // tie-breaking among zero-cycles.)
-    std::vector<bool> dropped(n * n, false);
+    //
+    // The scratch bitmap is thread-local: from() runs once per stored
+    // state on the engine's hot path, and a fresh n*n allocation per
+    // call dominates the reduction cost for small dimensions.
+    thread_local std::vector<char> dropped;
+    dropped.assign(size_t{n} * n, 0);
     const auto idx = [n](uint32_t i, uint32_t j) { return i * n + j; };
     for (uint32_t i = 0; i < n; ++i) {
       for (uint32_t j = 0; j < n; ++j) {

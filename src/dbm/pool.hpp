@@ -1,0 +1,56 @@
+// Thread-local recycling pool for DBM buffers.
+//
+// Successor computation builds a candidate zone per attempted edge and
+// discards most of them (guard empties the zone, the state is covered,
+// the invariant fails...). Routing those discards back through a free
+// list turns the per-candidate operator new/delete churn into a couple
+// of pointer swaps. Each thread owns an independent free list, so the
+// pool needs no locking and is safe under the parallel engine — a zone
+// acquired on one thread may be recycled on another; the buffer simply
+// migrates to the recycling thread's list.
+#pragma once
+
+#include <vector>
+
+#include "dbm/dbm.hpp"
+
+namespace dbm {
+
+class ZonePool {
+ public:
+  /// A copy of `src`, backed by a recycled buffer when one is available
+  /// (falls back to a plain copy otherwise). The memoized hash travels
+  /// with the copy.
+  [[nodiscard]] static Dbm copyOf(const Dbm& src) {
+    auto& fl = freeList();
+    if (fl.empty()) return src;
+    std::vector<raw_t> buf = std::move(fl.back());
+    fl.pop_back();
+    buf.assign(src.raw_.begin(), src.raw_.end());
+    Dbm out(src.dim_, std::move(buf));
+    out.hash_.store(src.hash_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    return out;
+  }
+
+  /// Hand a dead zone's buffer to this thread's free list.
+  static void recycle(Dbm&& z) noexcept {
+    auto& fl = freeList();
+    if (z.raw_.capacity() != 0 && fl.size() < kMaxPooled) {
+      fl.push_back(std::move(z.raw_));
+    }
+  }
+
+  /// Buffers currently pooled on this thread (for tests).
+  [[nodiscard]] static size_t pooled() noexcept { return freeList().size(); }
+
+ private:
+  static constexpr size_t kMaxPooled = 512;
+
+  [[nodiscard]] static std::vector<std::vector<raw_t>>& freeList() noexcept {
+    thread_local std::vector<std::vector<raw_t>> list;
+    return list;
+  }
+};
+
+}  // namespace dbm

@@ -44,6 +44,18 @@ struct Options {
   /// Implies inclusion checking.
   bool compactPassed = false;
 
+  /// Worker threads for breadth-first search. 1 = the sequential
+  /// engine; > 1 selects the level-synchronous parallel explorer
+  /// (chunked frontier queue + sharded passed store). Verdicts match
+  /// the sequential engine; see DESIGN.md "Parallel explorer".
+  /// Ignored by the depth-first orders.
+  size_t threads = 1;
+
+  /// log2 of the number of passed-store shards in parallel mode.
+  /// 2^6 = 64 shards keeps try_lock contention negligible up to a
+  /// few dozen workers.
+  uint32_t shardBits = 6;
+
   /// Seed for kRandomDfs.
   uint64_t seed = 1;
 

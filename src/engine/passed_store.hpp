@@ -1,0 +1,206 @@
+// Passed/waiting stores for the reachability engine.
+//
+// `PassedStore` is UPPAAL's PWList: zones bucketed by discrete state,
+// with optional inclusion checking and optional reduced
+// ("minimal constraint") zone storage. `BitTable` is Holzmann's
+// two-bit bit-state hash table. `ShardedPassedStore` wraps 2^shardBits
+// independently-locked PassedStores for the parallel engine: the shard
+// is picked from DiscreteState::hash(), so all zones of one discrete
+// state land in one shard and the covered-check/insert pair stays
+// atomic under that shard's lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "dbm/dbm.hpp"
+#include "dbm/minimal.hpp"
+#include "dbm/pool.hpp"
+#include "engine/state.hpp"
+
+namespace engine {
+
+struct DiscreteHash {
+  size_t operator()(const DiscreteState& d) const noexcept { return d.hash(); }
+};
+
+/// Passed/waiting store with zone-inclusion checking (UPPAAL's PWList).
+/// With `compact`, zones are held in reduced minimal-constraint form
+/// (the paper's compact data-structure option [9]).
+class PassedStore {
+ public:
+  PassedStore(bool inclusion, bool compact)
+      : inclusion_(inclusion || compact), compact_(compact) {}
+
+  [[nodiscard]] bool covered(const SymbolicState& s) const {
+    if (compact_) {
+      const auto it = compactMap_.find(s.d);
+      if (it == compactMap_.end()) return false;
+      for (const dbm::MinimalDbm& z : it->second) {
+        if (z.includes(s.zone)) return true;
+      }
+      return false;
+    }
+    const auto it = map_.find(s.d);
+    if (it == map_.end()) return false;
+    for (const dbm::Dbm& z : it->second) {
+      if (inclusion_ ? z.includes(s.zone) : z == s.zone) return true;
+    }
+    return false;
+  }
+
+  void insert(const SymbolicState& s) {
+    if (compact_) {
+      auto& zones = compactMap_[s.d];
+      if (zones.empty()) bytes_ += s.d.memoryBytes() + kEntryOverhead;
+      zones.push_back(dbm::MinimalDbm::from(s.zone));
+      bytes_ += zones.back().memoryBytes();
+      ++states_;
+      return;
+    }
+    auto& zones = map_[s.d];
+    if (zones.empty()) bytes_ += s.d.memoryBytes() + kEntryOverhead;
+    if (inclusion_) {
+      // Drop stored zones the new one subsumes (recycling their buffers).
+      std::erase_if(zones, [&](dbm::Dbm& z) {
+        if (s.zone.includes(z)) {
+          bytes_ -= z.memoryBytes();
+          --states_;
+          dbm::ZonePool::recycle(std::move(z));
+          return true;
+        }
+        return false;
+      });
+    }
+    ++states_;
+    bytes_ += s.zone.memoryBytes();
+    zones.push_back(s.zone);
+  }
+
+  [[nodiscard]] size_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] size_t states() const noexcept { return states_; }
+
+ private:
+  static constexpr size_t kEntryOverhead = 64;  // hash-map node estimate
+
+  bool inclusion_;
+  bool compact_;
+  std::unordered_map<DiscreteState, std::vector<dbm::Dbm>, DiscreteHash> map_;
+  std::unordered_map<DiscreteState, std::vector<dbm::MinimalDbm>,
+                     DiscreteHash>
+      compactMap_;
+  size_t bytes_ = 0;
+  size_t states_ = 0;
+};
+
+/// Holzmann-style two-bit bit-state hash table.
+class BitTable {
+ public:
+  explicit BitTable(uint32_t bits)
+      : mask_((size_t{1} << bits) - 1), words_((size_t{1} << bits) / 64 + 1) {}
+
+  [[nodiscard]] bool testAndSet(const SymbolicState& s) {
+    // Two probes from independently seeded hashes — see
+    // SymbolicState::fullHash2() for why deriving both positions from
+    // one hash value would break the two-bit scheme.
+    const size_t h1 = s.fullHash() & mask_;
+    const size_t h2 = s.fullHash2() & mask_;
+    const bool seen = get(h1) && get(h2);
+    set(h1);
+    set(h2);
+    return seen;
+  }
+
+  [[nodiscard]] size_t bytes() const noexcept {
+    return words_.size() * sizeof(uint64_t);
+  }
+
+ private:
+  [[nodiscard]] bool get(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  void set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+
+  size_t mask_;
+  std::vector<uint64_t> words_;
+};
+
+/// N = 2^shardBits independently-locked PassedStores for the parallel
+/// explorer. Lock scope is one shard, so threads working on different
+/// discrete-state hash slices never contend.
+class ShardedPassedStore {
+ public:
+  ShardedPassedStore(uint32_t shardBits, bool inclusion, bool compact)
+      : mask_((size_t{1} << shardBits) - 1) {
+    const size_t n = size_t{1} << shardBits;
+    shards_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      shards_.push_back(std::make_unique<Shard>(inclusion, compact));
+    }
+  }
+
+  /// Atomic covered-check + insert under the owning shard's lock.
+  /// Returns true when the state was new (and is now stored).
+  [[nodiscard]] bool testAndInsert(const SymbolicState& s) {
+    Shard& sh = *shards_[shardOf(s.d.hash())];
+    std::unique_lock<std::mutex> lk(sh.m, std::try_to_lock);
+    if (!lk.owns_lock()) {
+      contention_.fetch_add(1, std::memory_order_relaxed);
+      lk.lock();
+    }
+    if (sh.store.covered(s)) return false;
+    sh.store.insert(s);
+    return true;
+  }
+
+  // Aggregates lock shard-by-shard; exact when no insert is racing
+  // (the engine reads them at level barriers).
+  [[nodiscard]] size_t bytes() const {
+    size_t b = 0;
+    for (const auto& sh : shards_) {
+      std::lock_guard<std::mutex> lk(sh->m);
+      b += sh->store.bytes();
+    }
+    return b;
+  }
+
+  [[nodiscard]] size_t states() const {
+    size_t n = 0;
+    for (const auto& sh : shards_) {
+      std::lock_guard<std::mutex> lk(sh->m);
+      n += sh->store.states();
+    }
+    return n;
+  }
+
+  /// try_lock failures on the shard locks so far.
+  [[nodiscard]] size_t lockContention() const noexcept {
+    return contention_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] size_t numShards() const noexcept { return shards_.size(); }
+
+ private:
+  // One cache line per shard header so neighbouring locks don't false-share.
+  struct alignas(64) Shard {
+    Shard(bool inclusion, bool compact) : store(inclusion, compact) {}
+    mutable std::mutex m;
+    PassedStore store;
+  };
+
+  [[nodiscard]] size_t shardOf(size_t h) const noexcept {
+    // The unordered_map inside each shard consumes the low bits of the
+    // same hash; take the shard index from remixed high bits.
+    return ((h * 0x9e3779b97f4a7c15ull) >> 32) & mask_;
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<size_t> contention_{0};
+  size_t mask_;
+};
+
+}  // namespace engine

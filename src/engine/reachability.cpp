@@ -5,9 +5,9 @@
 #include <chrono>
 #include <deque>
 #include <random>
-#include <unordered_map>
 
-#include "dbm/minimal.hpp"
+#include "dbm/pool.hpp"
+#include "engine/passed_store.hpp"
 
 namespace engine {
 
@@ -20,13 +20,15 @@ bool Goal::matches(const ta::System& sys, const SymbolicState& s) const {
     return false;
   }
   if (!clockConstraints.empty()) {
-    dbm::Dbm z = s.zone;
+    dbm::Dbm z = dbm::ZonePool::copyOf(s.zone);
     for (const ta::ClockConstraint& cc : clockConstraints) {
       if (!z.constrain(static_cast<uint32_t>(cc.i),
                        static_cast<uint32_t>(cc.j), cc.bound)) {
+        dbm::ZonePool::recycle(std::move(z));
         return false;
       }
     }
+    dbm::ZonePool::recycle(std::move(z));
   }
   return true;
 }
@@ -34,112 +36,6 @@ bool Goal::matches(const ta::System& sys, const SymbolicState& s) const {
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-struct DiscreteHash {
-  size_t operator()(const DiscreteState& d) const noexcept { return d.hash(); }
-};
-
-/// Passed/waiting store with zone-inclusion checking (UPPAAL's PWList).
-/// With `compact`, zones are held in reduced minimal-constraint form
-/// (the paper's compact data-structure option [9]).
-class PassedStore {
- public:
-  PassedStore(bool inclusion, bool compact)
-      : inclusion_(inclusion || compact), compact_(compact) {}
-
-  [[nodiscard]] bool covered(const SymbolicState& s) const {
-    if (compact_) {
-      const auto it = compactMap_.find(s.d);
-      if (it == compactMap_.end()) return false;
-      for (const dbm::MinimalDbm& z : it->second) {
-        if (z.includes(s.zone)) return true;
-      }
-      return false;
-    }
-    const auto it = map_.find(s.d);
-    if (it == map_.end()) return false;
-    for (const dbm::Dbm& z : it->second) {
-      if (inclusion_ ? z.includes(s.zone) : z == s.zone) return true;
-    }
-    return false;
-  }
-
-  void insert(const SymbolicState& s) {
-    if (compact_) {
-      auto& zones = compactMap_[s.d];
-      if (zones.empty()) bytes_ += s.d.memoryBytes() + kEntryOverhead;
-      zones.push_back(dbm::MinimalDbm::from(s.zone));
-      bytes_ += zones.back().memoryBytes();
-      ++states_;
-      return;
-    }
-    auto& zones = map_[s.d];
-    if (zones.empty()) bytes_ += s.d.memoryBytes() + kEntryOverhead;
-    if (inclusion_) {
-      // Drop stored zones the new one subsumes.
-      std::erase_if(zones, [&](const dbm::Dbm& z) {
-        if (s.zone.includes(z)) {
-          bytes_ -= z.memoryBytes();
-          --states_;
-          return true;
-        }
-        return false;
-      });
-    }
-    ++states_;
-    bytes_ += s.zone.memoryBytes();
-    zones.push_back(s.zone);
-  }
-
-  [[nodiscard]] size_t bytes() const noexcept { return bytes_; }
-  [[nodiscard]] size_t states() const noexcept { return states_; }
-
- private:
-  static constexpr size_t kEntryOverhead = 64;  // hash-map node estimate
-
-  bool inclusion_;
-  bool compact_;
-  std::unordered_map<DiscreteState, std::vector<dbm::Dbm>, DiscreteHash> map_;
-  std::unordered_map<DiscreteState, std::vector<dbm::MinimalDbm>,
-                     DiscreteHash>
-      compactMap_;
-  size_t bytes_ = 0;
-  size_t states_ = 0;
-};
-
-/// Holzmann-style two-bit bit-state hash table.
-class BitTable {
- public:
-  explicit BitTable(uint32_t bits)
-      : mask_((size_t{1} << bits) - 1), words_((size_t{1} << bits) / 64 + 1) {}
-
-  [[nodiscard]] bool testAndSet(const SymbolicState& s) {
-    const size_t h1 = s.fullHash() & mask_;
-    // Second independent hash: remix with a different constant.
-    size_t h2 = s.fullHash();
-    h2 ^= h2 >> 33;
-    h2 *= 0xff51afd7ed558ccdull;
-    h2 ^= h2 >> 33;
-    h2 &= mask_;
-    const bool seen = get(h1) && get(h2);
-    set(h1);
-    set(h2);
-    return seen;
-  }
-
-  [[nodiscard]] size_t bytes() const noexcept {
-    return words_.size() * sizeof(uint64_t);
-  }
-
- private:
-  [[nodiscard]] bool get(size_t i) const {
-    return (words_[i >> 6] >> (i & 63)) & 1;
-  }
-  void set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
-
-  size_t mask_;
-  std::vector<uint64_t> words_;
-};
 
 struct CutoffChecker {
   const Options& opts;
@@ -174,7 +70,8 @@ Reachability::Reachability(const ta::System& sys, Options opts)
 Result Reachability::run(const Goal& goal) {
   // Clocks the goal observes must survive the reductions.
   gen_.observeGoalConstraints(goal.clockConstraints);
-  return opts_.order == SearchOrder::kBfs ? runBfs(goal) : runDfs(goal);
+  if (opts_.order != SearchOrder::kBfs) return runDfs(goal);
+  return opts_.threads > 1 ? runParallelBfs(goal) : runBfs(goal);
 }
 
 // --------------------------------------------------------------------------
@@ -229,6 +126,13 @@ Result Reachability::runBfs(const Goal& goal) {
   res.stats.peakBytes = res.stats.bytesStored;
 
   while (!waiting.empty()) {
+    // Refresh memory accounting once per popped state — covered
+    // successors never enter the insert branch, and a long covered
+    // stretch must not let the maxMemoryBytes cutoff fire late.
+    res.stats.bytesStored = passed.bytes() + arenaBytes +
+                            arena.size() * sizeof(Node) +
+                            waiting.size() * sizeof(int64_t);
+    res.stats.peakBytes = std::max(res.stats.peakBytes, res.stats.bytesStored);
     if (const Cutoff c = cut.check(res.stats); c != Cutoff::kNone) {
       return finish(c, false);
     }
@@ -252,16 +156,14 @@ Result Reachability::runBfs(const Goal& goal) {
         buildTrace(static_cast<int64_t>(arena.size()) - 1);
         return finish(Cutoff::kNone, false);
       }
-      if (passed.covered(suc.state)) continue;
+      if (passed.covered(suc.state)) {
+        dbm::ZonePool::recycle(std::move(suc.state.zone));
+        continue;
+      }
       passed.insert(suc.state);
       arenaBytes += suc.state.memoryBytes();
       arena.push_back({std::move(suc.state), std::move(suc.via), idx});
       waiting.push_back(static_cast<int64_t>(arena.size()) - 1);
-      res.stats.bytesStored = passed.bytes() + arenaBytes +
-                              arena.size() * sizeof(Node) +
-                              waiting.size() * sizeof(int64_t);
-      res.stats.peakBytes =
-          std::max(res.stats.peakBytes, res.stats.bytesStored);
     }
   }
   return finish(Cutoff::kNone, true);
@@ -388,7 +290,10 @@ Result Reachability::runDfs(const Goal& goal) {
       buildTrace(&suc);
       return finish(Cutoff::kNone, false);
     }
-    if (covered(suc.state)) continue;
+    if (covered(suc.state)) {
+      dbm::ZonePool::recycle(std::move(suc.state.zone));
+      continue;
+    }
     store(suc.state);
     pushFrame(std::move(suc.state), std::move(suc.via));
     if (topIsDeadlock()) {

@@ -61,6 +61,9 @@ class Reachability {
  private:
   [[nodiscard]] Result runBfs(const Goal& goal);
   [[nodiscard]] Result runDfs(const Goal& goal);
+  /// Level-synchronous multi-threaded BFS (opts.threads > 1); defined
+  /// in parallel_bfs.cpp. Verdict-equivalent to runBfs.
+  [[nodiscard]] Result runParallelBfs(const Goal& goal);
 
   const ta::System& sys_;
   Options opts_;

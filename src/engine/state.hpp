@@ -31,6 +31,23 @@ struct DiscreteState {
     return h;
   }
 
+  /// A second hash over the same data from an independent seed and
+  /// multiplier (xxHash-style constants). Bit-state hashing needs two
+  /// probe positions that do not collide together: deriving both from
+  /// one hash value makes every h1 collision an h2 collision, silently
+  /// doubling the omission probability the two-bit scheme is meant to
+  /// suppress.
+  [[nodiscard]] size_t hash2() const noexcept {
+    size_t h = 0x27220a95fe326639ull;
+    const auto mix = [&h](uint64_t v) {
+      h = (h ^ v) * 0x9e3779b185ebca87ull;
+      h ^= h >> 29;
+    };
+    for (ta::LocId l : locs) mix(static_cast<uint32_t>(l));
+    for (int32_t v : vars) mix(static_cast<uint32_t>(v) + 0x85ebca77u);
+    return h;
+  }
+
   [[nodiscard]] size_t memoryBytes() const noexcept {
     return locs.capacity() * sizeof(ta::LocId) +
            vars.capacity() * sizeof(int32_t);
@@ -63,6 +80,19 @@ struct SymbolicState {
   [[nodiscard]] size_t fullHash() const noexcept {
     size_t h = d.hash();
     h ^= zone.hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+  }
+
+  /// Second, independently seeded combined hash: built from
+  /// DiscreteState::hash2() (its own seed and multiplier) and a
+  /// different mixing of the zone hash, so (fullHash, fullHash2)
+  /// collide together only for genuinely identical content — the
+  /// property the two-bit bit-state scheme relies on.
+  [[nodiscard]] size_t fullHash2() const noexcept {
+    size_t h = d.hash2();
+    size_t z = zone.hash() * 0xc2b2ae3d27d4eb4full;
+    z ^= z >> 33;
+    h ^= z + 0x165667b19e3779f9ull + (h << 25) + (h >> 7);
     return h;
   }
 };

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "engine/options.hpp"
 
@@ -17,6 +18,12 @@ struct Stats {
   size_t peakStackDepth = 0;   ///< DFS only
   double seconds = 0.0;
   Cutoff cutoff = Cutoff::kNone;
+
+  // -- Parallel BFS only (empty / zero on the sequential engines) -------
+  std::vector<size_t> perThreadExplored;  ///< states expanded per worker
+  size_t lockContention = 0;  ///< shard-lock try_lock failures
+  size_t chunkSteals = 0;     ///< frontier chunks taken outside the
+                              ///< worker's fair share of the level
 
   [[nodiscard]] double peakMegabytes() const noexcept {
     return static_cast<double>(peakBytes) / (1024.0 * 1024.0);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "dbm/pool.hpp"
+
 namespace engine {
 
 namespace {
@@ -60,16 +62,18 @@ bool SuccessorGenerator::normalize(SymbolicState& s) const {
     // A clock inactive in every process's current location is reset
     // before it is next tested, so its value is irrelevant: free it to
     // merge states that differ only in dead clock values.
-    std::vector<bool> active(sys_.dbmDimension(), false);
-    active[0] = true;
+    // (Thread-local scratch: normalize runs once per generated state.)
+    thread_local std::vector<char> active;
+    active.assign(sys_.dbmDimension(), 0);
+    active[0] = 1;
     for (size_t p = 0; p < s.d.locs.size(); ++p) {
       const ta::Automaton& a = sys_.automaton(static_cast<ta::ProcId>(p));
       for (ta::ClockId c : a.activeClocks(s.d.locs[p])) {
-        active[static_cast<size_t>(c)] = true;
+        active[static_cast<size_t>(c)] = 1;
       }
     }
     for (uint32_t c = 1; c < sys_.dbmDimension(); ++c) {
-      if (!active[c] && !protected_[c]) s.zone.freeClock(c);
+      if (active[c] == 0 && !protected_[c]) s.zone.freeClock(c);
     }
   }
   if (opts_.extrapolation) {
@@ -101,7 +105,13 @@ void SuccessorGenerator::tryFire(const SymbolicState& s,
     if (!sys_.pool().evalBool(e.guard, s.d.vars)) return;
   }
 
-  SymbolicState next{s.d, s.zone};
+  // The candidate zone comes from (and, on rejection, returns to) the
+  // thread-local pool: most attempts die on a guard or invariant, and
+  // this is the allocation hot path of the whole search.
+  SymbolicState next{s.d, dbm::ZonePool::copyOf(s.zone)};
+  const auto reject = [&next] {
+    dbm::ZonePool::recycle(std::move(next.zone));
+  };
 
   // 2. Clock guards.
   for (const TransitionPart& part : parts) {
@@ -110,6 +120,7 @@ void SuccessorGenerator::tryFire(const SymbolicState& s,
     for (const ta::ClockConstraint& cc : e.clockGuard) {
       if (!next.zone.constrain(static_cast<uint32_t>(cc.i),
                                static_cast<uint32_t>(cc.j), cc.bound)) {
+        reject();
         return;
       }
     }
@@ -126,6 +137,7 @@ void SuccessorGenerator::tryFire(const SymbolicState& s,
         idx = sys_.pool().eval(as.index, next.d.vars);
         if (idx < 0 || idx >= as.arraySize) {
           assert(false && "assignment index out of bounds");
+          reject();
           return;
         }
       }
@@ -139,8 +151,10 @@ void SuccessorGenerator::tryFire(const SymbolicState& s,
   }
 
   // 4. Target invariants, then delay/reduce/extrapolate.
-  if (!applyInvariants(next)) return;
-  if (!normalize(next)) return;
+  if (!applyInvariants(next) || !normalize(next)) {
+    reject();
+    return;
+  }
 
   out.push_back(Successor{std::move(next), Transition{parts}});
 }

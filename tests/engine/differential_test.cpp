@@ -96,6 +96,14 @@ Options config(int kind) {
     case 4: o.inclusionChecking = false; break;
     case 5: o.compactPassed = true; break;
     case 6: o.activeClockReduction = false; break;
+    case 7:  // parallel BFS, small shard count
+      o.threads = 2;
+      o.shardBits = 2;
+      break;
+    case 8:  // parallel BFS, single shard (maximal lock contention)
+      o.threads = 4;
+      o.shardBits = 0;
+      break;
     default:
       o.order = SearchOrder::kDfs;
       o.activeClockReduction = false;
@@ -110,7 +118,7 @@ class Differential : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(Differential, AllConfigurationsAgree) {
   const uint64_t seed = GetParam();
   int baseline = -1;
-  for (int kind = 0; kind < 8; ++kind) {
+  for (int kind = 0; kind < 10; ++kind) {
     RandomModel m(seed);
     Reachability checker(*m.sys, config(kind));
     const Result res = checker.run(m.goal);
