@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# One-command CI: tier-1 tests, the randomized fuzz suites, and a
+# ThreadSanitizer pass over the multi-threaded engine tests.
+#
+#   ci/run_checks.sh          # everything
+#   ci/run_checks.sh --fast   # skip the TSan build (tier-1 + fuzz only)
+#
+# Stages:
+#   1. tier-1   — release build, full ctest (the ROADMAP gate);
+#                 the fuzz-labelled suites are part of tier-1 and run
+#                 here too, so this stage alone matches the seed gate.
+#   2. fuzz     — ctest -L fuzz: the randomized differential and
+#                 property suites, isolated so a CI trajectory can
+#                 re-run just them (differential engine comparison,
+#                 DBM/minimal-form oracles, plant properties,
+#                 bit-state hashing).
+#   3. tsan     — fresh -DSANITIZE=thread build, ctest -L parallel:
+#                 every multi-threaded explorer (parallel BFS,
+#                 work-stealing DFS, portfolio) under ThreadSanitizer.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fast=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) fast=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+echo "== stage 1: tier-1 (release build + full ctest) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "== stage 2: fuzz label (randomized suites) =="
+ctest --test-dir build --output-on-failure -L fuzz -j "$jobs"
+
+if [[ "$fast" == 1 ]]; then
+  echo "== stage 3: tsan skipped (--fast) =="
+  exit 0
+fi
+
+echo "== stage 3: ThreadSanitizer (parallel label + differential) =="
+cmake -B build-tsan -S . -DSANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$jobs"
+ctest --test-dir build-tsan --output-on-failure -L parallel -j "$jobs"
+# The differential suite is labelled fuzz (one label per binary — see
+# tests/CMakeLists.txt) but exercises every parallel configuration, so
+# the TSan pass picks it up by name.
+ctest --test-dir build-tsan --output-on-failure -R 'Differential' -j "$jobs"
+
+echo "all checks passed"

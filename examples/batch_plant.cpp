@@ -3,7 +3,7 @@
 // schedule statistics and (optionally) the schedule itself.
 //
 // Usage: batch_plant [batches] [guides: all|some|none] [search: dfs|bfs|rdfs]
-//                    [seconds] [--trace] [--threads N]
+//                    [seconds] [--trace] [--threads N] [--portfolio]
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   for (int i = 5; i < argc; ++i) {
     if (std::string(argv[i]) == "--trace") showTrace = true;
     if (std::string(argv[i]) == "--reverse") opts.dfsReverse = true;
+    if (std::string(argv[i]) == "--portfolio") opts.portfolio = true;
     if (std::string(argv[i]) == "--threads" && i + 1 < argc) {
       opts.threads = static_cast<size_t>(std::atoi(argv[++i]));
     }
@@ -62,6 +63,12 @@ int main(int argc, char** argv) {
             << " stored=" << res.stats.statesStored << " peakMB="
             << res.stats.peakMegabytes() << " sec=" << res.stats.seconds
             << " cutoff=" << static_cast<int>(res.stats.cutoff) << "\n";
+  if (opts.threads > 1) {
+    std::cout << "threads=" << opts.threads << " steals="
+              << res.stats.chunkSteals + res.stats.frameSteals
+              << " cancelled=" << res.stats.cancelledWorkers
+              << " peakStack=" << res.stats.peakStackDepth << "\n";
+  }
   if (!res.reachable) return 1;
 
   std::string err;

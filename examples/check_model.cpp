@@ -3,6 +3,11 @@
 // timed witness traces — the UPPAAL-shaped entry point of the library.
 //
 // Usage: check_model <model-file> [bfs|dfs|rdfs] [--trace] [--threads N]
+//                    [--portfolio]
+//
+// --threads N parallelizes whichever order is selected (level-
+// synchronous BFS, work-stealing DFS); --portfolio races N independent
+// seeded DFS workers instead.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -15,7 +20,7 @@
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: check_model <model-file> [bfs|dfs|rdfs] [--trace]"
-                 " [--threads N]\n";
+                 " [--threads N] [--portfolio]\n";
     return 2;
   }
   std::ifstream in(argv[1]);
@@ -43,6 +48,7 @@ int main(int argc, char** argv) {
     if (a == "dfs") opts.order = engine::SearchOrder::kDfs;
     if (a == "rdfs") opts.order = engine::SearchOrder::kRandomDfs;
     if (a == "--trace") showTrace = true;
+    if (a == "--portfolio") opts.portfolio = true;
     if (a == "--threads" && i + 1 < argc) {
       opts.threads = static_cast<size_t>(std::atoi(argv[++i]));
     }

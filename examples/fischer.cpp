@@ -11,7 +11,12 @@
 // Mutual exclusion holds iff K >= D (the write must settle before
 // anyone re-reads).  We verify both directions.
 //
-// Usage: fischer [processes] [D] [K] [--threads N]
+// Usage: fischer [processes] [D] [K] [--threads N] [--dfs|--rdfs]
+//                [--portfolio]
+//
+// The default order is BFS; --dfs / --rdfs switch to the depth-first
+// orders, which --threads N parallelizes with the work-stealing
+// explorer (or, with --portfolio, a race of seeded DFS workers).
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -59,10 +64,18 @@ struct Fischer {
 
 int main(int argc, char** argv) {
   size_t threads = 1;
+  engine::SearchOrder order = engine::SearchOrder::kBfs;
+  bool portfolio = false;
   std::vector<int> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--dfs") == 0) {
+      order = engine::SearchOrder::kDfs;
+    } else if (std::strcmp(argv[i], "--rdfs") == 0) {
+      order = engine::SearchOrder::kRandomDfs;
+    } else if (std::strcmp(argv[i], "--portfolio") == 0) {
+      portfolio = true;
     } else {
       positional.push_back(std::atoi(argv[i]));
     }
@@ -72,7 +85,10 @@ int main(int argc, char** argv) {
   const int k = positional.size() > 2 ? positional[2] : 3;
 
   std::cout << "Fischer's protocol, " << n << " processes, D=" << d
-            << " K=" << k << ", " << threads << " thread(s)\n";
+            << " K=" << k << ", " << threads << " thread(s), "
+            << (order == engine::SearchOrder::kBfs ? "bfs"
+                : order == engine::SearchOrder::kDfs ? "dfs" : "rdfs")
+            << (portfolio ? " portfolio" : "") << "\n";
 
   Fischer model(n, d, k);
 
@@ -86,6 +102,8 @@ int main(int argc, char** argv) {
       engine::Options opts;
       opts.maxSeconds = 60.0;
       opts.threads = threads;
+      opts.order = order;
+      opts.portfolio = portfolio;
       engine::Reachability checker(model.sys, opts);
       const engine::Result res = checker.run(bad);
       if (res.reachable) {

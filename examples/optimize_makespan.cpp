@@ -6,8 +6,14 @@
 // feasible bound B.  (This is how time-optimal reachability was done
 // with plain UPPAAL before priced timed automata existed.)
 //
-// Usage: optimize_makespan [batches]
+// Usage: optimize_makespan [batches] [--threads N] [--portfolio]
+//
+// --threads N runs every probe of the binary search on the parallel
+// work-stealing DFS; --portfolio races seeded DFS workers instead —
+// useful on the tight (near-optimal) bounds where the heuristic order
+// starts to backtrack.
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "engine/trace.hpp"
@@ -16,7 +22,8 @@
 namespace {
 
 /// Schedule with makespan bound B; returns the reachability result.
-engine::Result tryBound(const plant::PlantConfig& cfg, int32_t bound) {
+engine::Result tryBound(const plant::PlantConfig& cfg, int32_t bound,
+                        size_t threads, bool portfolio) {
   const auto p = plant::buildPlant(cfg);
   engine::Goal goal = p->goal;
   if (bound >= 0) {
@@ -26,6 +33,8 @@ engine::Result tryBound(const plant::PlantConfig& cfg, int32_t bound) {
   opts.order = engine::SearchOrder::kDfs;
   opts.dfsReverse = true;
   opts.maxSeconds = 60.0;
+  opts.threads = threads;
+  opts.portfolio = portfolio;
   engine::Reachability checker(p->sys, opts);
   return checker.run(goal);
 }
@@ -33,13 +42,24 @@ engine::Result tryBound(const plant::PlantConfig& cfg, int32_t bound) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int batches = argc > 1 ? std::atoi(argv[1]) : 3;
+  int batches = 3;
+  size_t threads = 1;
+  bool portfolio = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--portfolio") == 0) {
+      portfolio = true;
+    } else {
+      batches = std::atoi(argv[i]);
+    }
+  }
   plant::PlantConfig cfg;
   cfg.order = plant::standardOrder(batches);
   cfg.makespanClock = true;
 
   // First-found schedule: the baseline a plain guided DFS produces.
-  const engine::Result first = tryBound(cfg, -1);
+  const engine::Result first = tryBound(cfg, -1, threads, portfolio);
   if (!first.reachable) {
     std::cerr << "no schedule at all\n";
     return 1;
@@ -59,7 +79,7 @@ int main(int argc, char** argv) {
   int32_t hi = firstMakespan;
   while (lo < hi) {
     const int32_t mid = lo + (hi - lo) / 2;
-    const engine::Result res = tryBound(cfg, mid);
+    const engine::Result res = tryBound(cfg, mid, threads, portfolio);
     std::cout << "  bound " << mid << ": "
               << (res.reachable ? "feasible" : "infeasible") << " ("
               << res.stats.statesExplored << " states)\n";

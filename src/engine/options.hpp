@@ -44,12 +44,23 @@ struct Options {
   /// Implies inclusion checking.
   bool compactPassed = false;
 
-  /// Worker threads for breadth-first search. 1 = the sequential
-  /// engine; > 1 selects the level-synchronous parallel explorer
-  /// (chunked frontier queue + sharded passed store). Verdicts match
-  /// the sequential engine; see DESIGN.md "Parallel explorer".
-  /// Ignored by the depth-first orders.
+  /// Worker threads. 1 = the sequential engines; > 1 selects a
+  /// parallel explorer: level-synchronous BFS (chunked frontier queue +
+  /// sharded passed store) for kBfs, work-stealing DFS (per-worker
+  /// task stacks, oldest-frame stealing, shared sharded passed store)
+  /// for the depth-first orders — or, with `portfolio`, a race of
+  /// independent seeded DFS workers. Verdicts match the sequential
+  /// engine; see DESIGN.md "Parallel explorer".
   size_t threads = 1;
+
+  /// Portfolio mode for the depth-first orders with threads > 1:
+  /// instead of cooperating on one search, each worker runs an
+  /// independent sequential DFS (worker 0 with the configured order
+  /// and seed, workers 1.. with kRandomDfs and seeds seed+1, seed+2,
+  /// ...) and the first conclusive verdict — a validated witness or an
+  /// exhausted space — wins and cancels the rest. Resource cut-offs
+  /// apply per worker. Ignored by kBfs and by threads <= 1.
+  bool portfolio = false;
 
   /// log2 of the number of passed-store shards in parallel mode.
   /// 2^6 = 64 shards keeps try_lock contention negligible up to a
@@ -72,6 +83,15 @@ struct Options {
   size_t maxStates = 0;
 };
 
-enum class Cutoff : uint8_t { kNone, kMemory, kTime, kStates };
+enum class Cutoff : uint8_t {
+  kNone,
+  kMemory,
+  kTime,
+  kStates,
+  /// A portfolio worker stopped because another worker already reached
+  /// a conclusive verdict. Never reported by Reachability::run itself —
+  /// the winning worker's result is returned instead.
+  kCancelled,
+};
 
 }  // namespace engine

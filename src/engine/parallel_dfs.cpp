@@ -1,0 +1,412 @@
+// Parallel depth-first reachability: work-stealing DFS and a seeded
+// portfolio race.
+//
+// Work-stealing mode (`opts.threads > 1`, depth-first order): each
+// worker owns a stack of pending frames (a frame = one generated,
+// deduplicated state awaiting expansion). The owner pushes and pops at
+// the top, so an undisturbed worker explores in exactly the sequential
+// depth-first order; an idle worker steals the *oldest* frame from the
+// bottom of a victim's stack — the frame closest to the root, i.e. the
+// largest unexplored subtree, the classic work-first stealing policy.
+// Deduplication goes through the same ShardedPassedStore as parallel
+// BFS, so zone-inclusion subsumption is unchanged. Frames are
+// arena-allocated per worker and carry parent pointers; publication is
+// ordered by the stack mutexes, so a thief always observes fully
+// constructed ancestors and trace reconstruction is race-free.
+//
+// Portfolio mode (`opts.portfolio`): workers run *independent*
+// sequential DFS searches — worker 0 with the configured order and
+// seed, workers 1.. with kRandomDfs and seeds seed+1, seed+2, ... —
+// and race. The first worker with a conclusive verdict (a witness that
+// passes the trace validator, or an exhausted state space) wins and
+// cancels the rest through a shared flag polled in the DFS loop.
+//
+// Both modes guarantee *verdict equivalence* with sequential DFS —
+// same reachable/exhausted answer — but not trace determinism: which
+// witness is found depends on scheduling. Every positive verdict is
+// concretized and validated before being returned (see DESIGN.md
+// "Parallel depth-first search" for the equivalence argument).
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "dbm/pool.hpp"
+#include "engine/passed_store.hpp"
+#include "engine/reachability.hpp"
+#include "engine/trace.hpp"
+
+namespace engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One deduplicated state awaiting expansion. Immutable once published
+/// to a worker stack; parent pointers stay valid for the whole search
+/// because the per-worker arenas only grow.
+struct DfsNode {
+  SymbolicState s;
+  Transition via;
+  const DfsNode* parent;  ///< nullptr for the initial state
+  uint32_t depth;         ///< trace depth (initial state = 1)
+};
+
+/// A worker's stack of pending frames. The owner pushes/pops at the
+/// back; thieves take from the front (the oldest frame). One mutex per
+/// worker keeps the stealing protocol trivially correct — the lock is
+/// uncontended unless someone is actually stealing, and expansion cost
+/// (successor DBM operations) dwarfs it.
+struct alignas(64) WorkerStack {
+  std::mutex m;
+  std::deque<const DfsNode*> pending;
+};
+
+struct WorkerLocal {
+  std::deque<DfsNode> arena;  ///< stable addresses; owns this worker's nodes
+  size_t explored = 0;
+  size_t generated = 0;
+  size_t steals = 0;
+  size_t peakDepth = 0;
+};
+
+SymbolicTrace traceFromChain(const DfsNode* leaf) {
+  std::vector<TraceStep> rev;
+  for (const DfsNode* n = leaf; n != nullptr; n = n->parent) {
+    rev.push_back(TraceStep{n->via, n->s});
+  }
+  std::reverse(rev.begin(), rev.end());
+  SymbolicTrace t;
+  t.steps = std::move(rev);
+  return t;
+}
+
+}  // namespace
+
+Result Reachability::runParallelDfs(const Goal& goal) {
+  const size_t nThreads = std::max<size_t>(2, opts_.threads);
+  Result res;
+  res.stats.perThreadExplored.assign(nThreads, 0);
+  const Clock::time_point start = Clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  ShardedPassedStore passed(opts_.shardBits, opts_.inclusionChecking,
+                            opts_.compactPassed);
+  std::optional<BitTable> bits;
+  if (opts_.bitstateHashing) bits.emplace(opts_.hashBits);
+  // testAndSet / testAndInsert both query and mark, atomically enough
+  // that no state is expanded twice through the same store entry.
+  const auto claim = [&](const SymbolicState& s) {
+    return bits ? !bits->testAndSet(s) : passed.testAndInsert(s);
+  };
+
+  std::vector<WorkerStack> stacks(nThreads);
+  std::vector<WorkerLocal> locals(nThreads);
+
+  // Frames enqueued but not yet fully expanded; 0 = search exhausted.
+  std::atomic<size_t> pendingCount{0};
+  std::atomic<size_t> exploredTotal{0};
+  std::atomic<size_t> arenaBytes{0};
+  std::atomic<uint8_t> abort{static_cast<uint8_t>(Cutoff::kNone)};
+  const auto raiseCutoff = [&](Cutoff c) {
+    uint8_t expect = static_cast<uint8_t>(Cutoff::kNone);
+    abort.compare_exchange_strong(expect, static_cast<uint8_t>(c),
+                                  std::memory_order_relaxed);
+  };
+
+  // First goal hit wins; which one that is depends on scheduling
+  // (verdict equivalence, not trace determinism).
+  std::mutex goalMutex;
+  std::atomic<bool> goalFound{false};
+  SymbolicTrace goalTrace;
+  const auto reportGoal = [&](const DfsNode* parent, Successor* last) {
+    std::lock_guard<std::mutex> lk(goalMutex);
+    if (goalFound.load(std::memory_order_relaxed)) return;
+    if (last != nullptr) {
+      DfsNode leaf{std::move(last->state), std::move(last->via), parent,
+                   parent == nullptr ? 1 : parent->depth + 1};
+      goalTrace = traceFromChain(&leaf);
+    } else {
+      goalTrace = traceFromChain(parent);
+    }
+    goalFound.store(true, std::memory_order_release);
+  };
+
+  const auto stopping = [&] {
+    return goalFound.load(std::memory_order_relaxed) ||
+           abort.load(std::memory_order_relaxed) !=
+               static_cast<uint8_t>(Cutoff::kNone);
+  };
+
+  const auto finish = [&](Cutoff c, bool exhausted) {
+    res.stats.cutoff = c;
+    res.exhausted = exhausted && c == Cutoff::kNone && !bits;
+    res.stats.seconds = elapsed();
+    res.stats.statesStored = bits ? 0 : passed.states();
+    res.stats.lockContention = passed.lockContention();
+    // The node arenas only grow, so the final byte count doubles as the
+    // high-water mark.
+    res.stats.bytesStored = arenaBytes.load(std::memory_order_relaxed) +
+                            (bits ? bits->bytes() : passed.bytes());
+    res.stats.peakBytes = res.stats.bytesStored;
+    for (size_t tid = 0; tid < nThreads; ++tid) {
+      const WorkerLocal& l = locals[tid];
+      res.stats.perThreadExplored[tid] = l.explored;
+      res.stats.statesExplored += l.explored;
+      res.stats.statesGenerated += l.generated;
+      res.stats.frameSteals += l.steals;
+      res.stats.peakStackDepth = std::max(res.stats.peakStackDepth,
+                                          l.peakDepth);
+    }
+    return res;
+  };
+
+  SymbolicState init = gen_.initial();
+  if (!goal.deadlock && goal.matches(sys_, init)) {
+    locals[0].arena.push_back(
+        DfsNode{std::move(init), Transition{}, nullptr, 1});
+    res.reachable = true;
+    res.trace = traceFromChain(&locals[0].arena.back());
+    return finish(Cutoff::kNone, false);
+  }
+  (void)claim(init);
+  arenaBytes.fetch_add(init.memoryBytes() + sizeof(DfsNode),
+                       std::memory_order_relaxed);
+  locals[0].arena.push_back(
+      DfsNode{std::move(init), Transition{}, nullptr, 1});
+  locals[0].peakDepth = 1;
+  stacks[0].pending.push_back(&locals[0].arena.back());
+  pendingCount.store(1, std::memory_order_relaxed);
+
+  const auto work = [&](size_t tid) {
+    WorkerLocal& local = locals[tid];
+    std::mt19937_64 rng(opts_.seed + tid);
+    size_t victim = (tid + 1) % nThreads;
+
+    const auto popOwn = [&]() -> const DfsNode* {
+      std::lock_guard<std::mutex> lk(stacks[tid].m);
+      if (stacks[tid].pending.empty()) return nullptr;
+      const DfsNode* n = stacks[tid].pending.back();
+      stacks[tid].pending.pop_back();
+      return n;
+    };
+    // Steal the oldest pending frame of the next victim that has one.
+    const auto steal = [&]() -> const DfsNode* {
+      for (size_t k = 0; k < nThreads - 1; ++k) {
+        WorkerStack& vs = stacks[victim];
+        victim = (victim + 1) % nThreads;
+        if (victim == tid) victim = (victim + 1) % nThreads;
+        std::lock_guard<std::mutex> lk(vs.m);
+        if (vs.pending.empty()) continue;
+        const DfsNode* n = vs.pending.front();
+        vs.pending.pop_front();
+        ++local.steals;
+        return n;
+      }
+      return nullptr;
+    };
+
+    while (!stopping()) {
+      const DfsNode* node = popOwn();
+      if (node == nullptr) node = steal();
+      if (node == nullptr) {
+        if (pendingCount.load(std::memory_order_acquire) == 0) return;
+        std::this_thread::yield();
+        continue;
+      }
+
+      ++local.explored;
+      const size_t total =
+          exploredTotal.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (opts_.maxStates != 0 && total > opts_.maxStates) {
+        raiseCutoff(Cutoff::kStates);
+      }
+      if (opts_.maxSeconds > 0.0 && (local.explored & 15) == 0 &&
+          elapsed() > opts_.maxSeconds) {
+        raiseCutoff(Cutoff::kTime);
+      }
+
+      std::vector<Successor> succs = gen_.successors(node->s);
+      if (goal.deadlock && succs.empty() && goal.matches(sys_, node->s)) {
+        reportGoal(node, nullptr);
+      }
+      if (opts_.order == SearchOrder::kRandomDfs) {
+        std::shuffle(succs.begin(), succs.end(), rng);
+      } else if (opts_.dfsReverse) {
+        std::reverse(succs.begin(), succs.end());
+      }
+
+      // Push in reverse so the first successor in search order is on
+      // top of the stack — an undisturbed worker explores depth-first
+      // in exactly the sequential order.
+      std::vector<const DfsNode*> fresh;
+      fresh.reserve(succs.size());
+      for (Successor& suc : succs) {
+        if (stopping()) break;
+        ++local.generated;
+        if (!goal.deadlock && goal.matches(sys_, suc.state)) {
+          reportGoal(node, &suc);
+          break;
+        }
+        if (!claim(suc.state)) {
+          dbm::ZonePool::recycle(std::move(suc.state.zone));
+          continue;
+        }
+        const size_t nb =
+            arenaBytes.fetch_add(suc.state.memoryBytes() + sizeof(DfsNode) +
+                                     sizeof(const DfsNode*),
+                                 std::memory_order_relaxed);
+        if (opts_.maxMemoryBytes != 0 &&
+            nb + (bits ? bits->bytes() : passed.approxBytes()) >
+                opts_.maxMemoryBytes) {
+          raiseCutoff(Cutoff::kMemory);
+        }
+        local.arena.push_back(DfsNode{std::move(suc.state),
+                                      std::move(suc.via), node,
+                                      node->depth + 1});
+        local.peakDepth = std::max<size_t>(local.peakDepth, node->depth + 1);
+        fresh.push_back(&local.arena.back());
+      }
+      if (!fresh.empty()) {
+        pendingCount.fetch_add(fresh.size(), std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(stacks[tid].m);
+        for (size_t k = fresh.size(); k-- > 0;) {
+          stacks[tid].pending.push_back(fresh[k]);
+        }
+      }
+      // Publish this frame's completion only after its children are
+      // visible: a worker observing pendingCount == 0 must be able to
+      // conclude the whole search space is drained.
+      pendingCount.fetch_sub(1, std::memory_order_release);
+    }
+  };
+
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(nThreads - 1);
+    for (size_t tid = 1; tid < nThreads; ++tid) pool.emplace_back(work, tid);
+    work(0);
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (goalFound.load(std::memory_order_acquire)) {
+    res.reachable = true;
+    res.trace = std::move(goalTrace);
+    // The tentpole guarantee: a positive parallel verdict must survive
+    // the independent trace validator before being reported.
+    std::string err;
+    const auto ct = concretize(sys_, res.trace, &err);
+    const bool valid = ct.has_value() && validate(sys_, *ct, &err);
+    assert(valid && "parallel DFS produced an invalid witness");
+    if (!valid) {
+      // Engine bug: refuse to report an unvalidated witness. Surface it
+      // as a time-like abort rather than a (wrong) negative verdict.
+      res.reachable = false;
+      res.trace.steps.clear();
+      return finish(Cutoff::kTime, false);
+    }
+    return finish(Cutoff::kNone, false);
+  }
+  const Cutoff aborted =
+      static_cast<Cutoff>(abort.load(std::memory_order_relaxed));
+  if (aborted != Cutoff::kNone) return finish(aborted, false);
+  return finish(Cutoff::kNone, true);
+}
+
+Result Reachability::runPortfolioDfs(const Goal& goal) {
+  const size_t nThreads = std::max<size_t>(2, opts_.threads);
+  const Clock::time_point start = Clock::now();
+
+  std::atomic<bool> cancel{false};
+  std::atomic<int> winner{-1};
+  std::vector<Result> results(nThreads);
+  std::vector<uint8_t> conclusive(nThreads, 0);
+
+  const auto work = [&](size_t tid) {
+    Options o = opts_;
+    o.threads = 1;
+    o.portfolio = false;
+    o.seed = opts_.seed + tid;
+    // Worker 0 runs the configured search unchanged (the portfolio is
+    // never worse than the sequential heuristic); the rest diversify
+    // with the seeded random order.
+    if (tid > 0) {
+      o.order = SearchOrder::kRandomDfs;
+      o.dfsReverse = false;
+    }
+    Result r = dfsCore(goal, o, &cancel);
+    if (r.stats.cutoff == Cutoff::kNone && (r.reachable || r.exhausted)) {
+      bool valid = true;
+      if (r.reachable) {
+        // Only a witness that survives concretization + validation may
+        // win the race.
+        std::string err;
+        const auto ct = concretize(sys_, r.trace, &err);
+        valid = ct.has_value() && validate(sys_, *ct, &err);
+        assert(valid && "portfolio worker produced an invalid witness");
+      }
+      if (valid) {
+        conclusive[tid] = 1;
+        int expect = -1;
+        if (winner.compare_exchange_strong(expect, static_cast<int>(tid))) {
+          cancel.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+    results[tid] = std::move(r);
+  };
+
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(nThreads - 1);
+    for (size_t tid = 1; tid < nThreads; ++tid) pool.emplace_back(work, tid);
+    work(0);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // The winner's verdict is the portfolio's verdict. With no winner
+  // every worker was inconclusive (cut off, or a completed bit-state
+  // search); report worker 0's outcome as representative.
+  const int win = winner.load(std::memory_order_relaxed);
+  Result res = std::move(results[static_cast<size_t>(win < 0 ? 0 : win)]);
+  res.stats.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  // Aggregate the race statistics across workers.
+  res.stats.perThreadExplored.assign(nThreads, 0);
+  res.stats.statesExplored = 0;
+  res.stats.statesGenerated = 0;
+  res.stats.statesStored = 0;
+  res.stats.bytesStored = 0;
+  res.stats.peakBytes = 0;
+  res.stats.peakStackDepth = 0;
+  for (size_t tid = 0; tid < nThreads; ++tid) {
+    const Stats& s = results[tid].stats;
+    res.stats.perThreadExplored[tid] = s.statesExplored;
+    res.stats.statesExplored += s.statesExplored;
+    res.stats.statesGenerated += s.statesGenerated;
+    res.stats.statesStored += s.statesStored;
+    res.stats.bytesStored += s.bytesStored;
+    // The workers run concurrently, so the portfolio's true high-water
+    // mark is close to the sum of the per-worker peaks.
+    res.stats.peakBytes += s.peakBytes;
+    res.stats.peakStackDepth =
+        std::max(res.stats.peakStackDepth, s.peakStackDepth);
+    if (static_cast<int>(tid) != win &&
+        (s.cutoff == Cutoff::kCancelled ||
+         (conclusive[tid] != 0 && win >= 0))) {
+      ++res.stats.cancelledWorkers;
+    }
+  }
+  return res;
+}
+
+}  // namespace engine

@@ -97,11 +97,21 @@ class PassedStore {
   size_t states_ = 0;
 };
 
-/// Holzmann-style two-bit bit-state hash table.
+/// Holzmann-style two-bit bit-state hash table. The words are relaxed
+/// atomics so the table can be shared by the work-stealing DFS workers:
+/// two threads may both see a state as unseen and both explore it — a
+/// benign duplication that cannot flip the (already inconclusive-on-
+/// negative) bit-state verdict, and never a data race.
 class BitTable {
  public:
   explicit BitTable(uint32_t bits)
-      : mask_((size_t{1} << bits) - 1), words_((size_t{1} << bits) / 64 + 1) {}
+      : mask_((size_t{1} << bits) - 1),
+        nwords_((size_t{1} << bits) / 64 + 1),
+        words_(new std::atomic<uint64_t>[nwords_]) {
+    for (size_t i = 0; i < nwords_; ++i) {
+      words_[i].store(0, std::memory_order_relaxed);
+    }
+  }
 
   [[nodiscard]] bool testAndSet(const SymbolicState& s) {
     // Two probes from independently seeded hashes — see
@@ -116,17 +126,21 @@ class BitTable {
   }
 
   [[nodiscard]] size_t bytes() const noexcept {
-    return words_.size() * sizeof(uint64_t);
+    return nwords_ * sizeof(uint64_t);
   }
 
  private:
   [[nodiscard]] bool get(size_t i) const {
-    return (words_[i >> 6] >> (i & 63)) & 1;
+    return (words_[i >> 6].load(std::memory_order_relaxed) >> (i & 63)) & 1;
   }
-  void set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void set(size_t i) {
+    words_[i >> 6].fetch_or(uint64_t{1} << (i & 63),
+                            std::memory_order_relaxed);
+  }
 
   size_t mask_;
-  std::vector<uint64_t> words_;
+  size_t nwords_;
+  std::unique_ptr<std::atomic<uint64_t>[]> words_;
 };
 
 /// N = 2^shardBits independently-locked PassedStores for the parallel
@@ -153,7 +167,13 @@ class ShardedPassedStore {
       lk.lock();
     }
     if (sh.store.covered(s)) return false;
+    // Inclusion-insert may subsume-remove previously stored zones, so
+    // the shard's byte count can shrink as well as grow; fold the
+    // signed delta into the running total while still holding the lock.
+    const size_t before = sh.store.bytes();
     sh.store.insert(s);
+    approxBytes_.fetch_add(sh.store.bytes() - before,
+                           std::memory_order_relaxed);
     return true;
   }
 
@@ -175,6 +195,15 @@ class ShardedPassedStore {
       n += sh->store.states();
     }
     return n;
+  }
+
+  /// Lock-free running byte total maintained by testAndInsert (unsigned
+  /// wraparound makes the shrink deltas of subsumption-removal exact).
+  /// The work-stealing DFS consults this on every expansion for its
+  /// memory cut-off, where locking all shards via bytes() would
+  /// serialize the workers.
+  [[nodiscard]] size_t approxBytes() const noexcept {
+    return approxBytes_.load(std::memory_order_relaxed);
   }
 
   /// try_lock failures on the shard locks so far.
@@ -200,6 +229,7 @@ class ShardedPassedStore {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<size_t> contention_{0};
+  std::atomic<size_t> approxBytes_{0};
   size_t mask_;
 };
 

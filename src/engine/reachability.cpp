@@ -70,7 +70,12 @@ Reachability::Reachability(const ta::System& sys, Options opts)
 Result Reachability::run(const Goal& goal) {
   // Clocks the goal observes must survive the reductions.
   gen_.observeGoalConstraints(goal.clockConstraints);
-  if (opts_.order != SearchOrder::kBfs) return runDfs(goal);
+  if (opts_.order != SearchOrder::kBfs) {
+    if (opts_.threads > 1) {
+      return opts_.portfolio ? runPortfolioDfs(goal) : runParallelDfs(goal);
+    }
+    return runDfs(goal);
+  }
   return opts_.threads > 1 ? runParallelBfs(goal) : runBfs(goal);
 }
 
@@ -175,6 +180,11 @@ Result Reachability::runBfs(const Goal& goal) {
 // --------------------------------------------------------------------------
 
 Result Reachability::runDfs(const Goal& goal) {
+  return dfsCore(goal, opts_, nullptr);
+}
+
+Result Reachability::dfsCore(const Goal& goal, const Options& opts,
+                             const std::atomic<bool>* cancel) {
   struct Frame {
     SymbolicState s;
     Transition via;
@@ -184,11 +194,11 @@ Result Reachability::runDfs(const Goal& goal) {
   };
 
   Result res;
-  CutoffChecker cut{opts_};
-  PassedStore passed(opts_.inclusionChecking, opts_.compactPassed);
+  CutoffChecker cut{opts};
+  PassedStore passed(opts.inclusionChecking, opts.compactPassed);
   std::optional<BitTable> bits;
-  if (opts_.bitstateHashing) bits.emplace(opts_.hashBits);
-  std::mt19937_64 rng(opts_.seed);
+  if (opts.bitstateHashing) bits.emplace(opts.hashBits);
+  std::mt19937_64 rng(opts.seed);
 
   const auto covered = [&](const SymbolicState& s) {
     // testAndSet both queries and marks — call sites rely on that.
@@ -212,9 +222,9 @@ Result Reachability::runDfs(const Goal& goal) {
   const auto pushFrame = [&](SymbolicState s, Transition via) {
     Frame f{std::move(s), std::move(via), {}, 0, 0};
     f.succ = gen_.successors(f.s);
-    if (opts_.order == SearchOrder::kRandomDfs) {
+    if (opts.order == SearchOrder::kRandomDfs) {
       std::shuffle(f.succ.begin(), f.succ.end(), rng);
-    } else if (opts_.dfsReverse) {
+    } else if (opts.dfsReverse) {
       std::reverse(f.succ.begin(), f.succ.end());
     }
     f.bytes = frameBytes(f);
@@ -274,6 +284,9 @@ Result Reachability::runDfs(const Goal& goal) {
   }
 
   while (!stack.empty()) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return finish(Cutoff::kCancelled, false);
+    }
     if (const Cutoff c = cut.check(res.stats); c != Cutoff::kNone) {
       return finish(c, false);
     }

@@ -3,6 +3,7 @@
 // into a schedule.
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <string>
 #include <vector>
@@ -61,9 +62,23 @@ class Reachability {
  private:
   [[nodiscard]] Result runBfs(const Goal& goal);
   [[nodiscard]] Result runDfs(const Goal& goal);
+  /// The sequential depth-first core behind runDfs and the portfolio
+  /// workers: explores under `localOpts` (order / seed / cut-offs may
+  /// differ from opts_) and, when `cancel` is non-null, aborts with
+  /// Cutoff::kCancelled as soon as it reads true.
+  [[nodiscard]] Result dfsCore(const Goal& goal, const Options& localOpts,
+                               const std::atomic<bool>* cancel);
   /// Level-synchronous multi-threaded BFS (opts.threads > 1); defined
   /// in parallel_bfs.cpp. Verdict-equivalent to runBfs.
   [[nodiscard]] Result runParallelBfs(const Goal& goal);
+  /// Work-stealing multi-threaded DFS (depth-first orders with
+  /// opts.threads > 1); defined in parallel_dfs.cpp. Verdict-equivalent
+  /// to runDfs (not trace-deterministic); positive verdicts are checked
+  /// through the trace validator before being returned.
+  [[nodiscard]] Result runParallelDfs(const Goal& goal);
+  /// Portfolio of independent seeded DFS workers racing to the first
+  /// conclusive verdict (opts.portfolio); defined in parallel_dfs.cpp.
+  [[nodiscard]] Result runPortfolioDfs(const Goal& goal);
 
   const ta::System& sys_;
   Options opts_;

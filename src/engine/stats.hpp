@@ -15,15 +15,20 @@ struct Stats {
   size_t statesStored = 0;     ///< currently held in passed/waiting
   size_t bytesStored = 0;      ///< current bytes in passed/waiting/stack
   size_t peakBytes = 0;        ///< high-water mark of bytesStored
-  size_t peakStackDepth = 0;   ///< DFS only
+  size_t peakStackDepth = 0;   ///< DFS only; parallel DFS reports the
+                               ///< maximum over the per-worker peaks
   double seconds = 0.0;
   Cutoff cutoff = Cutoff::kNone;
 
-  // -- Parallel BFS only (empty / zero on the sequential engines) -------
+  // -- Parallel engines only (empty / zero on the sequential ones) ------
   std::vector<size_t> perThreadExplored;  ///< states expanded per worker
   size_t lockContention = 0;  ///< shard-lock try_lock failures
-  size_t chunkSteals = 0;     ///< frontier chunks taken outside the
+  size_t chunkSteals = 0;     ///< BFS: frontier chunks taken outside the
                               ///< worker's fair share of the level
+  size_t frameSteals = 0;     ///< work-stealing DFS: pending frames taken
+                              ///< from another worker's stack
+  size_t cancelledWorkers = 0;  ///< portfolio: workers cancelled after a
+                                ///< winner reached a conclusive verdict
 
   [[nodiscard]] double peakMegabytes() const noexcept {
     return static_cast<double>(peakBytes) / (1024.0 * 1024.0);

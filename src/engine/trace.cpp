@@ -145,13 +145,47 @@ struct Replay {
     return checkInvariantsNow();
   }
 
+  /// Broadcast receivers cannot decline: every process outside
+  /// `via.parts` must have no enabled receive edge on `chan` from its
+  /// current location.  (Evaluated against the pre-transition valuation,
+  /// like the engine does; broadcast receivers carry no clock guards.)
+  [[nodiscard]] bool checkBroadcastReceiversComplete(const Transition& via,
+                                                     ta::ChanId chan) {
+    for (size_t p = 0; p < locs.size(); ++p) {
+      const auto proc = static_cast<ta::ProcId>(p);
+      bool participating = false;
+      for (const TransitionPart& part : via.parts) {
+        if (part.proc == proc) {
+          participating = true;
+          break;
+        }
+      }
+      if (participating) continue;
+      const ta::Automaton& a = sys.automaton(proc);
+      for (int32_t ej : a.outgoing(locs[p])) {
+        const ta::Edge& r = a.edges()[static_cast<size_t>(ej)];
+        if (r.sync != ta::Sync::kReceive || r.chan != chan) continue;
+        if (sys.pool().evalBool(r.guard, vars)) {
+          return fail("broadcast omits enabled receiver '" + r.label + "'");
+        }
+      }
+    }
+    return true;
+  }
+
   /// Check synchronization well-formedness of a transition.
   [[nodiscard]] bool checkSyncShape(const Transition& via) {
     if (via.parts.empty()) return fail("empty transition");
     const ta::Edge& first =
         sys.automaton(via.parts[0].proc)
             .edges()[static_cast<size_t>(via.parts[0].edge)];
+    const bool broadcast =
+        first.sync == ta::Sync::kSend &&
+        sys.channelKind(first.chan) == ta::ChanKind::kBroadcast;
     if (via.parts.size() == 1) {
+      // A broadcast send may fire alone — but only when no receiver
+      // was enabled.
+      if (broadcast) return checkBroadcastReceiversComplete(via, first.chan);
       if (first.sync != ta::Sync::kNone) {
         return fail("lone synchronizing edge '" + first.label + "'");
       }
@@ -175,6 +209,7 @@ struct Replay {
       return fail("binary channel with " + std::to_string(via.parts.size()) +
                   " participants");
     }
+    if (broadcast) return checkBroadcastReceiversComplete(via, first.chan);
     return true;
   }
 };

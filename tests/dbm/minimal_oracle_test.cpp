@@ -1,0 +1,167 @@
+// Exhaustive-oracle property tests for the reduced ("minimal form")
+// DBM representation.  Random bounded canonical DBMs with small
+// constants are pushed through MinimalDbm and checked against
+// brute-force enumeration of every integer clock valuation:
+//
+//  * reconstruct() must reproduce the original matrix raw-for-raw;
+//  * a valuation satisfies the reduced edge set iff it lies in the
+//    zone (shortest-path closure preserves the solution set of a
+//    difference-constraint system, so the reduced form is a sound
+//    membership test on its own);
+//  * MinimalDbm::includes must agree with full-DBM inclusion;
+//  * for weak-bound zones the inclusion answer is cross-checked
+//    against the integer-point oracle: bounded DBMs are integral
+//    polytopes (difference constraints are totally unimodular), so
+//    "every integer point of B lies in A" is equivalent to real
+//    inclusion B ⊆ A.
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dbm/dbm.hpp"
+#include "dbm/minimal.hpp"
+
+namespace dbm {
+namespace {
+
+constexpr value_t kMaxConst = 4;  // clock values range over 0..kMaxConst
+
+/// All integer valuations of `dim` clocks (reference clock pinned to 0,
+/// the others ranging over 0..kMaxConst).
+std::vector<std::vector<int64_t>> gridPoints(uint32_t dim) {
+  std::vector<std::vector<int64_t>> pts{{std::vector<int64_t>(dim, 0)}};
+  for (uint32_t c = 1; c < dim; ++c) {
+    std::vector<std::vector<int64_t>> next;
+    for (const auto& p : pts) {
+      for (int64_t v = 0; v <= kMaxConst; ++v) {
+        auto q = p;
+        q[c] = v;
+        next.push_back(std::move(q));
+      }
+    }
+    pts = std::move(next);
+  }
+  return pts;
+}
+
+/// A random non-empty canonical zone, bounded so that every point lies
+/// on the enumeration grid: each clock is capped at kMaxConst and the
+/// extra random constraints use constants in [-kMaxConst, kMaxConst].
+Dbm randomBoundedZone(std::mt19937_64& rng, uint32_t dim, bool weakOnly) {
+  std::uniform_int_distribution<int> nCons(0, 5);
+  std::uniform_int_distribution<uint32_t> clock(0, dim - 1);
+  std::uniform_int_distribution<int> val(-kMaxConst, kMaxConst);
+  std::uniform_int_distribution<int> strict(0, 1);
+  for (;;) {
+    Dbm z = Dbm::unconstrained(dim);
+    bool ok = true;
+    for (uint32_t c = 1; c < dim && ok; ++c) {
+      ok = z.constrainUpper(c, kMaxConst, false);
+    }
+    const int n = nCons(rng);
+    for (int k = 0; k < n && ok; ++k) {
+      const uint32_t i = clock(rng);
+      uint32_t j = clock(rng);
+      if (i == j) j = (j + 1) % dim;
+      const bool s = !weakOnly && strict(rng) != 0;
+      ok = z.constrain(i, j, bound(val(rng), s));
+    }
+    if (ok && !z.isEmpty()) return z;
+  }
+}
+
+/// Membership in the reduced edge set, evaluated directly on the edges
+/// without reconstructing the closure.
+bool reducedContains(const MinimalDbm& m, const std::vector<int64_t>& val) {
+  for (const auto& e : m.entries()) {
+    if (e.bound == kInfinity) continue;
+    const int64_t diff = val[e.i] - val[e.j];
+    const auto bv = static_cast<int64_t>(boundValue(e.bound));
+    if (isStrict(e.bound) ? diff >= bv : diff > bv) return false;
+  }
+  return true;
+}
+
+class MinimalOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MinimalOracle, ReconstructRoundTripsExactly) {
+  std::mt19937_64 rng(GetParam());
+  for (const uint32_t dim : {3u, 4u}) {
+    for (int iter = 0; iter < 40; ++iter) {
+      const Dbm z = randomBoundedZone(rng, dim, /*weakOnly=*/false);
+      const Dbm back = MinimalDbm::from(z).reconstruct();
+      ASSERT_EQ(back.dimension(), dim);
+      for (uint32_t i = 0; i < dim; ++i) {
+        for (uint32_t j = 0; j < dim; ++j) {
+          EXPECT_EQ(back.at(i, j), z.at(i, j))
+              << "dim " << dim << " iter " << iter << " entry (" << i << ","
+              << j << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST_P(MinimalOracle, ReducedEdgesAreAnExactMembershipTest) {
+  // Dropping derivable edges must not change the solution set: a grid
+  // point satisfies the reduced edges iff the full zone contains it.
+  std::mt19937_64 rng(GetParam());
+  for (const uint32_t dim : {3u, 4u}) {
+    const auto pts = gridPoints(dim);
+    for (int iter = 0; iter < 25; ++iter) {
+      const Dbm z = randomBoundedZone(rng, dim, /*weakOnly=*/false);
+      const MinimalDbm m = MinimalDbm::from(z);
+      for (const auto& p : pts) {
+        EXPECT_EQ(reducedContains(m, p), z.containsPoint(p))
+            << "dim " << dim << " iter " << iter;
+      }
+    }
+  }
+}
+
+TEST_P(MinimalOracle, InclusionMatchesFullDbm) {
+  std::mt19937_64 rng(GetParam());
+  for (const uint32_t dim : {3u, 4u}) {
+    for (int iter = 0; iter < 60; ++iter) {
+      const Dbm a = randomBoundedZone(rng, dim, /*weakOnly=*/false);
+      const Dbm b = randomBoundedZone(rng, dim, /*weakOnly=*/false);
+      EXPECT_EQ(MinimalDbm::from(a).includes(b), a.includes(b))
+          << "dim " << dim << " iter " << iter;
+      // A zone always includes itself, reduced or not.
+      EXPECT_TRUE(MinimalDbm::from(a).includes(a));
+    }
+  }
+}
+
+TEST_P(MinimalOracle, WeakInclusionAgreesWithIntegerPointOracle) {
+  // Weak-bound bounded DBMs are integral polytopes, so real inclusion
+  // is equivalent to containment of every integer point — an oracle
+  // that knows nothing about matrices or closures.
+  std::mt19937_64 rng(GetParam());
+  for (const uint32_t dim : {3u, 4u}) {
+    const auto pts = gridPoints(dim);
+    for (int iter = 0; iter < 25; ++iter) {
+      const Dbm a = randomBoundedZone(rng, dim, /*weakOnly=*/true);
+      const Dbm b = randomBoundedZone(rng, dim, /*weakOnly=*/true);
+      bool allPointsIncluded = true;
+      for (const auto& p : pts) {
+        if (b.containsPoint(p) && !a.containsPoint(p)) {
+          allPointsIncluded = false;
+          break;
+        }
+      }
+      EXPECT_EQ(MinimalDbm::from(a).includes(b), allPointsIncluded)
+          << "dim " << dim << " iter " << iter;
+      EXPECT_EQ(a.includes(b), allPointsIncluded)
+          << "dim " << dim << " iter " << iter;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimalOracle,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace dbm

@@ -1,7 +1,11 @@
 // Differential testing of the reachability engine: random small
-// timed-automata networks, explored exhaustively under every engine
-// configuration — all configurations must agree on reachability, and
-// every positive answer must concretize into a validated timed trace.
+// timed-automata networks (binary and broadcast channels, urgent and
+// committed locations, bounded integer-variable assignments), explored
+// exhaustively under every engine configuration — sequential BFS/DFS
+// variants, parallel BFS, work-stealing parallel DFS and the seeded
+// portfolio at 2 and 4 threads — all configurations must agree on
+// reachability, and every positive answer must concretize into a
+// validated timed trace.
 #include <random>
 
 #include <gtest/gtest.h>
@@ -18,17 +22,21 @@ struct RandomModel {
   std::vector<ta::ProcId> procs;
   Goal goal;
 
-  /// A random network: 2 automata, 3-4 locations each, one clock and
-  /// one shared variable per automaton, a shared channel, random
-  /// guards/invariants/resets with small constants.
+  /// A random network: 2 automata, 3-4 locations each (possibly urgent
+  /// or committed), one clock per automaton, two shared variables, a
+  /// binary and a broadcast channel, random guards/invariants/resets/
+  /// assignments with small constants.
   explicit RandomModel(uint64_t seed) {
     std::mt19937_64 rng(seed);
     std::uniform_int_distribution<int> small(0, 4);
     std::uniform_int_distribution<int> coin(0, 1);
+    std::uniform_int_distribution<int> d8(0, 7);
 
     sys = std::make_unique<ta::System>();
     const ta::VarId v = sys->addVar("v", 0);
+    const ta::VarId w = sys->addVar("w", 0);
     const ta::ChanId chan = sys->addChannel("c");
+    const ta::ChanId bcast = sys->addChannel("b", ta::ChanKind::kBroadcast);
     std::vector<ta::ClockId> clocks;
     std::vector<std::vector<ta::LocId>> locs;
 
@@ -40,7 +48,12 @@ struct RandomModel {
       std::vector<ta::LocId> ls;
       const int nLocs = 3 + coin(rng);
       for (int l = 0; l < nLocs; ++l) {
-        ls.push_back(aut.addLocation("l" + std::to_string(l)));
+        // The initial location stays plain; later ones are occasionally
+        // urgent or (rarer) committed.
+        const bool urgent = l > 0 && d8(rng) == 0;
+        const bool committed = l > 0 && !urgent && d8(rng) == 1;
+        ls.push_back(
+            aut.addLocation("l" + std::to_string(l), urgent, committed));
         if (coin(rng) != 0) {
           aut.addInvariant(ls.back(), ta::ccLe(clocks[static_cast<size_t>(a)],
                                                small(rng) + 1));
@@ -54,7 +67,24 @@ struct RandomModel {
       for (int e = 0; e < nEdges; ++e) {
         auto eb = sys->edge(p, ls[static_cast<size_t>(pick(rng))],
                             ls[static_cast<size_t>(pick(rng))]);
-        if (coin(rng) != 0) {
+        // Channel role first: broadcast receivers must not carry clock
+        // guards (receiver sets are computed from discrete state only).
+        bool broadcastReceive = false;
+        if (e < 2 && coin(rng) != 0) {
+          if (coin(rng) != 0) {
+            if (a == 0) {
+              eb.send(chan);
+            } else {
+              eb.receive(chan);
+            }
+          } else if (a == 0) {
+            eb.send(bcast);
+          } else {
+            eb.receive(bcast);
+            broadcastReceive = true;
+          }
+        }
+        if (!broadcastReceive && coin(rng) != 0) {
           eb.when(coin(rng) != 0
                       ? ta::ccGe(clocks[static_cast<size_t>(a)], small(rng))
                       : ta::ccLe(clocks[static_cast<size_t>(a)],
@@ -64,12 +94,14 @@ struct RandomModel {
         if (coin(rng) != 0) {
           eb.guard(sys->rd(v) < 3).assign(v, sys->rd(v) + 1);
         }
-        if (e < 2 && coin(rng) != 0) {
-          if (a == 0) {
-            eb.send(chan);
-          } else {
-            eb.receive(chan);
-          }
+        // Second variable: richer assignment forms, kept bounded so the
+        // discrete state space stays finite.
+        switch (d8(rng)) {
+          case 0: eb.guard(sys->rd(w) < 3).assign(w, sys->rd(w) + 1); break;
+          case 1: eb.assign(w, 0); break;
+          case 2: eb.guard(sys->rd(w) > 0).assign(w, sys->rd(w) - 1); break;
+          case 3: eb.assign(w, sys->rd(v)); break;
+          default: break;
         }
       }
     }
@@ -104,21 +136,49 @@ Options config(int kind) {
       o.threads = 4;
       o.shardBits = 0;
       break;
-    default:
+    case 9:
       o.order = SearchOrder::kDfs;
       o.activeClockReduction = false;
       o.inclusionChecking = false;
       break;
+    case 10:  // work-stealing DFS, 2 threads
+      o.order = SearchOrder::kDfs;
+      o.threads = 2;
+      o.shardBits = 2;
+      break;
+    case 11:  // work-stealing random DFS, 4 threads
+      o.order = SearchOrder::kRandomDfs;
+      o.seed = 7;
+      o.threads = 4;
+      break;
+    case 12:  // portfolio race, 2 workers
+      o.order = SearchOrder::kDfs;
+      o.portfolio = true;
+      o.threads = 2;
+      break;
+    case 13:  // portfolio race, 4 workers
+      o.order = SearchOrder::kRandomDfs;
+      o.seed = 13;
+      o.portfolio = true;
+      o.threads = 4;
+      break;
+    default:  // work-stealing DFS over the reduced-form passed store
+      o.order = SearchOrder::kDfs;
+      o.threads = 2;
+      o.compactPassed = true;
+      break;
   }
   return o;
 }
+
+constexpr int kNumConfigs = 15;
 
 class Differential : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(Differential, AllConfigurationsAgree) {
   const uint64_t seed = GetParam();
   int baseline = -1;
-  for (int kind = 0; kind < 10; ++kind) {
+  for (int kind = 0; kind < kNumConfigs; ++kind) {
     RandomModel m(seed);
     Reachability checker(*m.sys, config(kind));
     const Result res = checker.run(m.goal);
