@@ -1,13 +1,26 @@
 // Ablation of the engine options the paper's experiments rely on
 // (§5: "the compact data-structure for constraints, the
 // control-structure reduction, and ... the (in-)active clock
-// reduction", plus bit-state hashing with its hash-size sensitivity).
+// reduction", plus bit-state hashing with its hash-size sensitivity)
+// and of the zone-abstraction operators (global Extra_M, per-location
+// Extra_M, per-location Extra+_LU).
 //
-// Fixed workload: the fully guided plant at 10 batches, depth-first.
+// Fixed workloads: the fully guided plant at 10 batches (depth-first)
+// and Fischer's protocol at N = 7..9 (exhaustive proof of mutual
+// exclusion — every stored state counts, so the abstraction's effect
+// on the passed store is directly visible).
+//
+// `ablation_engine --smoke` runs only the abstraction gate: Fischer
+// N=7 under Extra+_LU must agree with the global-M verdict while
+// storing at least 20% fewer states, else exit nonzero (wired into
+// ctest under the perf-smoke label).
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "ta/system.hpp"
 
 namespace {
 
@@ -28,9 +41,136 @@ void runRow(const char* name, int batches, engine::Options opts) {
   std::fflush(stdout);
 }
 
+// ------------------------------------------------------------------
+// Zone-abstraction ablation: Fischer's protocol, exhaustive mutex
+// proof (K >= D, so the bad state is unreachable and the engine must
+// visit the whole abstract zone graph).
+// ------------------------------------------------------------------
+
+struct Fischer {
+  ta::System sys;
+  std::vector<ta::ProcId> procs;
+  std::vector<ta::LocId> critical;
+
+  Fischer(int n, int d, int k) {
+    const ta::VarId id = sys.addVar("id", 0);
+    for (int i = 1; i <= n; ++i) {
+      const ta::ClockId x = sys.addClock("x" + std::to_string(i));
+      const ta::ProcId p = sys.addAutomaton("P" + std::to_string(i));
+      procs.push_back(p);
+      auto& a = sys.automaton(p);
+      const ta::LocId idle = a.addLocation("idle");
+      const ta::LocId trying = a.addLocation("trying");
+      const ta::LocId waiting = a.addLocation("waiting");
+      const ta::LocId crit = a.addLocation("critical");
+      critical.push_back(crit);
+      a.setInvariant(trying, {ta::ccLe(x, d)});
+      sys.edge(p, idle, trying).guard(sys.rd(id) == 0).reset(x);
+      sys.edge(p, trying, waiting).when(ta::ccLe(x, d)).reset(x).assign(id, i);
+      sys.edge(p, waiting, crit).when(ta::ccGt(x, k)).guard(sys.rd(id) == i);
+      sys.edge(p, waiting, idle).guard(sys.rd(id) != i);
+      sys.edge(p, crit, idle).assign(id, 0);
+    }
+    sys.finalize();
+  }
+
+  [[nodiscard]] engine::Goal mutexViolation() const {
+    engine::Goal bad;
+    bad.locations = {{procs[0], critical[0]}, {procs[1], critical[1]}};
+    return bad;
+  }
+};
+
+engine::Result runFischer(int n, engine::Extrapolation ex, bool activeClocks,
+                          double budget, size_t maxStates = 0) {
+  Fischer f(n, /*d=*/2, /*k=*/3);
+  engine::Options o;
+  o.order = engine::SearchOrder::kBfs;  // deterministic stored counts
+  o.extrapolation = ex;
+  o.activeClockReduction = activeClocks;
+  o.maxSeconds = budget;
+  o.maxStates = maxStates;
+  engine::Reachability checker(f.sys, o);
+  return checker.run(f.mutexViolation());
+}
+
+void fischerRow(const char* name, int n, engine::Extrapolation ex,
+                bool activeClocks, double budget, size_t globalStored) {
+  const engine::Result res = runFischer(n, ex, activeClocks, budget);
+  if (!res.exhausted) {
+    std::printf("  %-32s %10s %10s %10s %9s   (cutoff=%d)\n", name, "-", "-",
+                "-", "-", static_cast<int>(res.stats.cutoff));
+    return;
+  }
+  if (globalStored == 0) {
+    // The global-M baseline itself hit a cutoff: no reference count.
+    std::printf("  %-32s %10zu %10zu %10.3f %9s\n", name,
+                res.stats.statesExplored, res.stats.storedZones,
+                res.stats.seconds, "n/a");
+  } else {
+    const double red =
+        100.0 * (1.0 - static_cast<double>(res.stats.storedZones) /
+                           static_cast<double>(globalStored));
+    std::printf("  %-32s %10zu %10zu %10.3f %8.1f%%\n", name,
+                res.stats.statesExplored, res.stats.storedZones,
+                res.stats.seconds, red);
+  }
+  std::fflush(stdout);
+}
+
+/// The acceptance gate: Extra+_LU (with the active-clock reduction)
+/// must prove Fischer N=7 safe while storing at least 20% fewer zones
+/// than global Extra_M. Global-M cannot exhaust N=7 in bench time, so
+/// its run is truncated by a *state-count* cutoff: sequential BFS
+/// makes the stored count at that point deterministic on any hardware,
+/// and a truncated count only under-states the true total, so the
+/// ratio test stays sound. The wall-clock budget is a backstop so a
+/// pathologically slow box times the test out rather than flaking it.
+int smoke() {
+  constexpr int kN = 7;
+  constexpr double kBudget = 480.0;
+  constexpr size_t kBaseStates = 500000;
+  const engine::Result base = runFischer(kN, engine::Extrapolation::kGlobalM,
+                                         true, kBudget, kBaseStates);
+  const engine::Result lu =
+      runFischer(kN, engine::Extrapolation::kLocationLUPlus, true, kBudget);
+  std::printf("fischer N=%d  globalM: stored=%zu exhausted=%d cutoff=%d  "
+              "LU+: stored=%zu exhausted=%d coarsenings=%zu freed=%zu\n",
+              kN, base.stats.storedZones, base.exhausted ? 1 : 0,
+              static_cast<int>(base.stats.cutoff), lu.stats.storedZones,
+              lu.exhausted ? 1 : 0, lu.stats.extrapolationCoarsenings,
+              lu.stats.inactiveClocksFreed);
+  if (!lu.exhausted) {
+    std::printf("FAIL: Extra+_LU search hit a cutoff\n");
+    return 1;
+  }
+  if (base.reachable || lu.reachable) {
+    std::printf("FAIL: mutex violation claimed reachable (K >= D)\n");
+    return 1;
+  }
+  if (!base.exhausted && base.stats.cutoff != engine::Cutoff::kStates) {
+    std::printf("FAIL: global-M baseline stopped early (cutoff=%d)\n",
+                static_cast<int>(base.stats.cutoff));
+    return 1;
+  }
+  const double ratio = static_cast<double>(lu.stats.storedZones) /
+                       static_cast<double>(base.stats.storedZones);
+  if (ratio > 0.8) {
+    std::printf("FAIL: Extra+_LU stored %.1f%% of the global-M states "
+                "(need <= 80%%)\n", 100.0 * ratio);
+    return 1;
+  }
+  std::printf("PASS: Extra+_LU stores %.1f%% of the global-M states "
+              "(baseline %s)\n", 100.0 * ratio,
+              base.exhausted ? "exhaustive" : "truncated lower bound");
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return smoke();
+
   const int n = benchutil::quick() ? 5 : 10;
   const double budget = benchutil::quick() ? 10.0 : 60.0;
 
@@ -64,9 +204,40 @@ int main() {
     // Without extrapolation the zone graph need not be finite; the
     // budget turns divergence into a visible "-".
     engine::Options o = base;
-    o.extrapolation = false;
+    o.extrapolation = engine::Extrapolation::kNone;
     o.maxSeconds = benchutil::quick() ? 5.0 : 20.0;
     runRow("no max-bounds extrapolation", n, o);
+  }
+  {
+    engine::Options o = base;
+    o.extrapolation = engine::Extrapolation::kGlobalM;
+    runRow("global Extra_M abstraction", n, o);
+  }
+  {
+    engine::Options o = base;
+    o.extrapolation = engine::Extrapolation::kLocationM;
+    runRow("per-location Extra_M", n, o);
+  }
+
+  std::printf("\nZone-abstraction operators on Fischer (D=2, K=3, "
+              "exhaustive mutex proof, BFS):\n\n");
+  std::printf("  %-32s %10s %10s %10s %9s\n", "configuration", "explored",
+              "stored", "seconds", "vs glob");
+  const int maxN = benchutil::quick() ? 7 : 9;
+  const double fbudget = benchutil::quick() ? 60.0 : 300.0;
+  for (int fn = 7; fn <= maxN; ++fn) {
+    std::printf("  -- N = %d --\n", fn);
+    const engine::Result g =
+        runFischer(fn, engine::Extrapolation::kGlobalM, true, fbudget);
+    const size_t gs = g.exhausted ? g.stats.storedZones : 0;
+    fischerRow("global Extra_M", fn, engine::Extrapolation::kGlobalM, true,
+               fbudget, gs);
+    fischerRow("per-location Extra_M", fn, engine::Extrapolation::kLocationM,
+               true, fbudget, gs);
+    fischerRow("per-location Extra+_LU", fn,
+               engine::Extrapolation::kLocationLUPlus, true, fbudget, gs);
+    fischerRow("Extra+_LU, no active clocks", fn,
+               engine::Extrapolation::kLocationLUPlus, false, fbudget, gs);
   }
 
   std::printf("\nBit-state hashing: hash-table size sensitivity "

@@ -95,6 +95,41 @@ void BM_Extrapolate(benchmark::State& state) {
 }
 BENCHMARK(BM_Extrapolate)->Arg(8)->Arg(32)->Arg(184);
 
+void BM_ExtrapolateLU(benchmark::State& state) {
+  const auto dim = static_cast<uint32_t>(state.range(0));
+  std::mt19937_64 rng(7);
+  dbm::Dbm z = randomZone(dim, rng);
+  // Asymmetric bounds with a sprinkling of "never compared" (-1)
+  // entries — the shape the per-location analysis actually produces.
+  std::vector<dbm::value_t> lower(dim, 20);
+  std::vector<dbm::value_t> upper(dim, 20);
+  lower[0] = upper[0] = 0;
+  for (uint32_t i = 1; i < dim; ++i) {
+    if (i % 3 == 0) lower[i] = -1;
+    if (i % 4 == 0) upper[i] = 5;
+  }
+  for (auto _ : state) {
+    dbm::Dbm w = z;
+    w.extrapolateLUBounds(lower, upper);
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_ExtrapolateLU)->Arg(8)->Arg(32)->Arg(184);
+
+void BM_FreeInactiveClocks(benchmark::State& state) {
+  // The active-clock reduction frees every clock inactive at the
+  // target location vector; model a quarter of the clocks being dead.
+  const auto dim = static_cast<uint32_t>(state.range(0));
+  std::mt19937_64 rng(7);
+  dbm::Dbm z = randomZone(dim, rng);
+  for (auto _ : state) {
+    dbm::Dbm w = z;
+    for (uint32_t i = 1; i < dim; i += 4) w.freeClock(i);
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_FreeInactiveClocks)->Arg(8)->Arg(32)->Arg(184);
+
 void BM_Hash(benchmark::State& state) {
   const auto dim = static_cast<uint32_t>(state.range(0));
   std::mt19937_64 rng(7);

@@ -3,7 +3,7 @@
 # ThreadSanitizer pass over the multi-threaded engine tests.
 #
 #   ci/run_checks.sh          # everything
-#   ci/run_checks.sh --fast   # skip the TSan build (tier-1 + fuzz only)
+#   ci/run_checks.sh --fast   # skip the sanitizer builds (tier-1 + fuzz)
 #
 # Stages:
 #   1. tier-1   — release build, full ctest (the ROADMAP gate);
@@ -17,6 +17,12 @@
 #   3. tsan     — fresh -DSANITIZE=thread build, ctest -L parallel:
 #                 every multi-threaded explorer (parallel BFS,
 #                 work-stealing DFS, portfolio) under ThreadSanitizer.
+#   4. asan     — fresh -DSANITIZE=address build (ASan + UBSan),
+#                 ctest -L fuzz plus the static LU-bound analysis and
+#                 differential suites by name: the randomized zone
+#                 workloads drive the extrapolation operators and the
+#                 bounds fixpoint through their edge cases under
+#                 memory/UB checking.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -40,7 +46,7 @@ echo "== stage 2: fuzz label (randomized suites) =="
 ctest --test-dir build --output-on-failure -L fuzz -j "$jobs"
 
 if [[ "$fast" == 1 ]]; then
-  echo "== stage 3: tsan skipped (--fast) =="
+  echo "== stages 3-4: sanitizers skipped (--fast) =="
   exit 0
 fi
 
@@ -52,5 +58,11 @@ ctest --test-dir build-tsan --output-on-failure -L parallel -j "$jobs"
 # tests/CMakeLists.txt) but exercises every parallel configuration, so
 # the TSan pass picks it up by name.
 ctest --test-dir build-tsan --output-on-failure -R 'Differential' -j "$jobs"
+
+echo "== stage 4: AddressSanitizer + UBSan (fuzz label + analysis suites) =="
+cmake -B build-asan -S . -DSANITIZE=address >/dev/null
+cmake --build build-asan -j "$jobs"
+ctest --test-dir build-asan --output-on-failure -L fuzz -j "$jobs"
+ctest --test-dir build-asan --output-on-failure -R 'BoundsAnalysis' -j "$jobs"
 
 echo "all checks passed"

@@ -4,6 +4,7 @@
 //
 // Usage: batch_plant [batches] [guides: all|some|none] [search: dfs|bfs|rdfs]
 //                    [seconds] [--trace] [--threads N] [--portfolio]
+//                    [--extrapolation none|global|location|lu]
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -40,6 +41,12 @@ int main(int argc, char** argv) {
     if (std::string(argv[i]) == "--portfolio") opts.portfolio = true;
     if (std::string(argv[i]) == "--threads" && i + 1 < argc) {
       opts.threads = static_cast<size_t>(std::atoi(argv[++i]));
+    }
+    if (std::string(argv[i]) == "--extrapolation" && i + 1 < argc) {
+      if (!engine::parseExtrapolation(argv[++i], &opts.extrapolation)) {
+        std::cerr << "unknown extrapolation mode: " << argv[i] << "\n";
+        return 2;
+      }
     }
   }
   if (const char* s = std::getenv("SEED")) opts.seed = std::atoi(s);

@@ -3,11 +3,12 @@
 // timed witness traces — the UPPAAL-shaped entry point of the library.
 //
 // Usage: check_model <model-file> [bfs|dfs|rdfs] [--trace] [--threads N]
-//                    [--portfolio]
+//                    [--portfolio] [--extrapolation none|global|location|lu]
 //
 // --threads N parallelizes whichever order is selected (level-
 // synchronous BFS, work-stealing DFS); --portfolio races N independent
-// seeded DFS workers instead.
+// seeded DFS workers instead. --extrapolation selects the
+// zone-abstraction operator (default: per-location Extra+_LU).
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -20,7 +21,8 @@
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: check_model <model-file> [bfs|dfs|rdfs] [--trace]"
-                 " [--threads N] [--portfolio]\n";
+                 " [--threads N] [--portfolio]"
+                 " [--extrapolation none|global|location|lu]\n";
     return 2;
   }
   std::ifstream in(argv[1]);
@@ -51,6 +53,12 @@ int main(int argc, char** argv) {
     if (a == "--portfolio") opts.portfolio = true;
     if (a == "--threads" && i + 1 < argc) {
       opts.threads = static_cast<size_t>(std::atoi(argv[++i]));
+    }
+    if (a == "--extrapolation" && i + 1 < argc) {
+      if (!engine::parseExtrapolation(argv[++i], &opts.extrapolation)) {
+        std::cerr << "unknown extrapolation mode: " << argv[i] << "\n";
+        return 2;
+      }
     }
   }
 

@@ -2,6 +2,9 @@
 // physical plant for each of the three buggy model variants the authors
 // discovered by execution, show the plant catching each error, then run
 // the corrected model cleanly.
+//
+// Usage: fault_hunt [--extrapolation none|global|location|lu]
+#include <cstring>
 #include <iostream>
 
 #include "engine/trace.hpp"
@@ -12,6 +15,8 @@
 
 namespace {
 
+engine::Extrapolation g_extrapolation = engine::Extrapolation::kLocationLUPlus;
+
 bool pipeline(const plant::PlantConfig& cfg, const char* title) {
   std::cout << "\n--- " << title << " ---\n";
   const auto p = plant::buildPlant(cfg);
@@ -19,6 +24,7 @@ bool pipeline(const plant::PlantConfig& cfg, const char* title) {
   opts.order = engine::SearchOrder::kDfs;
   opts.dfsReverse = true;
   opts.maxSeconds = 120.0;
+  opts.extrapolation = g_extrapolation;
   engine::Reachability checker(p->sys, opts);
   const engine::Result res = checker.run(p->goal);
   if (!res.reachable) {
@@ -57,7 +63,15 @@ bool pipeline(const plant::PlantConfig& cfg, const char* title) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--extrapolation") == 0 && i + 1 < argc) {
+      if (!engine::parseExtrapolation(argv[++i], &g_extrapolation)) {
+        std::cerr << "unknown extrapolation mode: " << argv[i] << "\n";
+        return 2;
+      }
+    }
+  }
   std::cout << "Hunting the paper's three modelling errors by executing "
                "synthesized programs\nin the simulated plant (§6).\n";
 

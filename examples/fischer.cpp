@@ -12,11 +12,14 @@
 // anyone re-reads).  We verify both directions.
 //
 // Usage: fischer [processes] [D] [K] [--threads N] [--dfs|--rdfs]
-//                [--portfolio]
+//                [--portfolio] [--extrapolation none|global|location|lu]
 //
 // The default order is BFS; --dfs / --rdfs switch to the depth-first
 // orders, which --threads N parallelizes with the work-stealing
 // explorer (or, with --portfolio, a race of seeded DFS workers).
+// --extrapolation selects the zone-abstraction operator (default: the
+// per-location Extra+_LU; Fischer is where it shines — try
+// `fischer 7 --extrapolation global` versus the default).
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -66,6 +69,7 @@ int main(int argc, char** argv) {
   size_t threads = 1;
   engine::SearchOrder order = engine::SearchOrder::kBfs;
   bool portfolio = false;
+  engine::Extrapolation extrapolation = engine::Extrapolation::kLocationLUPlus;
   std::vector<int> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -76,6 +80,11 @@ int main(int argc, char** argv) {
       order = engine::SearchOrder::kRandomDfs;
     } else if (std::strcmp(argv[i], "--portfolio") == 0) {
       portfolio = true;
+    } else if (std::strcmp(argv[i], "--extrapolation") == 0 && i + 1 < argc) {
+      if (!engine::parseExtrapolation(argv[++i], &extrapolation)) {
+        std::cerr << "unknown extrapolation mode: " << argv[i] << "\n";
+        return 2;
+      }
     } else {
       positional.push_back(std::atoi(argv[i]));
     }
@@ -88,7 +97,9 @@ int main(int argc, char** argv) {
             << " K=" << k << ", " << threads << " thread(s), "
             << (order == engine::SearchOrder::kBfs ? "bfs"
                 : order == engine::SearchOrder::kDfs ? "dfs" : "rdfs")
-            << (portfolio ? " portfolio" : "") << "\n";
+            << (portfolio ? " portfolio" : "") << ", "
+            << engine::extrapolationName(extrapolation)
+            << " extrapolation\n";
 
   Fischer model(n, d, k);
 
@@ -104,6 +115,7 @@ int main(int argc, char** argv) {
       opts.threads = threads;
       opts.order = order;
       opts.portfolio = portfolio;
+      opts.extrapolation = extrapolation;
       engine::Reachability checker(model.sys, opts);
       const engine::Result res = checker.run(bad);
       if (res.reachable) {

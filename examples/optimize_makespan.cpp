@@ -7,11 +7,13 @@
 // with plain UPPAAL before priced timed automata existed.)
 //
 // Usage: optimize_makespan [batches] [--threads N] [--portfolio]
+//                          [--extrapolation none|global|location|lu]
 //
 // --threads N runs every probe of the binary search on the parallel
 // work-stealing DFS; --portfolio races seeded DFS workers instead —
 // useful on the tight (near-optimal) bounds where the heuristic order
-// starts to backtrack.
+// starts to backtrack. --extrapolation selects the zone-abstraction
+// operator (default: per-location Extra+_LU).
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -23,7 +25,8 @@ namespace {
 
 /// Schedule with makespan bound B; returns the reachability result.
 engine::Result tryBound(const plant::PlantConfig& cfg, int32_t bound,
-                        size_t threads, bool portfolio) {
+                        size_t threads, bool portfolio,
+                        engine::Extrapolation extrapolation) {
   const auto p = plant::buildPlant(cfg);
   engine::Goal goal = p->goal;
   if (bound >= 0) {
@@ -35,6 +38,7 @@ engine::Result tryBound(const plant::PlantConfig& cfg, int32_t bound,
   opts.maxSeconds = 60.0;
   opts.threads = threads;
   opts.portfolio = portfolio;
+  opts.extrapolation = extrapolation;
   engine::Reachability checker(p->sys, opts);
   return checker.run(goal);
 }
@@ -45,11 +49,17 @@ int main(int argc, char** argv) {
   int batches = 3;
   size_t threads = 1;
   bool portfolio = false;
+  engine::Extrapolation extrapolation = engine::Extrapolation::kLocationLUPlus;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--portfolio") == 0) {
       portfolio = true;
+    } else if (std::strcmp(argv[i], "--extrapolation") == 0 && i + 1 < argc) {
+      if (!engine::parseExtrapolation(argv[++i], &extrapolation)) {
+        std::cerr << "unknown extrapolation mode: " << argv[i] << "\n";
+        return 2;
+      }
     } else {
       batches = std::atoi(argv[i]);
     }
@@ -59,7 +69,8 @@ int main(int argc, char** argv) {
   cfg.makespanClock = true;
 
   // First-found schedule: the baseline a plain guided DFS produces.
-  const engine::Result first = tryBound(cfg, -1, threads, portfolio);
+  const engine::Result first =
+      tryBound(cfg, -1, threads, portfolio, extrapolation);
   if (!first.reachable) {
     std::cerr << "no schedule at all\n";
     return 1;
@@ -79,7 +90,8 @@ int main(int argc, char** argv) {
   int32_t hi = firstMakespan;
   while (lo < hi) {
     const int32_t mid = lo + (hi - lo) / 2;
-    const engine::Result res = tryBound(cfg, mid, threads, portfolio);
+    const engine::Result res =
+        tryBound(cfg, mid, threads, portfolio, extrapolation);
     std::cout << "  bound " << mid << ": "
               << (res.reachable ? "feasible" : "infeasible") << " ("
               << res.stats.statesExplored << " states)\n";

@@ -5,13 +5,26 @@
 // The model is a two-process handshake: a worker that must warm up for
 // at least 3 time units before signalling (but no later than 5), and a
 // listener that records the signal.
+//
+// Usage: quickstart [--extrapolation none|global|location|lu]
+#include <cstring>
 #include <iostream>
 
 #include "engine/reachability.hpp"
 #include "engine/trace.hpp"
 #include "ta/system.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  engine::Options opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--extrapolation") == 0 && i + 1 < argc) {
+      if (!engine::parseExtrapolation(argv[++i], &opts.extrapolation)) {
+        std::cerr << "unknown extrapolation mode: " << argv[i] << "\n";
+        return 2;
+      }
+    }
+  }
+
   ta::System sys;
 
   // Declarations: one clock, one integer variable, one channel.
@@ -47,7 +60,7 @@ int main() {
   goal.locations = {{listener, got}};
   goal.predicate = (sys.rd(count) == 1).ref();
 
-  engine::Reachability checker(sys, engine::Options{});
+  engine::Reachability checker(sys, opts);
   const engine::Result res = checker.run(goal);
   std::cout << "reachable: " << std::boolalpha << res.reachable << " ("
             << res.stats.statesExplored << " states explored)\n";

@@ -7,7 +7,9 @@
 //                         physical invariants checked throughout.
 //
 // Usage: synthesize_and_run [batches] [lossProb]
+//                           [--extrapolation none|global|location|lu]
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "engine/trace.hpp"
@@ -18,8 +20,24 @@
 #include "synthesis/schedule.hpp"
 
 int main(int argc, char** argv) {
-  const int batches = argc > 1 ? std::atoi(argv[1]) : 3;
-  const double loss = argc > 2 ? std::atof(argv[2]) : 0.01;
+  int batches = 3;
+  double loss = 0.01;
+  engine::Extrapolation extrapolation = engine::Extrapolation::kLocationLUPlus;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--extrapolation") == 0 && i + 1 < argc) {
+      if (!engine::parseExtrapolation(argv[++i], &extrapolation)) {
+        std::cerr << "unknown extrapolation mode: " << argv[i] << "\n";
+        return 2;
+      }
+    } else if (positional == 0) {
+      batches = std::atoi(argv[i]);
+      ++positional;
+    } else if (positional == 1) {
+      loss = std::atof(argv[i]);
+      ++positional;
+    }
+  }
 
   // 1. Model.
   plant::PlantConfig cfg;
@@ -33,6 +51,7 @@ int main(int argc, char** argv) {
   opts.order = engine::SearchOrder::kDfs;
   opts.dfsReverse = true;
   opts.maxSeconds = 120.0;
+  opts.extrapolation = extrapolation;
   engine::Reachability checker(p->sys, opts);
   const engine::Result res = checker.run(p->goal);
   if (!res.reachable) {

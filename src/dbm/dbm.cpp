@@ -121,7 +121,7 @@ void Dbm::freeClock(uint32_t i) {
   raw_[i] = kZeroBound;  // 0 - x_i <= 0
 }
 
-void Dbm::extrapolateMaxBounds(std::span<const value_t> max) {
+bool Dbm::extrapolateMaxBounds(std::span<const value_t> max) {
   assert(max.size() == dim_);
   const uint32_t n = dim_;
   bool changed = false;
@@ -143,6 +143,43 @@ void Dbm::extrapolateMaxBounds(std::span<const value_t> max) {
     }
   }
   if (changed) close();
+  return changed;
+}
+
+bool Dbm::extrapolateLUBounds(std::span<const value_t> lower,
+                              std::span<const value_t> upper) {
+  assert(lower.size() == dim_ && upper.size() == dim_);
+  const uint32_t n = dim_;
+  // The rules compare against the *input* lower-bound row d_0k, which
+  // the i == 0 pass mutates — snapshot it first.
+  thread_local std::vector<raw_t> row0;
+  row0.assign(raw_.begin(), raw_.begin() + n);
+  bool changed = false;
+  for (uint32_t i = 0; i < n; ++i) {
+    const value_t li = std::max<value_t>(lower[i], 0);
+    // -d_0i is the infimum of x_i in the input zone.
+    const value_t infI = i == 0 ? 0 : -boundValue(row0[i]);
+    for (uint32_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      raw_t& b = raw_[i * n + j];
+      if (b == kInfinity) continue;
+      const value_t uj = std::max<value_t>(upper[j], 0);
+      const value_t infJ = -boundValue(row0[j]);
+      if (i != 0) {
+        if (b > boundWeak(li) || infI > li || infJ > uj) {
+          b = kInfinity;
+          changed = true;
+        }
+      } else if (infJ > uj) {
+        // Weaken the lower bound of x_j down to (strictly above) U(x_j):
+        // no remaining guard or invariant can tell values above U apart.
+        b = boundStrict(-uj);
+        changed = true;
+      }
+    }
+  }
+  if (changed) close();
+  return changed;
 }
 
 Relation Dbm::relation(const Dbm& other) const noexcept {

@@ -151,12 +151,29 @@ class Dbm {
 
   // -- Abstraction ------------------------------------------------------
 
-  /// Classic maximal-bounds extrapolation: bounds above max[i] are
-  /// abstracted away so the reachability graph becomes finite.
-  /// `max[i]` is the largest constant clock i is ever compared against;
-  /// use -1 ("clock never compared") to drop all constraints on i.
-  /// Needs a close() afterwards; this method performs it.
-  void extrapolateMaxBounds(std::span<const value_t> max);
+  /// Classic maximal-bounds extrapolation (Extra_M): bounds above
+  /// max[i] are abstracted away so the reachability graph becomes
+  /// finite. `max[i]` is the largest constant clock i is ever compared
+  /// against; use -1 ("clock never compared") to drop all constraints
+  /// on i. Needs a close() afterwards; this method performs it.
+  /// Returns true if any entry was coarsened.
+  bool extrapolateMaxBounds(std::span<const value_t> max);
+
+  /// Extra+_LU extrapolation (Behrmann, Bouyer, Larsen, Pelánek):
+  /// lower/upper-bound-aware widening, strictly coarser than Extra_M
+  /// for the same constants yet still reachability-preserving for
+  /// diagonal-free automata.  `lower[i]` / `upper[i]` are the largest
+  /// constants clock i is compared against in lower-bound (x > c,
+  /// x >= c) resp. upper-bound (x < c, x <= c) position; -1 means "no
+  /// such comparison" and is treated as 0 (the nonnegativity of clocks
+  /// is always observable).  Entry rules, with D the canonical input:
+  ///   d_ij -> inf          if d_ij > L(x_i)              (i != 0)
+  ///   d_ij -> inf          if -d_0i > L(x_i)             (i != 0)
+  ///   d_ij -> inf          if -d_0j > U(x_j)             (i != 0)
+  ///   d_0j -> (-U(x_j), <) if -d_0j > U(x_j)
+  /// Re-canonicalizes afterwards. Returns true if anything coarsened.
+  bool extrapolateLUBounds(std::span<const value_t> lower,
+                           std::span<const value_t> upper);
 
   // -- Comparison / inclusion -------------------------------------------
 

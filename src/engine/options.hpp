@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 namespace engine {
 
@@ -14,6 +15,49 @@ enum class SearchOrder : uint8_t {
   kDfs,        ///< depth-first
   kRandomDfs,  ///< depth-first with randomized successor order
 };
+
+/// Which finite abstraction normalize() applies to successor zones.
+/// The operators form a lattice of coarseness
+///   kGlobalM  ⊑  kLocationM  ⊑  kLocationLUPlus
+/// (each later operator abstracts at least as much as the earlier
+/// ones), and all three preserve location reachability for the
+/// diagonal-free models we build — see DESIGN.md "Zone abstraction".
+enum class Extrapolation : uint8_t {
+  /// No extrapolation at all. Ablation only: the zone graph need not
+  /// be finite and the search can diverge.
+  kNone,
+  /// Classic Extra_M with one global per-clock maximum constant
+  /// (`ta::System::maxBounds()`).
+  kGlobalM,
+  /// Extra_M with location-dependent maxima M(l, x) =
+  /// max(L(l, x), U(l, x)) from the static clock-bound analysis.
+  kLocationM,
+  /// Extra+_LU with location-dependent lower/upper bounds — the
+  /// coarsest (fewest stored zones) of the three.
+  kLocationLUPlus,
+};
+
+/// Parse a --extrapolation flag value ("none", "global", "location",
+/// "lu"). Returns false on an unknown spelling.
+[[nodiscard]] inline bool parseExtrapolation(std::string_view s,
+                                             Extrapolation* out) {
+  if (s == "none") *out = Extrapolation::kNone;
+  else if (s == "global") *out = Extrapolation::kGlobalM;
+  else if (s == "location") *out = Extrapolation::kLocationM;
+  else if (s == "lu") *out = Extrapolation::kLocationLUPlus;
+  else return false;
+  return true;
+}
+
+[[nodiscard]] inline const char* extrapolationName(Extrapolation e) {
+  switch (e) {
+    case Extrapolation::kNone: return "none";
+    case Extrapolation::kGlobalM: return "global";
+    case Extrapolation::kLocationM: return "location";
+    case Extrapolation::kLocationLUPlus: return "lu";
+  }
+  return "?";
+}
 
 struct Options {
   SearchOrder order = SearchOrder::kBfs;
@@ -29,10 +73,11 @@ struct Options {
   /// Daws–Tripakis (in-)active clock reduction.
   bool activeClockReduction = true;
 
-  /// Extrapolate with per-clock maximal bounds (always sound for the
-  /// diagonal-free models we build; disabling it is for ablation only
-  /// and can make the search diverge).
-  bool extrapolation = true;
+  /// Zone abstraction operator (see the Extrapolation enum). The
+  /// default is the coarsest sound operator; kGlobalM reproduces the
+  /// pre-LU engine and is the differential-test oracle; kNone is for
+  /// ablation only and can make the search diverge.
+  Extrapolation extrapolation = Extrapolation::kLocationLUPlus;
 
   /// Inclusion checking in the passed/waiting list (vs exact equality).
   bool inclusionChecking = true;

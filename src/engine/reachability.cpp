@@ -70,13 +70,23 @@ Reachability::Reachability(const ta::System& sys, Options opts)
 Result Reachability::run(const Goal& goal) {
   // Clocks the goal observes must survive the reductions.
   gen_.observeGoalConstraints(goal.clockConstraints);
+  Result res;
   if (opts_.order != SearchOrder::kBfs) {
     if (opts_.threads > 1) {
-      return opts_.portfolio ? runPortfolioDfs(goal) : runParallelDfs(goal);
+      res = opts_.portfolio ? runPortfolioDfs(goal) : runParallelDfs(goal);
+    } else {
+      res = runDfs(goal);
     }
-    return runDfs(goal);
+  } else {
+    res = opts_.threads > 1 ? runParallelBfs(goal) : runBfs(goal);
   }
-  return opts_.threads > 1 ? runParallelBfs(goal) : runBfs(goal);
+  // Abstraction observability: the generator is shared by every engine
+  // (and every portfolio worker), so fill these in once here rather
+  // than in each engine's finish path.
+  res.stats.storedZones = res.stats.statesStored;
+  res.stats.extrapolationCoarsenings = gen_.extrapolationCoarsenings();
+  res.stats.inactiveClocksFreed = gen_.inactiveClocksFreed();
+  return res;
 }
 
 // --------------------------------------------------------------------------

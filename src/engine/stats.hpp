@@ -14,6 +14,16 @@ struct Stats {
   size_t statesGenerated = 0;  ///< successors constructed
   size_t statesStored = 0;     ///< currently held in passed/waiting
   size_t bytesStored = 0;      ///< current bytes in passed/waiting/stack
+  /// Zones held by the passed store at the end of the run (after
+  /// inclusion subsumption) — the number the abstraction-coarseness
+  /// benchmarks compare. Equals statesStored for the full-zone store.
+  size_t storedZones = 0;
+  /// normalize() calls in which the extrapolation operator actually
+  /// widened the zone (a proxy for how much work the abstraction does).
+  size_t extrapolationCoarsenings = 0;
+  /// Dbm::freeClock applications by the active-clock reduction (one
+  /// per inactive clock per normalized state).
+  size_t inactiveClocksFreed = 0;
   size_t peakBytes = 0;        ///< high-water mark of bytesStored
   size_t peakStackDepth = 0;   ///< DFS only; parallel DFS reports the
                                ///< maximum over the per-worker peaks

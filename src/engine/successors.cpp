@@ -34,8 +34,32 @@ SuccessorGenerator::SuccessorGenerator(const ta::System& sys,
     : sys_(sys),
       opts_(opts),
       protected_(sys.dbmDimension(), false),
-      maxBounds_(sys.maxBounds()) {
+      maxBounds_(sys.maxBounds()),
+      baseLower_(sys.dbmDimension(), -1),
+      baseUpper_(sys.dbmDimension(), -1) {
   assert(sys.finalized() && "System::finalize() must run before the engine");
+  baseLower_[0] = 0;
+  baseUpper_[0] = 0;
+  if (opts_.extrapolation == Extrapolation::kLocationM ||
+      opts_.extrapolation == Extrapolation::kLocationLUPlus) {
+    lu_ = ta::analyzeClockBounds(sys);
+  }
+}
+
+void SuccessorGenerator::collectLU(const DiscreteState& d,
+                                   std::vector<dbm::value_t>& lower,
+                                   std::vector<dbm::value_t>& upper) const {
+  lower.assign(baseLower_.begin(), baseLower_.end());
+  upper.assign(baseUpper_.begin(), baseUpper_.end());
+  for (size_t p = 0; p < d.locs.size(); ++p) {
+    for (const ta::ClockLU& e :
+         lu_.at(static_cast<ta::ProcId>(p), d.locs[p])) {
+      auto& l = lower[static_cast<size_t>(e.clock)];
+      l = std::max(l, e.lower);
+      auto& u = upper[static_cast<size_t>(e.clock)];
+      u = std::max(u, e.upper);
+    }
+  }
 }
 
 bool SuccessorGenerator::applyInvariants(SymbolicState& s) const {
@@ -72,12 +96,43 @@ bool SuccessorGenerator::normalize(SymbolicState& s) const {
         active[static_cast<size_t>(c)] = 1;
       }
     }
+    size_t freed = 0;
     for (uint32_t c = 1; c < sys_.dbmDimension(); ++c) {
-      if (active[c] == 0 && !protected_[c]) s.zone.freeClock(c);
+      if (active[c] == 0 && !protected_[c]) {
+        s.zone.freeClock(c);
+        ++freed;
+      }
     }
+    if (freed != 0) clocksFreed_.fetch_add(freed, std::memory_order_relaxed);
   }
-  if (opts_.extrapolation) {
-    s.zone.extrapolateMaxBounds(maxBounds_);
+  switch (opts_.extrapolation) {
+    case Extrapolation::kNone:
+      break;
+    case Extrapolation::kGlobalM:
+      if (s.zone.extrapolateMaxBounds(maxBounds_)) {
+        coarsenings_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    case Extrapolation::kLocationM: {
+      thread_local std::vector<dbm::value_t> lower, upper, m;
+      collectLU(s.d, lower, upper);
+      m.resize(lower.size());
+      for (size_t c = 0; c < lower.size(); ++c) {
+        m[c] = std::max(lower[c], upper[c]);
+      }
+      if (s.zone.extrapolateMaxBounds(m)) {
+        coarsenings_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+    case Extrapolation::kLocationLUPlus: {
+      thread_local std::vector<dbm::value_t> lower, upper;
+      collectLU(s.d, lower, upper);
+      if (s.zone.extrapolateLUBounds(lower, upper)) {
+        coarsenings_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
   }
   return !s.zone.isEmpty();
 }

@@ -6,11 +6,13 @@
 // only ever sees normalized states.
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <vector>
 
 #include "engine/options.hpp"
 #include "engine/state.hpp"
+#include "ta/bounds_analysis.hpp"
 #include "ta/system.hpp"
 
 namespace engine {
@@ -39,21 +41,37 @@ class SuccessorGenerator {
 
   /// Register the clock constraints a reachability goal observes:
   /// the named clocks are excluded from the active-clock reduction and
-  /// their constants folded into the extrapolation bounds — otherwise
-  /// either abstraction could satisfy goal constraints spuriously.
+  /// their constants folded into every extrapolation's bounds (both L
+  /// and U, at every location) — otherwise either abstraction could
+  /// satisfy goal constraints spuriously.
   void observeGoalConstraints(const std::vector<ta::ClockConstraint>& ccs) {
     for (const ta::ClockConstraint& cc : ccs) {
       for (ta::ClockId c : {cc.i, cc.j}) {
         if (c > 0) {
           protected_[static_cast<size_t>(c)] = true;
+          const dbm::value_t v = std::abs(dbm::boundValue(cc.bound));
           auto& m = maxBounds_[static_cast<size_t>(c)];
-          m = std::max(m, std::abs(dbm::boundValue(cc.bound)));
+          m = std::max(m, v);
+          auto& l = baseLower_[static_cast<size_t>(c)];
+          l = std::max(l, v);
+          auto& u = baseUpper_[static_cast<size_t>(c)];
+          u = std::max(u, v);
         }
       }
     }
   }
 
   [[nodiscard]] const ta::System& system() const noexcept { return sys_; }
+
+  /// Cumulative over every state this generator normalized (all
+  /// threads, and — under portfolio mode — all workers): the run()
+  /// entry point copies them into Stats at the end of a search.
+  [[nodiscard]] size_t extrapolationCoarsenings() const noexcept {
+    return coarsenings_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] size_t inactiveClocksFreed() const noexcept {
+    return clocksFreed_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Delay + re-apply invariants + reduce + extrapolate. Returns false
@@ -68,10 +86,27 @@ class SuccessorGenerator {
                const std::vector<TransitionPart>& parts,
                std::vector<Successor>& out) const;
 
+  /// Combine the per-automaton LU rows of the current location vector
+  /// (pointwise max over processes, seeded with the goal-protected
+  /// base bounds) into dense per-clock arrays.
+  void collectLU(const DiscreteState& d, std::vector<dbm::value_t>& lower,
+                 std::vector<dbm::value_t>& upper) const;
+
   const ta::System& sys_;
   const Options& opts_;
   std::vector<bool> protected_;
   std::vector<dbm::value_t> maxBounds_;
+  /// Static per-location LU tables (kLocationM / kLocationLUPlus only).
+  ta::LUTable lu_;
+  /// Location-independent floor of the combined bounds: -1 everywhere
+  /// until observeGoalConstraints folds in the goal's constants.
+  std::vector<dbm::value_t> baseLower_;
+  std::vector<dbm::value_t> baseUpper_;
+  /// Abstraction observability counters (Stats.extrapolationCoarsenings
+  /// / Stats.inactiveClocksFreed). Mutable relaxed atomics: successors()
+  /// is const and runs concurrently on the parallel engines.
+  mutable std::atomic<size_t> coarsenings_{0};
+  mutable std::atomic<size_t> clocksFreed_{0};
 };
 
 }  // namespace engine

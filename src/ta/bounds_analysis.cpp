@@ -1,0 +1,120 @@
+#include "ta/bounds_analysis.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ta {
+
+namespace {
+
+/// Fold one constraint's constants into the dense L/U rows of the
+/// location it is observable at.  A constraint x_i - x_j ≺ c acts as an
+/// upper-type bound on x_i (constant c) and a lower-type bound on x_j
+/// (constant -c); either side is clamped at 0 — a negative constant
+/// constrains nothing a nonnegative clock can distinguish, but the
+/// clock was still compared, so the bound becomes 0 rather than
+/// staying at the "never observed" -1.
+void foldConstraint(const ClockConstraint& cc, std::vector<dbm::value_t>& lo,
+                    std::vector<dbm::value_t>& up) {
+  const dbm::value_t c = dbm::boundValue(cc.bound);
+  if (cc.i != 0) {
+    auto& u = up[static_cast<size_t>(cc.i)];
+    u = std::max(u, std::max<dbm::value_t>(c, 0));
+  }
+  if (cc.j != 0) {
+    auto& l = lo[static_cast<size_t>(cc.j)];
+    l = std::max(l, std::max<dbm::value_t>(-c, 0));
+  }
+}
+
+}  // namespace
+
+LUTable analyzeClockBounds(const System& sys) {
+  assert(sys.finalized() && "System::finalize() must run before analysis");
+  const size_t dim = sys.dbmDimension();
+
+  LUTable table;
+  table.rows_.resize(sys.numAutomata());
+
+  for (size_t pi = 0; pi < sys.numAutomata(); ++pi) {
+    const Automaton& a = sys.automaton(static_cast<ProcId>(pi));
+    const size_t nLocs = a.numLocations();
+
+    // Dense working arrays; -1 = no observable bound.
+    std::vector<std::vector<dbm::value_t>> lo(nLocs), up(nLocs);
+    for (size_t li = 0; li < nLocs; ++li) {
+      lo[li].assign(dim, -1);
+      up[li].assign(dim, -1);
+    }
+
+    // Local contributions: invariants and outgoing guards. A nonzero
+    // reset x := v floors both bounds of x at v in the destination —
+    // the clock holds v outright there and extrapolation must keep the
+    // value observable (mirrors the reset handling of the global
+    // maxBounds computation).
+    for (size_t li = 0; li < nLocs; ++li) {
+      for (const ClockConstraint& cc :
+           a.location(static_cast<LocId>(li)).invariant) {
+        foldConstraint(cc, lo[li], up[li]);
+      }
+    }
+    for (const Edge& e : a.edges()) {
+      const auto src = static_cast<size_t>(e.src);
+      const auto dst = static_cast<size_t>(e.dst);
+      for (const ClockConstraint& cc : e.clockGuard) {
+        foldConstraint(cc, lo[src], up[src]);
+      }
+      for (const ClockReset& r : e.resets) {
+        if (r.value > 0) {
+          auto& l = lo[dst][static_cast<size_t>(r.clock)];
+          auto& u = up[dst][static_cast<size_t>(r.clock)];
+          l = std::max(l, r.value);
+          u = std::max(u, r.value);
+        }
+      }
+    }
+
+    // Backward fixpoint: bounds observable at the destination of an
+    // edge are observable at its source for every clock the edge does
+    // not reset (a reset severs observability — the post-reset value
+    // is what later guards see).
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Edge& e : a.edges()) {
+        const auto src = static_cast<size_t>(e.src);
+        const auto dst = static_cast<size_t>(e.dst);
+        for (size_t x = 1; x < dim; ++x) {
+          const bool isReset = std::any_of(
+              e.resets.begin(), e.resets.end(), [&](const ClockReset& r) {
+                return static_cast<size_t>(r.clock) == x;
+              });
+          if (isReset) continue;
+          if (lo[dst][x] > lo[src][x]) {
+            lo[src][x] = lo[dst][x];
+            changed = true;
+          }
+          if (up[dst][x] > up[src][x]) {
+            up[src][x] = up[dst][x];
+            changed = true;
+          }
+        }
+      }
+    }
+
+    // Sparse rows: only clocks this automaton observes at the location.
+    auto& rows = table.rows_[pi];
+    rows.resize(nLocs);
+    for (size_t li = 0; li < nLocs; ++li) {
+      for (size_t x = 1; x < dim; ++x) {
+        if (lo[li][x] >= 0 || up[li][x] >= 0) {
+          rows[li].push_back(ClockLU{static_cast<ClockId>(x), lo[li][x],
+                                     up[li][x]});
+        }
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace ta

@@ -1,0 +1,81 @@
+// Static per-location clock-bound analysis (Behrmann, Bouyer, Larsen,
+// Pelánek: "Lower and Upper Bounds in Zone-Based Abstractions of Timed
+// Automata", and the UPPAAL "static guard analysis" lineage).
+//
+// For every automaton location ℓ and clock x the analysis computes
+//
+//   L(ℓ, x) — the largest constant c such that a constraint of the
+//             form x > c / x >= c can still be *observed* from ℓ
+//             before x is next reset, and
+//   U(ℓ, x) — the same for upper-bound constraints x < c / x <= c,
+//
+// by a backward fixpoint over the automaton's edges: a location
+// contributes the constants of its own invariant and of the guards of
+// its outgoing edges, and inherits the bounds of each successor
+// location across every edge that does not reset the clock.  A reset
+// x := v with v > 0 additionally floors both bounds of x at v in the
+// destination (the clock holds v outright there, and extrapolation
+// must not erase that).
+//
+// -1 means "no such constraint is observable" — the matching bound may
+// be abstracted away entirely.  The per-location tables refine the
+// single global maximum `System::maxBounds()` (Extra_M): for every
+// location, L(ℓ,x) <= M(x) and U(ℓ,x) <= M(x), so the induced
+// Extra+_LU abstraction is coarser than (abstracts at least as much
+// as) global Extra_M while still preserving location reachability.
+#pragma once
+
+#include <vector>
+
+#include "ta/system.hpp"
+
+namespace ta {
+
+/// Lower/upper bound constants of one clock at one location.
+/// -1 = no observable constraint of that kind.
+struct ClockLU {
+  ClockId clock = 0;
+  dbm::value_t lower = -1;  ///< L(l, clock)
+  dbm::value_t upper = -1;  ///< U(l, clock)
+};
+
+/// Per-automaton, per-location LU tables in sparse form: only clocks
+/// with at least one observable bound at the location appear, sorted
+/// by clock id. Clocks never compared by an automaton never appear in
+/// its rows — the engine combines rows across the location vector by
+/// pointwise max, so absence is the identity.
+class LUTable {
+ public:
+  [[nodiscard]] const std::vector<ClockLU>& at(ProcId p, LocId l) const {
+    return rows_[static_cast<size_t>(p)][static_cast<size_t>(l)];
+  }
+
+  /// Dense lookups for tests and diagnostics (linear scan of the row).
+  [[nodiscard]] dbm::value_t lower(ProcId p, LocId l, ClockId x) const {
+    for (const ClockLU& e : at(p, l)) {
+      if (e.clock == x) return e.lower;
+    }
+    return -1;
+  }
+  [[nodiscard]] dbm::value_t upper(ProcId p, LocId l, ClockId x) const {
+    for (const ClockLU& e : at(p, l)) {
+      if (e.clock == x) return e.upper;
+    }
+    return -1;
+  }
+
+  [[nodiscard]] size_t numAutomata() const noexcept { return rows_.size(); }
+
+ private:
+  friend LUTable analyzeClockBounds(const System& sys);
+
+  // rows_[proc][loc] = sparse LU row.
+  std::vector<std::vector<std::vector<ClockLU>>> rows_;
+};
+
+/// Run the backward fixpoint over every automaton of a finalized
+/// system. Pure function of the system structure; safe to call from
+/// multiple threads on the same (immutable) system.
+[[nodiscard]] LUTable analyzeClockBounds(const System& sys);
+
+}  // namespace ta

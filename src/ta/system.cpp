@@ -47,12 +47,23 @@ EdgeBuilder& EdgeBuilder::assignCellConst(VarId base, int32_t index,
 
 namespace {
 
+// A constraint x_i - x_j ≺ c is an upper-type bound on x_i with
+// constant c and a lower-type bound on x_j with constant -c; each side
+// is clamped at 0 (a negative constant distinguishes nothing for a
+// nonnegative clock, but the clock was still compared, so its bound
+// becomes 0 rather than the "never compared" -1).  Bumping both sides
+// with |c| — the previous behavior — over-widened the global maxima
+// and made Extra_M needlessly fine.
 void bumpMax(std::vector<dbm::value_t>& maxBounds, const ClockConstraint& cc) {
-  const dbm::value_t c = std::abs(dbm::boundValue(cc.bound));
-  if (cc.i != 0) maxBounds[static_cast<size_t>(cc.i)] =
-      std::max(maxBounds[static_cast<size_t>(cc.i)], c);
-  if (cc.j != 0) maxBounds[static_cast<size_t>(cc.j)] =
-      std::max(maxBounds[static_cast<size_t>(cc.j)], c);
+  const dbm::value_t c = dbm::boundValue(cc.bound);
+  if (cc.i != 0) {
+    auto& m = maxBounds[static_cast<size_t>(cc.i)];
+    m = std::max(m, std::max<dbm::value_t>(c, 0));
+  }
+  if (cc.j != 0) {
+    auto& m = maxBounds[static_cast<size_t>(cc.j)];
+    m = std::max(m, std::max<dbm::value_t>(-c, 0));
+  }
 }
 
 }  // namespace

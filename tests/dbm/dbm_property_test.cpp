@@ -197,6 +197,42 @@ TEST_P(DbmProperty, ExtrapolationOnlyGrowsZone) {
   }
 }
 
+TEST_P(DbmProperty, LUExtrapolationIsCoarserThanMaxBounds) {
+  RandomZone gen(GetParam());
+  const std::vector<value_t> max{0, 3, 3};
+  // Pointwise-smaller LU bounds; -1 marks a clock never compared on
+  // that side (treated as 0 by the operator).
+  const std::vector<value_t> lower{0, 1, -1};
+  const std::vector<value_t> upper{0, 3, 1};
+  const auto pts = gridPoints();
+  for (int iter = 0; iter < 50; ++iter) {
+    const Dbm a = gen.next();
+    Dbm m = a;
+    m.extrapolateMaxBounds(max);
+    Dbm lu = a;
+    lu.extrapolateLUBounds(max, max);
+    // Abstraction lattice: with L = U = M, Extra+_LU still applies the
+    // additional diagonal/lower-facet rules, so it abstracts at least
+    // as much as Extra_M...
+    EXPECT_TRUE(lu.includes(a));
+    EXPECT_TRUE(lu.includes(m));
+    // ...and shrinking the bound vectors only coarsens further.
+    Dbm luSmall = a;
+    luSmall.extrapolateLUBounds(lower, upper);
+    EXPECT_TRUE(luSmall.includes(lu));
+    // Idempotence: a second application is a no-op.
+    Dbm again = lu;
+    again.extrapolateLUBounds(max, max);
+    EXPECT_EQ(again.relation(lu), Relation::kEqual);
+    // Soundness floor: points below every bound are never lost.
+    for (const auto& p : pts) {
+      if (p[1] <= 1 && p[2] <= 1 && a.containsPoint(p)) {
+        EXPECT_TRUE(luSmall.containsPoint(p));
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DbmProperty,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
 

@@ -1,11 +1,14 @@
 // Differential testing of the reachability engine: random small
 // timed-automata networks (binary and broadcast channels, urgent and
-// committed locations, bounded integer-variable assignments), explored
-// exhaustively under every engine configuration — sequential BFS/DFS
-// variants, parallel BFS, work-stealing parallel DFS and the seeded
-// portfolio at 2 and 4 threads — all configurations must agree on
-// reachability, and every positive answer must concretize into a
-// validated timed trace.
+// committed locations, strict and weak guards, nonzero reset values,
+// bounded integer-variable assignments), explored exhaustively under
+// every engine configuration — sequential BFS/DFS variants, parallel
+// BFS, work-stealing parallel DFS and the seeded portfolio at 2 and 4
+// threads, crossed with every zone-abstraction operator (kGlobalM /
+// kLocationM / kLocationLUPlus, with and without the active-clock
+// reduction). Config 0 — sequential BFS under kGlobalM — is the
+// oracle: all configurations must agree with it on reachability, and
+// every positive answer must concretize into a validated timed trace.
 #include <random>
 
 #include <gtest/gtest.h>
@@ -85,12 +88,23 @@ struct RandomModel {
           }
         }
         if (!broadcastReceive && coin(rng) != 0) {
-          eb.when(coin(rng) != 0
-                      ? ta::ccGe(clocks[static_cast<size_t>(a)], small(rng))
-                      : ta::ccLe(clocks[static_cast<size_t>(a)],
-                                 small(rng) + 1));
+          // Mix strict and weak bounds: extrapolation strictness
+          // handling (the Extra+_LU "(-U, <)" entries) must not change
+          // verdicts.
+          const ta::ClockId ck = clocks[static_cast<size_t>(a)];
+          switch (d8(rng) & 3) {
+            case 0: eb.when(ta::ccGe(ck, small(rng))); break;
+            case 1: eb.when(ta::ccGt(ck, small(rng))); break;
+            case 2: eb.when(ta::ccLe(ck, small(rng) + 1)); break;
+            default: eb.when(ta::ccLt(ck, small(rng) + 2)); break;
+          }
         }
-        if (coin(rng) != 0) eb.reset(clocks[static_cast<size_t>(a)]);
+        if (coin(rng) != 0) {
+          // Occasionally reset to a nonzero value: the LU analysis must
+          // floor the destination bounds at the reset value.
+          const dbm::value_t rv = d8(rng) == 0 ? small(rng) : 0;
+          eb.reset(clocks[static_cast<size_t>(a)], rv);
+        }
         if (coin(rng) != 0) {
           eb.guard(sys->rd(v) < 3).assign(v, sys->rd(v) + 1);
         }
@@ -115,7 +129,12 @@ Options config(int kind) {
   Options o;
   o.maxSeconds = 20.0;
   switch (kind) {
-    case 0: o.order = SearchOrder::kBfs; break;
+    // Config 0 is the oracle every other configuration must agree
+    // with: sequential BFS under the classic global-max abstraction.
+    case 0:
+      o.order = SearchOrder::kBfs;
+      o.extrapolation = Extrapolation::kGlobalM;
+      break;
     case 1: o.order = SearchOrder::kDfs; break;
     case 2:
       o.order = SearchOrder::kDfs;
@@ -162,16 +181,52 @@ Options config(int kind) {
       o.portfolio = true;
       o.threads = 4;
       break;
-    default:  // work-stealing DFS over the reduced-form passed store
+    case 14:  // work-stealing DFS over the reduced-form passed store
       o.order = SearchOrder::kDfs;
       o.threads = 2;
       o.compactPassed = true;
+      break;
+    // -- Extrapolation-mode matrix: every operator crossed with
+    //    sequential BFS, sequential DFS and a parallel engine, each
+    //    checked against the kGlobalM oracle (config 0). Configs 1-14
+    //    inherit the kLocationLUPlus default, so the coarsest operator
+    //    is additionally exercised by every engine above.
+    case 15:
+      o.order = SearchOrder::kDfs;
+      o.extrapolation = Extrapolation::kGlobalM;
+      break;
+    case 16:  // global-M under the parallel BFS explorer
+      o.extrapolation = Extrapolation::kGlobalM;
+      o.threads = 2;
+      o.shardBits = 2;
+      break;
+    case 17:
+      o.extrapolation = Extrapolation::kLocationM;
+      break;
+    case 18:
+      o.order = SearchOrder::kDfs;
+      o.extrapolation = Extrapolation::kLocationM;
+      break;
+    case 19:  // location-M under the work-stealing DFS explorer
+      o.order = SearchOrder::kDfs;
+      o.extrapolation = Extrapolation::kLocationM;
+      o.threads = 2;
+      o.shardBits = 2;
+      break;
+    case 20:  // LU+ without the active-clock reduction
+      o.extrapolation = Extrapolation::kLocationLUPlus;
+      o.activeClockReduction = false;
+      break;
+    default:  // LU+ with exact-equality dedup (no zone inclusion)
+      o.order = SearchOrder::kDfs;
+      o.extrapolation = Extrapolation::kLocationLUPlus;
+      o.inclusionChecking = false;
       break;
   }
   return o;
 }
 
-constexpr int kNumConfigs = 15;
+constexpr int kNumConfigs = 22;
 
 class Differential : public ::testing::TestWithParam<uint64_t> {};
 

@@ -227,7 +227,7 @@ TEST(SearchOptions, ExtrapolationOffDivergesWithoutBound) {
   sys.edge(p, 0, 0).when(ccGe(x, 1)).reset(x);
   sys.finalize();
   Options o;
-  o.extrapolation = false;
+  o.extrapolation = Extrapolation::kNone;
   // The active-clock reduction would free the dead clock y and mask
   // the divergence this test demonstrates.
   o.activeClockReduction = false;

@@ -1,0 +1,233 @@
+// Unit tests of the static per-location LU-bound analysis
+// (ta/bounds_analysis.hpp) on hand-built automata with known tables:
+// guard/invariant contributions, backward propagation across
+// non-resetting edges, severing at resets, nonzero-reset flooring,
+// loops, diagonal constraints and the refinement relation against the
+// global max-bounds.
+#include <gtest/gtest.h>
+
+#include "ta/bounds_analysis.hpp"
+#include "ta/system.hpp"
+
+namespace ta {
+namespace {
+
+TEST(BoundsAnalysis, GuardsContributeAtSourceAndPropagateBackward) {
+  System sys;
+  const ClockId x = sys.addClock("x");
+  const ProcId p = sys.addAutomaton("P");
+  auto& a = sys.automaton(p);
+  const LocId l0 = a.addLocation("l0");
+  const LocId l1 = a.addLocation("l1");
+  const LocId l2 = a.addLocation("l2");
+  sys.edge(p, l0, l1).when(ccGe(x, 3));
+  sys.edge(p, l1, l2).when(ccLe(x, 7));
+  sys.finalize();
+
+  const LUTable lu = analyzeClockBounds(sys);
+  ASSERT_EQ(lu.numAutomata(), 1u);
+
+  // l1 observes its own outgoing upper guard only.
+  EXPECT_EQ(lu.lower(p, l1, x), -1);
+  EXPECT_EQ(lu.upper(p, l1, x), 7);
+  // l0 observes its own lower guard plus l1's bounds (no reset between).
+  EXPECT_EQ(lu.lower(p, l0, x), 3);
+  EXPECT_EQ(lu.upper(p, l0, x), 7);
+  // Nothing is observable from the sink.
+  EXPECT_TRUE(lu.at(p, l2).empty());
+}
+
+TEST(BoundsAnalysis, ResetSeversBackwardPropagation) {
+  System sys;
+  const ClockId x = sys.addClock("x");
+  const ProcId p = sys.addAutomaton("P");
+  auto& a = sys.automaton(p);
+  const LocId l0 = a.addLocation("l0");
+  const LocId l1 = a.addLocation("l1");
+  const LocId l2 = a.addLocation("l2");
+  sys.edge(p, l0, l1).reset(x);
+  sys.edge(p, l1, l2).when(ccGe(x, 5));
+  sys.finalize();
+
+  const LUTable lu = analyzeClockBounds(sys);
+  EXPECT_EQ(lu.lower(p, l1, x), 5);
+  // The guard on x at l1 is unobservable from l0: the connecting edge
+  // resets x, so whatever value x has at l0 is never compared again.
+  EXPECT_TRUE(lu.at(p, l0).empty());
+}
+
+TEST(BoundsAnalysis, NonzeroResetFloorsDestinationBounds) {
+  System sys;
+  const ClockId x = sys.addClock("x");
+  const ProcId p = sys.addAutomaton("P");
+  auto& a = sys.automaton(p);
+  const LocId l0 = a.addLocation("l0");
+  const LocId l1 = a.addLocation("l1");
+  const LocId l2 = a.addLocation("l2");
+  sys.edge(p, l0, l1).reset(x, 9);
+  sys.edge(p, l1, l2).reset(x, 0);
+  sys.finalize();
+
+  const LUTable lu = analyzeClockBounds(sys);
+  // x := 9 means x holds 9 outright at l1; both bounds floor at 9 so
+  // extrapolation cannot erase the value.
+  EXPECT_EQ(lu.lower(p, l1, x), 9);
+  EXPECT_EQ(lu.upper(p, l1, x), 9);
+  // A reset to zero contributes nothing.
+  EXPECT_TRUE(lu.at(p, l2).empty());
+  EXPECT_TRUE(lu.at(p, l0).empty());
+}
+
+TEST(BoundsAnalysis, InvariantContributesLocallyAndUpstream) {
+  System sys;
+  const ClockId x = sys.addClock("x");
+  const ProcId p = sys.addAutomaton("P");
+  auto& a = sys.automaton(p);
+  const LocId l0 = a.addLocation("l0");
+  const LocId l1 = a.addLocation("l1");
+  a.setInvariant(l1, {ccLe(x, 4)});
+  sys.edge(p, l0, l1);
+  sys.finalize();
+
+  const LUTable lu = analyzeClockBounds(sys);
+  EXPECT_EQ(lu.upper(p, l1, x), 4);
+  EXPECT_EQ(lu.lower(p, l1, x), -1);
+  // Observable one step earlier: the edge does not reset x.
+  EXPECT_EQ(lu.upper(p, l0, x), 4);
+}
+
+TEST(BoundsAnalysis, LoopReachesFixpoint) {
+  System sys;
+  const ClockId x = sys.addClock("x");
+  const ProcId p = sys.addAutomaton("P");
+  auto& a = sys.automaton(p);
+  const LocId l0 = a.addLocation("l0");
+  const LocId l1 = a.addLocation("l1");
+  sys.edge(p, l0, l1);
+  sys.edge(p, l1, l0).when(ccGe(x, 2));
+  sys.finalize();
+
+  const LUTable lu = analyzeClockBounds(sys);
+  // The cycle carries the bound around without resets; the fixpoint
+  // must terminate with the same bound at both locations.
+  EXPECT_EQ(lu.lower(p, l0, x), 2);
+  EXPECT_EQ(lu.lower(p, l1, x), 2);
+  EXPECT_EQ(lu.upper(p, l0, x), -1);
+  EXPECT_EQ(lu.upper(p, l1, x), -1);
+}
+
+TEST(BoundsAnalysis, DiagonalConstraintFoldsAsymmetrically) {
+  System sys;
+  const ClockId x = sys.addClock("x");
+  const ClockId y = sys.addClock("y");
+  const ProcId p = sys.addAutomaton("P");
+  auto& a = sys.automaton(p);
+  const LocId l0 = a.addLocation("l0");
+  const LocId l1 = a.addLocation("l1");
+  sys.edge(p, l0, l1).when(ccDiffLe(x, y, 3)).reset(x).reset(y);
+  sys.finalize();
+
+  const LUTable lu = analyzeClockBounds(sys);
+  // x - y <= 3 is an upper-type bound on x (constant 3) and a
+  // lower-type bound on y with constant -3, clamped at 0: y was
+  // compared, so its bound is 0 rather than the "never observed" -1.
+  EXPECT_EQ(lu.upper(p, l0, x), 3);
+  EXPECT_EQ(lu.lower(p, l0, x), -1);
+  EXPECT_EQ(lu.lower(p, l0, y), 0);
+  EXPECT_EQ(lu.upper(p, l0, y), -1);
+}
+
+TEST(BoundsAnalysis, NegativeDiagonalConstantClampsToZero) {
+  System sys;
+  const ClockId x = sys.addClock("x");
+  const ClockId y = sys.addClock("y");
+  const ProcId p = sys.addAutomaton("P");
+  auto& a = sys.automaton(p);
+  const LocId l0 = a.addLocation("l0");
+  const LocId l1 = a.addLocation("l1");
+  sys.edge(p, l0, l1).when(ccDiffLe(x, y, -2)).reset(x).reset(y);
+  sys.finalize();
+
+  const LUTable lu = analyzeClockBounds(sys);
+  // x - y <= -2: upper side clamps to 0, lower side of y becomes 2.
+  EXPECT_EQ(lu.upper(p, l0, x), 0);
+  EXPECT_EQ(lu.lower(p, l0, y), 2);
+}
+
+TEST(BoundsAnalysis, RefinesGlobalMaxBounds) {
+  System sys;
+  const ClockId x = sys.addClock("x");
+  const ProcId p = sys.addAutomaton("P");
+  auto& a = sys.automaton(p);
+  const LocId l0 = a.addLocation("l0");
+  const LocId l1 = a.addLocation("l1");
+  const LocId l2 = a.addLocation("l2");
+  sys.edge(p, l0, l1).when(ccLe(x, 10)).reset(x);
+  sys.edge(p, l1, l2).when(ccLe(x, 2));
+  sys.finalize();
+
+  const LUTable lu = analyzeClockBounds(sys);
+  // Global Extra_M must keep every zone distinct up to M(x) = 10
+  // everywhere; the per-location table knows l1 only ever compares x
+  // against 2 again — a strictly coarser abstraction at l1.
+  EXPECT_EQ(sys.maxBounds()[static_cast<size_t>(x)], 10);
+  EXPECT_EQ(lu.upper(p, l0, x), 10);
+  EXPECT_EQ(lu.upper(p, l1, x), 2);
+  for (const LocId l : {l0, l1, l2}) {
+    for (const ClockLU& e : lu.at(p, l)) {
+      const auto m = sys.maxBounds()[static_cast<size_t>(e.clock)];
+      EXPECT_LE(e.lower, m);
+      EXPECT_LE(e.upper, m);
+    }
+  }
+}
+
+TEST(BoundsAnalysis, ForeignClocksAbsentFromRows) {
+  System sys;
+  const ClockId x = sys.addClock("x");
+  const ClockId y = sys.addClock("y");
+  const ProcId p = sys.addAutomaton("P");
+  const ProcId q = sys.addAutomaton("Q");
+  auto& a = sys.automaton(p);
+  auto& b = sys.automaton(q);
+  const LocId pl0 = a.addLocation("l0");
+  const LocId pl1 = a.addLocation("l1");
+  const LocId ql0 = b.addLocation("m0");
+  const LocId ql1 = b.addLocation("m1");
+  sys.edge(p, pl0, pl1).when(ccGe(x, 6));
+  sys.edge(q, ql0, ql1).when(ccLe(y, 8));
+  sys.finalize();
+
+  const LUTable lu = analyzeClockBounds(sys);
+  ASSERT_EQ(lu.numAutomata(), 2u);
+  // Each automaton's rows mention only the clocks it observes; the
+  // engine combines rows across the location vector by pointwise max.
+  ASSERT_EQ(lu.at(p, pl0).size(), 1u);
+  EXPECT_EQ(lu.at(p, pl0)[0].clock, x);
+  EXPECT_EQ(lu.lower(p, pl0, y), -1);
+  ASSERT_EQ(lu.at(q, ql0).size(), 1u);
+  EXPECT_EQ(lu.at(q, ql0)[0].clock, y);
+  EXPECT_EQ(lu.upper(q, ql0, x), -1);
+}
+
+TEST(BoundsAnalysis, BranchingTakesPointwiseMax) {
+  System sys;
+  const ClockId x = sys.addClock("x");
+  const ProcId p = sys.addAutomaton("P");
+  auto& a = sys.automaton(p);
+  const LocId l0 = a.addLocation("l0");
+  const LocId l1 = a.addLocation("l1");
+  const LocId l2 = a.addLocation("l2");
+  // Two futures from l0: one compares x against 1, the other against 6.
+  sys.edge(p, l0, l1).when(ccGe(x, 1));
+  sys.edge(p, l0, l2).when(ccGe(x, 6));
+  sys.finalize();
+
+  const LUTable lu = analyzeClockBounds(sys);
+  // l0 must keep the larger constant: abstraction by the smaller one
+  // could merge zones the x >= 6 branch still distinguishes.
+  EXPECT_EQ(lu.lower(p, l0, x), 6);
+}
+
+}  // namespace
+}  // namespace ta
