@@ -20,9 +20,12 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "engine/trace.hpp"
 #include "ta/system.hpp"
 
 namespace {
+
+benchutil::Report g_report("ablation_engine");
 
 void runRow(const char* name, int batches, engine::Options opts) {
   plant::PlantConfig cfg;
@@ -34,11 +37,109 @@ void runRow(const char* name, int batches, engine::Options opts) {
     std::printf("%-34s %10zu %10zu %10.3f %9.1f\n", name,
                 res.stats.statesExplored, res.stats.statesStored,
                 res.stats.seconds, res.stats.peakMegabytes());
+    g_report.add(name, res.stats.seconds * 1000.0, res.stats.peakBytes,
+                 res.stats.statesStored);
   } else {
     std::printf("%-34s %10s %10s %10s %9s   (cutoff=%d)\n", name, "-", "-",
                 "-", "-", static_cast<int>(res.stats.cutoff));
   }
   std::fflush(stdout);
+}
+
+// ------------------------------------------------------------------
+// Passed-store ablation: bytes held by the storage engine (flat store
+// + interner arena) under the PR 4 knobs, on the guided plant.
+// ------------------------------------------------------------------
+
+engine::Result runStoreConfig(int batches, bool intern, bool compact,
+                              bool merge, double budget) {
+  plant::PlantConfig cfg;
+  cfg.order = plant::standardOrder(batches);
+  const auto p = plant::buildPlant(cfg);
+  engine::Options o = benchutil::searchOptions("DFS", budget, 8192);
+  o.internStates = intern;
+  o.compactPassed = compact;
+  o.mergeZones = merge;
+  engine::Reachability checker(p->sys, o);
+  return checker.run(p->goal);
+}
+
+void storeRow(const char* name, int batches, bool intern, bool compact,
+              bool merge, double budget, size_t baselineBytes) {
+  const engine::Result res =
+      runStoreConfig(batches, intern, compact, merge, budget);
+  if (!res.reachable) {
+    std::printf("%-34s %10s %10s %10s %9s   (cutoff=%d)\n", name, "-", "-",
+                "-", "-", static_cast<int>(res.stats.cutoff));
+    return;
+  }
+  const size_t bytes = res.stats.storeBytes + res.stats.internBytes;
+  if (baselineBytes == 0) {
+    std::printf("%-34s %10zu %10zu %10.1f %9s\n", name,
+                res.stats.statesStored, res.stats.zonesMerged,
+                static_cast<double>(bytes) / (1024.0 * 1024.0), "base");
+  } else {
+    std::printf("%-34s %10zu %10zu %10.1f %8.1f%%\n", name,
+                res.stats.statesStored, res.stats.zonesMerged,
+                static_cast<double>(bytes) / (1024.0 * 1024.0),
+                100.0 * static_cast<double>(bytes) /
+                    static_cast<double>(baselineBytes));
+  }
+  g_report.add(std::string("store-") + name, res.stats.seconds * 1000.0,
+               bytes, res.stats.statesStored);
+  std::fflush(stdout);
+}
+
+/// The PR 4 acceptance gate: on the large guided workload the
+/// interned + merged + reduced-form store must hold <= 70% of the
+/// bytes of the pre-interning layout (append-only arena, full zones,
+/// no merging) at the same verdict, with a trace that still validates.
+/// Both runs are goal-directed DFS with the same seed, so the byte
+/// counts are deterministic per build.
+int storeSmoke() {
+  const int batches = benchutil::quick() ? 15 : 45;
+  constexpr double kBudget = 480.0;
+  const engine::Result base =
+      runStoreConfig(batches, false, false, false, kBudget);
+  const engine::Result opt =
+      runStoreConfig(batches, true, true, true, kBudget);
+  const size_t baseBytes = base.stats.storeBytes + base.stats.internBytes;
+  const size_t optBytes = opt.stats.storeBytes + opt.stats.internBytes;
+  std::printf("guided %d-batch  baseline: reach=%d store+intern=%.1f MB  "
+              "optimized: reach=%d store+intern=%.1f MB merges=%zu\n",
+              batches, base.reachable ? 1 : 0,
+              static_cast<double>(baseBytes) / (1024.0 * 1024.0),
+              opt.reachable ? 1 : 0,
+              static_cast<double>(optBytes) / (1024.0 * 1024.0),
+              opt.stats.zonesMerged);
+  if (!base.reachable || !opt.reachable) {
+    std::printf("FAIL: schedule not found (baseline=%d optimized=%d)\n",
+                base.reachable ? 1 : 0, opt.reachable ? 1 : 0);
+    return 1;
+  }
+  // The optimized store must not change the answer's substance: the
+  // trace it reconstructs still concretizes into a valid timed run.
+  {
+    plant::PlantConfig cfg;
+    cfg.order = plant::standardOrder(batches);
+    const auto p = plant::buildPlant(cfg);
+    std::string err;
+    const auto ct = engine::concretize(p->sys, opt.trace, &err);
+    if (!ct.has_value() || !engine::validate(p->sys, *ct, &err)) {
+      std::printf("FAIL: optimized-store trace invalid: %s\n", err.c_str());
+      return 1;
+    }
+  }
+  const double ratio =
+      static_cast<double>(optBytes) / static_cast<double>(baseBytes);
+  if (ratio > 0.7) {
+    std::printf("FAIL: optimized store holds %.1f%% of baseline bytes "
+                "(need <= 70%%)\n", 100.0 * ratio);
+    return 1;
+  }
+  std::printf("PASS: optimized store holds %.1f%% of baseline bytes\n",
+              100.0 * ratio);
+  return 0;
 }
 
 // ------------------------------------------------------------------
@@ -170,6 +271,9 @@ int smoke() {
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return smoke();
+  if (argc > 1 && std::strcmp(argv[1], "--store-smoke") == 0) {
+    return storeSmoke();
+  }
 
   const int n = benchutil::quick() ? 5 : 10;
   const double budget = benchutil::quick() ? 10.0 : 60.0;
@@ -240,6 +344,27 @@ int main(int argc, char** argv) {
                engine::Extrapolation::kLocationLUPlus, false, fbudget, gs);
   }
 
+  std::printf("\nPassed-store bytes (All Guides, %d batches, DFS; "
+              "store + interner arena):\n\n", n);
+  std::printf("%-34s %10s %10s %10s %9s\n", "configuration", "stored",
+              "merged", "MB", "vs base");
+  {
+    const engine::Result b = runStoreConfig(n, false, false, false, budget);
+    const size_t bb =
+        b.reachable ? b.stats.storeBytes + b.stats.internBytes : 0;
+    if (b.reachable) {
+      std::printf("%-34s %10zu %10zu %10.1f %9s\n",
+                  "no interning, full zones", b.stats.statesStored,
+                  b.stats.zonesMerged,
+                  static_cast<double>(bb) / (1024.0 * 1024.0), "base");
+      g_report.add("store-no-interning-full", b.stats.seconds * 1000.0, bb,
+                   b.stats.statesStored);
+    }
+    storeRow("interned, full zones", n, true, false, false, budget, bb);
+    storeRow("interned + merging", n, true, false, true, budget, bb);
+    storeRow("interned + compact + merging", n, true, true, true, budget, bb);
+  }
+
   std::printf("\nBit-state hashing: hash-table size sensitivity "
               "(paper: \"finding suitable hash table sizes is very "
               "tedious\"):\n\n");
@@ -258,5 +383,6 @@ int main(int argc, char** argv) {
     std::snprintf(name, sizeof name, "BSH, 2^%u-bit table", bits);
     runRow(name, n, o);
   }
+  g_report.write();
   return 0;
 }

@@ -3,7 +3,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "engine/reachability.hpp"
 #include "plant/plant.hpp"
@@ -15,7 +19,63 @@ struct CellResult {
   bool reachable = false;
   double seconds = 0.0;
   double megabytes = 0.0;
+  size_t peakBytes = 0;
+  size_t storedStates = 0;
   engine::Cutoff cutoff = engine::Cutoff::kNone;
+};
+
+/// The repository root (nearest ancestor of the working directory
+/// holding ROADMAP.md), so benchmarks launched from build trees still
+/// drop their reports in one well-known place. Falls back to the
+/// working directory outside a checkout.
+[[nodiscard]] inline std::filesystem::path repoRoot() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (fs::path p = fs::current_path(ec); !p.empty(); p = p.parent_path()) {
+    if (fs::exists(p / "ROADMAP.md", ec)) return p;
+    if (p == p.parent_path()) break;
+  }
+  return fs::current_path(ec);
+}
+
+/// Accumulates benchmark rows and writes them as BENCH_<name>.json at
+/// the repo root — the machine-readable record the bench trajectory
+/// compares across PRs. One row per workload; the schema is fixed:
+/// workload / wall_ms / peak_bytes / stored_states.
+class Report {
+ public:
+  explicit Report(std::string name) : name_(std::move(name)) {}
+
+  void add(std::string workload, double wallMs, size_t peakBytes,
+           size_t storedStates) {
+    rows_.push_back(Row{std::move(workload), wallMs, peakBytes, storedStates});
+  }
+
+  /// Best-effort write (a read-only checkout must not fail the bench).
+  void write() const {
+    const std::filesystem::path out = repoRoot() / ("BENCH_" + name_ + ".json");
+    std::ofstream f(out);
+    if (!f) return;
+    f << "{\n  \"bench\": \"" << name_ << "\",\n  \"results\": [\n";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      f << "    {\"workload\": \"" << r.workload << "\", \"wall_ms\": "
+        << r.wallMs << ", \"peak_bytes\": " << r.peakBytes
+        << ", \"stored_states\": " << r.storedStates << "}"
+        << (i + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    f << "  ]\n}\n";
+  }
+
+ private:
+  struct Row {
+    std::string workload;
+    double wallMs;
+    size_t peakBytes;
+    size_t storedStates;
+  };
+  std::string name_;
+  std::vector<Row> rows_;
 };
 
 /// Run one scheduling query. The paper's Table 1 "DFS" corresponds to
@@ -36,6 +96,8 @@ inline CellResult runCell(int batches, plant::GuideLevel guides,
   out.reachable = res.reachable;
   out.seconds = res.stats.seconds;
   out.megabytes = res.stats.peakMegabytes();
+  out.peakBytes = res.stats.peakBytes;
+  out.storedStates = res.stats.statesStored;
   out.cutoff = res.stats.cutoff;
   return out;
 }

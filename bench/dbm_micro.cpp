@@ -2,9 +2,11 @@
 // operations the reachability engine performs millions of times.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <random>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "dbm/dbm.hpp"
 
 namespace {
@@ -140,6 +142,49 @@ void BM_Hash(benchmark::State& state) {
 }
 BENCHMARK(BM_Hash)->Arg(8)->Arg(32)->Arg(184);
 
+/// Fixed-iteration timings of the two hottest kernels, recorded in the
+/// BENCH_dbm_micro.json trajectory (google-benchmark owns stdout; this
+/// re-times a stable subset rather than parsing its reporter output).
+void writeReport() {
+  using Clock = std::chrono::steady_clock;
+  benchutil::Report report("dbm_micro");
+  std::mt19937_64 rng(7);
+  for (const uint32_t dim : {32u, 184u}) {
+    const dbm::Dbm z = randomZone(dim, rng);
+    const dbm::Dbm w = randomZone(dim, rng);
+    const int iters = dim > 100 ? 200 : 2000;
+
+    Clock::time_point t0 = Clock::now();
+    for (int k = 0; k < iters; ++k) {
+      dbm::Dbm c = z;
+      benchmark::DoNotOptimize(c.close());
+    }
+    report.add("close-dim" + std::to_string(dim) + "-x" +
+                   std::to_string(iters),
+               std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                   .count(),
+               0, 0);
+
+    t0 = Clock::now();
+    for (int k = 0; k < iters * 10; ++k) {
+      benchmark::DoNotOptimize(z.includes(w));
+    }
+    report.add("includes-dim" + std::to_string(dim) + "-x" +
+                   std::to_string(iters * 10),
+               std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                   .count(),
+               0, 0);
+  }
+  report.write();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  writeReport();
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "bench_util.hpp"
 #include "engine/trace.hpp"
 #include "plant/plant.hpp"
 #include "synthesis/rcx_codegen.hpp"
@@ -45,5 +46,9 @@ int main() {
     ++shown;
   }
   std::printf("  ...\n");
+  benchutil::Report report("fig6_program");
+  report.add("codegen-qualityAB", res.stats.seconds * 1000.0,
+             res.stats.peakBytes, res.stats.statesStored);
+  report.write();
   return 0;
 }

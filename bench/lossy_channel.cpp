@@ -3,8 +3,10 @@
 // retries and whether the run still satisfies the physical invariants.
 // (The paper's motivation for the ack-retry code segments: "the
 // communication between the RCX bricks is unreliable and slow".)
+#include <chrono>
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "engine/trace.hpp"
 #include "plant/plant.hpp"
 #include "rcx/plant_sim.hpp"
@@ -43,12 +45,24 @@ int main() {
               prog.commands.size());
   std::printf("%8s %10s %8s %8s %8s %12s %6s\n", "loss", "sends", "cmdLost",
               "ackLost", "dupes", "ticks", "ok");
+  benchutil::Report report("lossy_channel");
+  report.add("search-3batch", res.stats.seconds * 1000.0,
+             res.stats.peakBytes, res.stats.statesStored);
   for (const double loss : {0.0, 0.01, 0.05, 0.10, 0.20, 0.35}) {
     rcx::SimOptions sim;
     sim.messageLossProb = loss;
     sim.slackTicks = 8000;
     sim.seed = 1234;
+    const auto t0 = std::chrono::steady_clock::now();
     const rcx::SimResult out = rcx::runProgram(prog, cfg, 1000, sim);
+    const double simMs = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+    {
+      char w[32];
+      std::snprintf(w, sizeof w, "sim-loss-%.2f", loss);
+      report.add(w, simMs, 0, 0);
+    }
     std::printf("%8.2f %10lld %8lld %8lld %8lld %12lld %6s\n", loss,
                 static_cast<long long>(out.commandsSent),
                 static_cast<long long>(out.commandsLost),
@@ -68,5 +82,6 @@ int main() {
       "\nRetries keep the plant correct under moderate loss; heavy loss "
       "defers\ncommands long enough to break the timing the schedule "
       "guarantees.\n");
+  report.write();
   return 0;
 }

@@ -88,7 +88,11 @@ Run runWorkload(int batches, size_t threads, bool portfolio,
              res.stats.frameSteals};
 }
 
+benchutil::Report g_report("parallel_dfs_scaling");
+
 void emit(const std::string& workload, const char* mode, const Run& r) {
+  g_report.add(workload + "-" + mode + "-t" + std::to_string(r.threads),
+               r.seconds * 1000.0, 0, r.explored);
   std::printf(
       "{\"workload\": \"%s\", \"mode\": \"%s\", \"threads\": %zu, "
       "\"seconds\": %.3f, \"statesExplored\": %zu, \"steals\": %zu, "
@@ -202,5 +206,6 @@ int main(int argc, char** argv) {
                  "skipped (%.2fx measured)\n",
                  hw, vSpeedup4);
   }
+  g_report.write();
   return rc;
 }

@@ -78,8 +78,11 @@ int main(int argc, char** argv) {
   double base = 0.0;
   bool baseReachable = false;
   double speedup4 = 0.0;
+  benchutil::Report report("parallel_scaling");
   for (const size_t t : threadCounts) {
     const Run r = runWorkload(batches, maxStates, t);
+    report.add(workload + "-t" + std::to_string(t), r.seconds * 1000.0,
+               r.peakBytes, r.explored);
     if (t == 1) {
       base = r.seconds;
       baseReachable = r.reachable;
@@ -123,5 +126,6 @@ int main(int argc, char** argv) {
                  speedup4, required);
     rc = 1;
   }
+  report.write();
   return rc;
 }

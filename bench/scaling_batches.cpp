@@ -17,6 +17,7 @@ int main() {
   std::printf("Scaling of guided scheduling (All Guides, DFS):\n\n");
   std::printf("%8s %10s %8s %10s %10s %10s %9s\n", "batches", "automata",
               "clocks", "explored", "stored", "seconds", "peakMB");
+  benchutil::Report report("scaling_batches");
   for (const int n : sizes) {
     plant::PlantConfig cfg;
     cfg.order = plant::standardOrder(n);
@@ -33,6 +34,10 @@ int main() {
       std::printf("  (no schedule within budget — stopping)\n");
       break;
     }
+    report.add("allguides-" + std::to_string(n) + "batch",
+               res.stats.seconds * 1000.0, res.stats.peakBytes,
+               res.stats.statesStored);
   }
+  report.write();
   return 0;
 }

@@ -52,6 +52,8 @@ int main() {
 
   // Column give-up state: once a column fails, stop running it.
   std::map<std::pair<int, int>, bool> columnDead;
+  benchutil::Report report("table1_guides");
+  const std::vector<const char*> guideTags = {"all", "some", "none"};
 
   for (const int n : sizes) {
     std::printf("%4d |", n);
@@ -68,6 +70,9 @@ int main() {
             benchutil::searchOptions(searches[si], budget, memMb));
         if (r.reachable) {
           std::printf(" %4.1f/%-3.0f", r.seconds, r.megabytes);
+          report.add(std::string(guideTags[gi]) + "-" + searches[si] + "-" +
+                         std::to_string(n) + "batch",
+                     r.seconds * 1000.0, r.peakBytes, r.storedStates);
         } else {
           std::printf(" %8s", "-");
           columnDead[key] = true;
@@ -78,6 +83,7 @@ int main() {
     }
     std::printf("\n");
   }
+  report.write();
   std::printf(
       "\nShape to compare with the paper: without guides the model is "
       "intractable\nbeyond a couple of batches; adding the non-nextbatch "

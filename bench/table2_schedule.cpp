@@ -4,6 +4,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "bench_util.hpp"
 #include "engine/trace.hpp"
 #include "plant/plant.hpp"
 #include "synthesis/schedule.hpp"
@@ -43,5 +44,9 @@ int main() {
     ++shown;
   }
   std::printf("  ...\n");
+  benchutil::Report report("table2_schedule");
+  report.add("schedule-2batch", res.stats.seconds * 1000.0,
+             res.stats.peakBytes, res.stats.statesStored);
+  report.write();
   return 0;
 }

@@ -23,6 +23,12 @@
 #                 workloads drive the extrapolation operators and the
 #                 bounds fixpoint through their edge cases under
 #                 memory/UB checking.
+#   5. store    — the storage-engine stage: the perf-smoke gates that
+#                 certify the flat passed store (covered() throughput
+#                 vs the legacy map layout, guided-workload bytes vs
+#                 the pre-interning baseline), plus the store unit
+#                 suites re-run under the ASan and TSan builds from
+#                 stages 3-4.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -45,8 +51,14 @@ ctest --test-dir build --output-on-failure -j "$jobs"
 echo "== stage 2: fuzz label (randomized suites) =="
 ctest --test-dir build --output-on-failure -L fuzz -j "$jobs"
 
+echo "== stage 5a: storage-engine perf gates (release) =="
+# Also part of the stage-1 full ctest; re-run by name so a storage
+# regression is reported as its own stage.
+ctest --test-dir build --output-on-failure \
+  -R 'store_micro_smoke|ablation_store_smoke'
+
 if [[ "$fast" == 1 ]]; then
-  echo "== stages 3-4: sanitizers skipped (--fast) =="
+  echo "== stages 3-5b: sanitizers skipped (--fast) =="
   exit 0
 fi
 
@@ -64,5 +76,14 @@ cmake -B build-asan -S . -DSANITIZE=address >/dev/null
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -L fuzz -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -R 'BoundsAnalysis' -j "$jobs"
+
+echo "== stage 5b: storage engine under the sanitizer builds =="
+# The interner's lock-free reads and the flat store's probe loops under
+# TSan (store_parallel_test is in -L parallel already; the sequential
+# store/interner units are picked up by name), and the zone-arena
+# buffer arithmetic under ASan/UBSan (merge_oracle_test is in -L fuzz).
+ctest --test-dir build-tsan --output-on-failure -R 'Store|Interner' -j "$jobs"
+ctest --test-dir build-asan --output-on-failure -R 'Store|Interner|MergeOracle' \
+  -j "$jobs"
 
 echo "all checks passed"

@@ -4,11 +4,15 @@
 //
 // Usage: check_model <model-file> [bfs|dfs|rdfs] [--trace] [--threads N]
 //                    [--portfolio] [--extrapolation none|global|location|lu]
+//                    [--stats-json] [--no-intern] [--merge-zones]
 //
 // --threads N parallelizes whichever order is selected (level-
 // synchronous BFS, work-stealing DFS); --portfolio races N independent
 // seeded DFS workers instead. --extrapolation selects the
 // zone-abstraction operator (default: per-location Extra+_LU).
+// --no-intern / --merge-zones toggle the storage engine (discrete-state
+// hash-consing off, exact convex-union zone merging on). --stats-json
+// prints one JSON object per query with the full engine statistics.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -18,11 +22,51 @@
 #include "engine/trace.hpp"
 #include "ta/parser.hpp"
 
+namespace {
+
+/// The full Stats block as a single-line JSON object (stable keys, so
+/// scripts can diff runs across configurations).
+void printStatsJson(std::ostream& os, size_t query, bool reachable,
+                    const engine::Stats& s) {
+  os << "{\"query\": " << query << ", \"reachable\": "
+     << (reachable ? "true" : "false")
+     << ", \"statesExplored\": " << s.statesExplored
+     << ", \"statesGenerated\": " << s.statesGenerated
+     << ", \"statesStored\": " << s.statesStored
+     << ", \"storedZones\": " << s.storedZones
+     << ", \"bytesStored\": " << s.bytesStored
+     << ", \"peakBytes\": " << s.peakBytes
+     << ", \"peakStackDepth\": " << s.peakStackDepth
+     << ", \"seconds\": " << s.seconds
+     << ", \"cutoff\": " << static_cast<int>(s.cutoff)
+     << ", \"extrapolationCoarsenings\": " << s.extrapolationCoarsenings
+     << ", \"inactiveClocksFreed\": " << s.inactiveClocksFreed
+     << ", \"statesInterned\": " << s.statesInterned
+     << ", \"internHits\": " << s.internHits
+     << ", \"internBytes\": " << s.internBytes
+     << ", \"storeLookups\": " << s.storeLookups
+     << ", \"storeProbeSteps\": " << s.storeProbeSteps
+     << ", \"zonesMerged\": " << s.zonesMerged
+     << ", \"storeBytes\": " << s.storeBytes
+     << ", \"lockContention\": " << s.lockContention
+     << ", \"chunkSteals\": " << s.chunkSteals
+     << ", \"frameSteals\": " << s.frameSteals
+     << ", \"cancelledWorkers\": " << s.cancelledWorkers
+     << ", \"perThreadExplored\": [";
+  for (size_t i = 0; i < s.perThreadExplored.size(); ++i) {
+    os << (i ? ", " : "") << s.perThreadExplored[i];
+  }
+  os << "]}\n";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: check_model <model-file> [bfs|dfs|rdfs] [--trace]"
                  " [--threads N] [--portfolio]"
-                 " [--extrapolation none|global|location|lu]\n";
+                 " [--extrapolation none|global|location|lu]"
+                 " [--stats-json] [--no-intern] [--merge-zones]\n";
     return 2;
   }
   std::ifstream in(argv[1]);
@@ -45,11 +89,15 @@ int main(int argc, char** argv) {
 
   engine::Options opts;
   bool showTrace = false;
+  bool statsJson = false;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "dfs") opts.order = engine::SearchOrder::kDfs;
     if (a == "rdfs") opts.order = engine::SearchOrder::kRandomDfs;
     if (a == "--trace") showTrace = true;
+    if (a == "--stats-json") statsJson = true;
+    if (a == "--no-intern") opts.internStates = false;
+    if (a == "--merge-zones") opts.mergeZones = true;
     if (a == "--portfolio") opts.portfolio = true;
     if (a == "--threads" && i + 1 < argc) {
       opts.threads = static_cast<size_t>(std::atoi(argv[++i]));
@@ -76,6 +124,9 @@ int main(int argc, char** argv) {
               << (res.reachable ? "REACHABLE" : "unreachable") << "  ("
               << res.stats.statesExplored << " states, " << res.stats.seconds
               << " s)\n";
+    if (statsJson) {
+      printStatsJson(std::cout, q + 1, res.reachable, res.stats);
+    }
     if (res.reachable && showTrace) {
       const auto ct = engine::concretize(*parsed->system, res.trace, &err);
       if (ct.has_value()) {

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dbm/dbm.hpp"
@@ -79,16 +80,24 @@ class MinimalDbm {
 
   /// Rebuild the full canonical DBM (closure of the reduced edges).
   [[nodiscard]] Dbm reconstruct() const {
-    Dbm z = Dbm::unconstrained(dim_);
+    return reconstruct(dim_, entries_);
+  }
+
+  /// Same, from a bare edge list — the flat passed store keeps reduced
+  /// edges in per-bucket contiguous arenas rather than MinimalDbm
+  /// objects and reconstructs directly from its spans.
+  [[nodiscard]] static Dbm reconstruct(uint32_t dim,
+                                       std::span<const Entry> entries) {
+    Dbm z = Dbm::unconstrained(dim);
     // Start from an all-infinity matrix except the diagonal; the
     // unconstrained zone's row 0 must not inject constraints the
     // reduction chose to drop, so reset it explicitly.
-    for (uint32_t i = 0; i < dim_; ++i) {
-      for (uint32_t j = 0; j < dim_; ++j) {
+    for (uint32_t i = 0; i < dim; ++i) {
+      for (uint32_t j = 0; j < dim; ++j) {
         if (i != j) z.setRaw(i, j, kInfinity);
       }
     }
-    for (const Entry& e : entries_) z.setRaw(e.i, e.j, e.bound);
+    for (const Entry& e : entries) z.setRaw(e.i, e.j, e.bound);
     z.close();
     return z;
   }

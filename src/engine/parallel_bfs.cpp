@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "dbm/pool.hpp"
+#include "engine/interner.hpp"
 #include "engine/passed_store.hpp"
 #include "engine/reachability.hpp"
 
@@ -33,8 +34,12 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Interned discrete id + zone; the discrete vectors live once in the
+/// run's StateInterner (ids published to other workers through the
+/// level barrier's thread join).
 struct Node {
-  SymbolicState s;
+  uint32_t did;
+  dbm::Dbm zone;
   Transition via;
   int64_t parent;
 };
@@ -77,8 +82,8 @@ Result Reachability::runParallelBfs(const Goal& goal) {
     return std::chrono::duration<double>(Clock::now() - start).count();
   };
 
-  ShardedPassedStore passed(opts_.shardBits, opts_.inclusionChecking,
-                            opts_.compactPassed);
+  StateInterner& interner = *interner_;
+  ShardedPassedStore passed(opts_.shardBits, opts_, interner);
   std::deque<Node> arena;  // stable references: workers read, barrier appends
   std::vector<int64_t> frontier;
   size_t arenaBytes = 0;
@@ -87,7 +92,8 @@ Result Reachability::runParallelBfs(const Goal& goal) {
     std::vector<TraceStep> rev;
     for (int64_t k = idx; k >= 0; k = arena[static_cast<size_t>(k)].parent) {
       const Node& n = arena[static_cast<size_t>(k)];
-      rev.push_back(TraceStep{n.via, n.s});
+      rev.push_back(TraceStep{n.via, SymbolicState{interner.get(n.did),
+                                                   n.zone}});
     }
     std::reverse(rev.begin(), rev.end());
     res.trace.steps = std::move(rev);
@@ -99,20 +105,28 @@ Result Reachability::runParallelBfs(const Goal& goal) {
     res.stats.seconds = elapsed();
     res.stats.statesStored = passed.states();
     res.stats.lockContention = passed.lockContention();
+    res.stats.storeLookups = passed.lookups();
+    res.stats.storeProbeSteps = passed.probeSteps();
+    res.stats.zonesMerged = passed.merges();
+    res.stats.storeBytes = passed.bytes();
     return res;
   };
 
   SymbolicState init = gen_.initial();
   if (!goal.deadlock && goal.matches(sys_, init)) {
-    arena.push_back({std::move(init), Transition{}, -1});
+    arena.push_back(
+        {interner.intern(init.d), std::move(init.zone), Transition{}, -1});
     res.reachable = true;
     buildTrace(0);
     return finish(Cutoff::kNone, false);
   }
-  (void)passed.testAndInsert(init);
-  arenaBytes += init.memoryBytes();
-  arena.push_back({std::move(init), Transition{}, -1});
-  frontier.push_back(0);
+  {
+    const uint32_t id = passed.testAndInsert(init);
+    assert(id != StateInterner::kNoId);
+    arenaBytes += init.zone.memoryBytes();
+    arena.push_back({id, std::move(init.zone), Transition{}, -1});
+    frontier.push_back(0);
+  }
 
   // Cutoffs discovered mid-level (first one wins; kNone = keep going).
   std::atomic<uint8_t> abort{static_cast<uint8_t>(Cutoff::kNone)};
@@ -130,7 +144,7 @@ Result Reachability::runParallelBfs(const Goal& goal) {
 
   while (!frontier.empty()) {
     // Exact accounting + cutoff checks at the level barrier.
-    res.stats.bytesStored = passed.bytes() + arenaBytes +
+    res.stats.bytesStored = passed.bytes() + interner.bytes() + arenaBytes +
                             arena.size() * sizeof(Node) +
                             frontier.size() * sizeof(int64_t);
     res.stats.peakBytes = std::max(res.stats.peakBytes, res.stats.bytesStored);
@@ -166,7 +180,8 @@ Result Reachability::runParallelBfs(const Goal& goal) {
         if (begin * nThreads / fsize != tid) ++o.steals;
         for (size_t pos = begin; pos < end; ++pos) {
           const int64_t idx = frontier[pos];
-          const SymbolicState& cur = arena[static_cast<size_t>(idx)].s;
+          const Node& cur = arena[static_cast<size_t>(idx)];
+          const DiscreteState& curD = interner.get(cur.did);
           ++o.explored;
           const size_t total =
               exploredTotal.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -179,8 +194,9 @@ Result Reachability::runParallelBfs(const Goal& goal) {
             raiseCutoff(Cutoff::kTime);
             return;
           }
-          std::vector<Successor> succs = gen_.successors(cur);
-          if (goal.deadlock && succs.empty() && goal.matches(sys_, cur)) {
+          std::vector<Successor> succs = gen_.successors(curD, cur.zone);
+          if (goal.deadlock && succs.empty() &&
+              goal.matches(sys_, curD, cur.zone)) {
             o.hits.push_back(GoalHit{pos, kDeadlockOrd,
                                      SymbolicState{{}, dbm::Dbm(1)},
                                      Transition{}});
@@ -195,20 +211,25 @@ Result Reachability::runParallelBfs(const Goal& goal) {
               ++ord;
               continue;
             }
-            if (!passed.testAndInsert(suc.state)) {
+            const uint32_t id = passed.testAndInsert(suc.state);
+            if (id == StateInterner::kNoId) {
               dbm::ZonePool::recycle(std::move(suc.state.zone));
               ++ord;
               continue;
             }
+            // Zone bytes are paid twice (store copy + arena copy); the
+            // discrete part lives in the interner, counted exactly at
+            // the barrier.
             const size_t nb =
-                approxBytes.fetch_add(2 * suc.state.memoryBytes() +
+                approxBytes.fetch_add(2 * suc.state.zone.memoryBytes() +
                                           sizeof(Node) + 64,
                                       std::memory_order_relaxed);
             if (opts_.maxMemoryBytes != 0 && nb > opts_.maxMemoryBytes) {
               raiseCutoff(Cutoff::kMemory);
             }
             o.nodes.push_back(PendingNode{
-                pos, ord, Node{std::move(suc.state), std::move(suc.via), idx}});
+                pos, ord,
+                Node{id, std::move(suc.state.zone), std::move(suc.via), idx}});
             ++ord;
           }
         }
@@ -253,7 +274,8 @@ Result Reachability::runParallelBfs(const Goal& goal) {
       if (best.ord == kDeadlockOrd) {
         buildTrace(frontier[best.pos]);
       } else {
-        arena.push_back(Node{std::move(best.state), std::move(best.via),
+        arena.push_back(Node{interner.intern(best.state.d),
+                             std::move(best.state.zone), std::move(best.via),
                              frontier[best.pos]});
         buildTrace(static_cast<int64_t>(arena.size()) - 1);
       }
@@ -275,7 +297,7 @@ Result Reachability::runParallelBfs(const Goal& goal) {
               });
     frontier.clear();
     for (PendingNode& pn : merged) {
-      arenaBytes += pn.node.s.memoryBytes();
+      arenaBytes += pn.node.zone.memoryBytes();
       arena.push_back(std::move(pn.node));
       frontier.push_back(static_cast<int64_t>(arena.size()) - 1);
     }

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "dbm/pool.hpp"
+#include "engine/interner.hpp"
 #include "engine/passed_store.hpp"
 #include "engine/reachability.hpp"
 #include "engine/trace.hpp"
@@ -48,11 +49,15 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// One deduplicated state awaiting expansion. Immutable once published
-/// to a worker stack; parent pointers stay valid for the whole search
-/// because the per-worker arenas only grow.
+/// One deduplicated state awaiting expansion: interned discrete id plus
+/// zone (the discrete vectors live once in the run's StateInterner).
+/// Immutable once published to a worker stack; parent pointers stay
+/// valid for the whole search because the per-worker arenas only grow,
+/// and the ids they carry are resolvable by any thread because frames
+/// cross threads only through the stack mutexes.
 struct DfsNode {
-  SymbolicState s;
+  uint32_t did;
+  dbm::Dbm zone;
   Transition via;
   const DfsNode* parent;  ///< nullptr for the initial state
   uint32_t depth;         ///< trace depth (initial state = 1)
@@ -76,10 +81,12 @@ struct WorkerLocal {
   size_t peakDepth = 0;
 };
 
-SymbolicTrace traceFromChain(const DfsNode* leaf) {
+SymbolicTrace traceFromChain(const StateInterner& interner,
+                             const DfsNode* leaf) {
   std::vector<TraceStep> rev;
   for (const DfsNode* n = leaf; n != nullptr; n = n->parent) {
-    rev.push_back(TraceStep{n->via, n->s});
+    rev.push_back(
+        TraceStep{n->via, SymbolicState{interner.get(n->did), n->zone}});
   }
   std::reverse(rev.begin(), rev.end());
   SymbolicTrace t;
@@ -98,14 +105,21 @@ Result Reachability::runParallelDfs(const Goal& goal) {
     return std::chrono::duration<double>(Clock::now() - start).count();
   };
 
-  ShardedPassedStore passed(opts_.shardBits, opts_.inclusionChecking,
-                            opts_.compactPassed);
+  StateInterner& interner = *interner_;
+  ShardedPassedStore passed(opts_.shardBits, opts_, interner);
   std::optional<BitTable> bits;
   if (opts_.bitstateHashing) bits.emplace(opts_.hashBits);
   // testAndSet / testAndInsert both query and mark, atomically enough
   // that no state is expanded twice through the same store entry.
-  const auto claim = [&](const SymbolicState& s) {
-    return bits ? !bits->testAndSet(s) : passed.testAndInsert(s);
+  // Returns the interned id of a freshly claimed state, kNoId when it
+  // was already seen (bit-state mode interns explicitly — the bit table
+  // holds no ids but the search frames still need one).
+  const auto claim = [&](const SymbolicState& s) -> uint32_t {
+    if (bits) {
+      return bits->testAndSet(s) ? StateInterner::kNoId
+                                 : interner.intern(s.d);
+    }
+    return passed.testAndInsert(s);
   };
 
   std::vector<WorkerStack> stacks(nThreads);
@@ -131,11 +145,12 @@ Result Reachability::runParallelDfs(const Goal& goal) {
     std::lock_guard<std::mutex> lk(goalMutex);
     if (goalFound.load(std::memory_order_relaxed)) return;
     if (last != nullptr) {
-      DfsNode leaf{std::move(last->state), std::move(last->via), parent,
+      DfsNode leaf{interner.intern(last->state.d), std::move(last->state.zone),
+                   std::move(last->via), parent,
                    parent == nullptr ? 1 : parent->depth + 1};
-      goalTrace = traceFromChain(&leaf);
+      goalTrace = traceFromChain(interner, &leaf);
     } else {
-      goalTrace = traceFromChain(parent);
+      goalTrace = traceFromChain(interner, parent);
     }
     goalFound.store(true, std::memory_order_release);
   };
@@ -152,9 +167,14 @@ Result Reachability::runParallelDfs(const Goal& goal) {
     res.stats.seconds = elapsed();
     res.stats.statesStored = bits ? 0 : passed.states();
     res.stats.lockContention = passed.lockContention();
+    res.stats.storeLookups = passed.lookups();
+    res.stats.storeProbeSteps = passed.probeSteps();
+    res.stats.zonesMerged = passed.merges();
+    res.stats.storeBytes = passed.bytes();
     // The node arenas only grow, so the final byte count doubles as the
     // high-water mark.
     res.stats.bytesStored = arenaBytes.load(std::memory_order_relaxed) +
+                            interner.bytes() +
                             (bits ? bits->bytes() : passed.bytes());
     res.stats.peakBytes = res.stats.bytesStored;
     for (size_t tid = 0; tid < nThreads; ++tid) {
@@ -171,17 +191,19 @@ Result Reachability::runParallelDfs(const Goal& goal) {
 
   SymbolicState init = gen_.initial();
   if (!goal.deadlock && goal.matches(sys_, init)) {
-    locals[0].arena.push_back(
-        DfsNode{std::move(init), Transition{}, nullptr, 1});
+    locals[0].arena.push_back(DfsNode{interner.intern(init.d),
+                                      std::move(init.zone), Transition{},
+                                      nullptr, 1});
     res.reachable = true;
-    res.trace = traceFromChain(&locals[0].arena.back());
+    res.trace = traceFromChain(interner, &locals[0].arena.back());
     return finish(Cutoff::kNone, false);
   }
-  (void)claim(init);
-  arenaBytes.fetch_add(init.memoryBytes() + sizeof(DfsNode),
+  const uint32_t initId = claim(init);
+  assert(initId != StateInterner::kNoId);
+  arenaBytes.fetch_add(init.zone.memoryBytes() + sizeof(DfsNode),
                        std::memory_order_relaxed);
   locals[0].arena.push_back(
-      DfsNode{std::move(init), Transition{}, nullptr, 1});
+      DfsNode{initId, std::move(init.zone), Transition{}, nullptr, 1});
   locals[0].peakDepth = 1;
   stacks[0].pending.push_back(&locals[0].arena.back());
   pendingCount.store(1, std::memory_order_relaxed);
@@ -234,8 +256,10 @@ Result Reachability::runParallelDfs(const Goal& goal) {
         raiseCutoff(Cutoff::kTime);
       }
 
-      std::vector<Successor> succs = gen_.successors(node->s);
-      if (goal.deadlock && succs.empty() && goal.matches(sys_, node->s)) {
+      const DiscreteState& nodeD = interner.get(node->did);
+      std::vector<Successor> succs = gen_.successors(nodeD, node->zone);
+      if (goal.deadlock && succs.empty() &&
+          goal.matches(sys_, nodeD, node->zone)) {
         reportGoal(node, nullptr);
       }
       if (opts_.order == SearchOrder::kRandomDfs) {
@@ -256,20 +280,22 @@ Result Reachability::runParallelDfs(const Goal& goal) {
           reportGoal(node, &suc);
           break;
         }
-        if (!claim(suc.state)) {
+        const uint32_t id = claim(suc.state);
+        if (id == StateInterner::kNoId) {
           dbm::ZonePool::recycle(std::move(suc.state.zone));
           continue;
         }
         const size_t nb =
-            arenaBytes.fetch_add(suc.state.memoryBytes() + sizeof(DfsNode) +
-                                     sizeof(const DfsNode*),
+            arenaBytes.fetch_add(suc.state.zone.memoryBytes() +
+                                     sizeof(DfsNode) + sizeof(const DfsNode*),
                                  std::memory_order_relaxed);
         if (opts_.maxMemoryBytes != 0 &&
-            nb + (bits ? bits->bytes() : passed.approxBytes()) >
+            nb + interner.bytes() +
+                    (bits ? bits->bytes() : passed.approxBytes()) >
                 opts_.maxMemoryBytes) {
           raiseCutoff(Cutoff::kMemory);
         }
-        local.arena.push_back(DfsNode{std::move(suc.state),
+        local.arena.push_back(DfsNode{id, std::move(suc.state.zone),
                                       std::move(suc.via), node,
                                       node->depth + 1});
         local.peakDepth = std::max<size_t>(local.peakDepth, node->depth + 1);
@@ -388,6 +414,10 @@ Result Reachability::runPortfolioDfs(const Goal& goal) {
   res.stats.bytesStored = 0;
   res.stats.peakBytes = 0;
   res.stats.peakStackDepth = 0;
+  res.stats.storeLookups = 0;
+  res.stats.storeProbeSteps = 0;
+  res.stats.zonesMerged = 0;
+  res.stats.storeBytes = 0;
   for (size_t tid = 0; tid < nThreads; ++tid) {
     const Stats& s = results[tid].stats;
     res.stats.perThreadExplored[tid] = s.statesExplored;
@@ -395,6 +425,10 @@ Result Reachability::runPortfolioDfs(const Goal& goal) {
     res.stats.statesGenerated += s.statesGenerated;
     res.stats.statesStored += s.statesStored;
     res.stats.bytesStored += s.bytesStored;
+    res.stats.storeLookups += s.storeLookups;
+    res.stats.storeProbeSteps += s.storeProbeSteps;
+    res.stats.zonesMerged += s.zonesMerged;
+    res.stats.storeBytes += s.storeBytes;
     // The workers run concurrently, so the portfolio's true high-water
     // mark is close to the sum of the per-worker peaks.
     res.stats.peakBytes += s.peakBytes;

@@ -1,100 +1,364 @@
 // Passed/waiting stores for the reachability engine.
 //
-// `PassedStore` is UPPAAL's PWList: zones bucketed by discrete state,
-// with optional inclusion checking and optional reduced
-// ("minimal constraint") zone storage. `BitTable` is Holzmann's
-// two-bit bit-state hash table. `ShardedPassedStore` wraps 2^shardBits
-// independently-locked PassedStores for the parallel engine: the shard
-// is picked from DiscreteState::hash(), so all zones of one discrete
-// state land in one shard and the covered-check/insert pair stays
-// atomic under that shard's lock.
+// `PassedStore` is UPPAAL's PWList rebuilt as a flat open-addressing
+// table: one linear-probing slot array (parallel hash/entry-index
+// vectors, so a probe walks a single cache stream) keyed by the
+// hash-consed discrete-state id from `StateInterner`, with each
+// bucket's zones held in one contiguous arena — raw row-major DBM
+// blocks in full mode, concatenated reduced ("minimal constraint")
+// edge lists in compact mode — so a covered() scan streams one buffer
+// instead of chasing per-zone heap allocations. Subsumption pruning is
+// symmetric in both representations (a newly inserted zone drops every
+// stored zone it covers), and with Options.mergeZones a new zone is
+// merged with a stored one whenever their union is exactly convex
+// (Dbm::tryConvexUnion), which preserves the covered valuation set
+// while shortening every later scan.
+//
+// `BitTable` is Holzmann's two-bit bit-state hash table (untouched by
+// the flat-store rewrite). `ShardedPassedStore` wraps 2^shardBits
+// independently-locked PassedStores for the parallel engines: the
+// shard is picked from DiscreteState::hash(), so all zones of one
+// discrete state land in one shard and the covered-check/insert pair
+// stays atomic under that shard's lock.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "dbm/dbm.hpp"
 #include "dbm/minimal.hpp"
-#include "dbm/pool.hpp"
+#include "engine/interner.hpp"
+#include "engine/options.hpp"
 #include "engine/state.hpp"
 
 namespace engine {
 
-struct DiscreteHash {
-  size_t operator()(const DiscreteState& d) const noexcept { return d.hash(); }
-};
-
 /// Passed/waiting store with zone-inclusion checking (UPPAAL's PWList).
-/// With `compact`, zones are held in reduced minimal-constraint form
-/// (the paper's compact data-structure option [9]).
+/// With `opts.compactPassed`, zones are held in reduced
+/// minimal-constraint form (the paper's compact data-structure option
+/// [9]). Discrete keys live in the interner; the store holds 32-bit
+/// ids and compares key values through it, so it works identically
+/// whether or not the interner deduplicates (Options.internStates).
 class PassedStore {
  public:
-  PassedStore(bool inclusion, bool compact)
-      : inclusion_(inclusion || compact), compact_(compact) {}
+  PassedStore(const Options& opts, StateInterner& interner)
+      : inclusion_(opts.inclusionChecking || opts.compactPassed),
+        compact_(opts.compactPassed),
+        merge_(opts.mergeZones &&
+               (opts.inclusionChecking || opts.compactPassed)),
+        interner_(&interner) {}
 
-  [[nodiscard]] bool covered(const SymbolicState& s) const {
+  [[nodiscard]] bool covered(const DiscreteState& d, const dbm::Dbm& z) const {
+    return coveredHashed(d, z, d.hash());
+  }
+
+  /// covered() with a precomputed DiscreteState::hash() (the sharded
+  /// wrapper already derived the shard from it).
+  [[nodiscard]] bool coveredHashed(const DiscreteState& d, const dbm::Dbm& z,
+                                   uint64_t h) const {
+    ++lookups_;
+    const Entry* e = find(d, h);
+    if (e == nullptr) return false;
     if (compact_) {
-      const auto it = compactMap_.find(s.d);
-      if (it == compactMap_.end()) return false;
-      for (const dbm::MinimalDbm& z : it->second) {
-        if (z.includes(s.zone)) return true;
+      for (uint32_t k = 0; k < e->nzones; ++k) {
+        if (edgesInclude(edgeSpan(*e, k), z)) return true;
       }
       return false;
     }
-    const auto it = map_.find(s.d);
-    if (it == map_.end()) return false;
-    for (const dbm::Dbm& z : it->second) {
-      if (inclusion_ ? z.includes(s.zone) : z == s.zone) return true;
+    const dbm::raw_t* q = z.rawData().data();
+    const size_t zb = blockSize();
+    for (uint32_t k = 0; k < e->nzones; ++k) {
+      const dbm::raw_t* s = e->zones.data() + k * zb;
+      if (inclusion_ ? rawIncludes(s, q, zb)
+                     : std::memcmp(s, q, zb * sizeof(dbm::raw_t)) == 0) {
+        return true;
+      }
     }
     return false;
   }
 
-  void insert(const SymbolicState& s) {
+  /// Insert the zone under the interned discrete state `did`. The
+  /// caller has already established it is not covered.
+  void insert(uint32_t did, const dbm::Dbm& z) {
+    insertHashed(did, z, interner_->hashOf(did));
+  }
+
+  void insertHashed(uint32_t did, const dbm::Dbm& z, uint64_t h) {
+    if (dim_ == 0) dim_ = z.dimension();
+    assert(dim_ == z.dimension());
+    Entry& e = findOrCreate(did, h);
     if (compact_) {
-      auto& zones = compactMap_[s.d];
-      if (zones.empty()) bytes_ += s.d.memoryBytes() + kEntryOverhead;
-      zones.push_back(dbm::MinimalDbm::from(s.zone));
-      bytes_ += zones.back().memoryBytes();
-      ++states_;
-      return;
+      insertCompact(e, z);
+    } else {
+      insertFull(e, z);
     }
-    auto& zones = map_[s.d];
-    if (zones.empty()) bytes_ += s.d.memoryBytes() + kEntryOverhead;
-    if (inclusion_) {
-      // Drop stored zones the new one subsumes (recycling their buffers).
-      std::erase_if(zones, [&](dbm::Dbm& z) {
-        if (s.zone.includes(z)) {
-          bytes_ -= z.memoryBytes();
-          --states_;
-          dbm::ZonePool::recycle(std::move(z));
-          return true;
-        }
-        return false;
-      });
-    }
-    ++states_;
-    bytes_ += s.zone.memoryBytes();
-    zones.push_back(s.zone);
   }
 
   [[nodiscard]] size_t bytes() const noexcept { return bytes_; }
-  [[nodiscard]] size_t states() const noexcept { return states_; }
+  /// Stored zones (the engine's statesStored; merging and subsumption
+  /// pruning shrink it).
+  [[nodiscard]] size_t states() const noexcept { return zones_; }
+  /// Distinct discrete buckets in the table.
+  [[nodiscard]] size_t entryCount() const noexcept { return entries_.size(); }
+  [[nodiscard]] size_t lookups() const noexcept { return lookups_; }
+  [[nodiscard]] size_t probeSteps() const noexcept { return probeSteps_; }
+  [[nodiscard]] size_t merges() const noexcept { return merges_; }
+
+  [[nodiscard]] StateInterner& interner() const noexcept { return *interner_; }
 
  private:
-  static constexpr size_t kEntryOverhead = 64;  // hash-map node estimate
+  /// Estimated fixed cost of one discrete bucket beyond its vectors.
+  static constexpr size_t kEntryOverhead = 32;
+  /// Compact-mode merging reconstructs O(n^3) per candidate, so only
+  /// the first few stored zones of a bucket are tried.
+  static constexpr uint32_t kCompactMergeCandidates = 4;
+  static constexpr int kMergeMaxPieces = 32;
+
+  struct Entry {
+    uint64_t hash = 0;
+    uint32_t key = 0;  ///< intern id of the discrete part
+    uint32_t nzones = 0;
+    /// Full mode: nzones contiguous dim*dim row-major blocks.
+    std::vector<dbm::raw_t> zones;
+    /// Compact mode: concatenated reduced edge lists, delimited by moffs
+    /// (moffs[k] .. moffs[k+1] are zone k's edges; moffs.size() ==
+    /// nzones + 1).
+    std::vector<dbm::MinimalDbm::Entry> medges;
+    std::vector<uint32_t> moffs;
+  };
+
+  [[nodiscard]] size_t blockSize() const noexcept {
+    return size_t{dim_} * dim_;
+  }
+
+  /// outer ⊇ inner for raw canonical blocks: every outer entry is at
+  /// least the inner one.
+  [[nodiscard]] static bool rawIncludes(const dbm::raw_t* outer,
+                                        const dbm::raw_t* inner,
+                                        size_t n) noexcept {
+    for (size_t k = 0; k < n; ++k) {
+      if (outer[k] < inner[k]) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::span<const dbm::MinimalDbm::Entry> edgeSpan(
+      const Entry& e, uint32_t k) const noexcept {
+    return {e.medges.data() + e.moffs[k], e.moffs[k + 1] - e.moffs[k]};
+  }
+
+  /// stored ⊇ z, answered exactly on the reduced form (the kept edges
+  /// dominate z's entries, whose own closure does the rest).
+  [[nodiscard]] static bool edgesInclude(
+      std::span<const dbm::MinimalDbm::Entry> edges,
+      const dbm::Dbm& z) noexcept {
+    for (const dbm::MinimalDbm::Entry& e : edges) {
+      if (e.bound < z.at(e.i, e.j)) return false;
+    }
+    return true;
+  }
+
+  /// Necessary condition for z ⊇ stored: z dominates every kept edge.
+  /// NOT sufficient — the closure of the kept edges can tighten entries
+  /// the edge list never mentions below z's — so callers must confirm
+  /// with an exact reconstruct-and-include check.
+  [[nodiscard]] static bool maybeSubsumedBy(
+      const dbm::Dbm& z,
+      std::span<const dbm::MinimalDbm::Entry> edges) noexcept {
+    for (const dbm::MinimalDbm::Entry& e : edges) {
+      if (z.at(e.i, e.j) < e.bound) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] const Entry* find(const DiscreteState& d, uint64_t h) const {
+    if (entries_.empty()) return nullptr;
+    const size_t mask = slotEntry_.size() - 1;
+    for (size_t pos = h & mask;; pos = (pos + 1) & mask) {
+      ++probeSteps_;
+      const uint32_t se = slotEntry_[pos];
+      if (se == 0) return nullptr;
+      if (slotHash_[pos] == h && interner_->get(entries_[se - 1].key) == d) {
+        return &entries_[se - 1];
+      }
+    }
+  }
+
+  [[nodiscard]] Entry& findOrCreate(uint32_t did, uint64_t h) {
+    if ((entries_.size() + 1) * 8 >= slotEntry_.size() * 7) growTable();
+    const DiscreteState& d = interner_->get(did);
+    const size_t mask = slotEntry_.size() - 1;
+    size_t pos = h & mask;
+    for (;; pos = (pos + 1) & mask) {
+      ++probeSteps_;
+      const uint32_t se = slotEntry_[pos];
+      if (se == 0) break;
+      if (slotHash_[pos] == h && interner_->get(entries_[se - 1].key) == d) {
+        return entries_[se - 1];
+      }
+    }
+    slotHash_[pos] = h;
+    slotEntry_[pos] = static_cast<uint32_t>(entries_.size()) + 1;
+    Entry e;
+    e.hash = h;
+    e.key = did;
+    if (compact_) e.moffs.push_back(0);
+    entries_.push_back(std::move(e));
+    bytes_ += sizeof(Entry) + kEntryOverhead;
+    return entries_.back();
+  }
+
+  void growTable() {
+    const size_t old = slotEntry_.size();
+    const size_t next = old == 0 ? 1024 : old * 2;
+    slotHash_.assign(next, 0);
+    slotEntry_.assign(next, 0);
+    bytes_ += (next - old) * (sizeof(uint64_t) + sizeof(uint32_t));
+    const size_t mask = next - 1;
+    for (size_t k = 0; k < entries_.size(); ++k) {
+      size_t pos = entries_[k].hash & mask;
+      while (slotEntry_[pos] != 0) pos = (pos + 1) & mask;
+      slotHash_[pos] = entries_[k].hash;
+      slotEntry_[pos] = static_cast<uint32_t>(k) + 1;
+    }
+  }
+
+  void insertFull(Entry& e, const dbm::Dbm& z) {
+    const size_t zb = blockSize();
+    const dbm::Dbm* add = &z;
+    dbm::Dbm merged(1);
+    for (bool again = true; again;) {
+      again = false;
+      const dbm::raw_t* raw = add->rawData().data();
+      if (inclusion_) {
+        // Drop stored zones the new one subsumes (swap-remove keeps the
+        // arena contiguous).
+        for (uint32_t k = 0; k < e.nzones;) {
+          if (rawIncludes(raw, e.zones.data() + k * zb, zb)) {
+            removeFullZone(e, k);
+          } else {
+            ++k;
+          }
+        }
+      }
+      if (merge_) {
+        for (uint32_t k = 0; k < e.nzones; ++k) {
+          const dbm::Dbm stored =
+              dbm::Dbm::fromSpan(dim_, {e.zones.data() + k * zb, zb});
+          dbm::Dbm out(1);
+          if (dbm::Dbm::tryConvexUnion(stored, *add, &out, kMergeMaxPieces)) {
+            removeFullZone(e, k);
+            ++merges_;
+            merged = std::move(out);
+            add = &merged;
+            // The merged zone strictly grew: re-run pruning and give
+            // the remaining zones another merge chance.
+            again = true;
+            break;
+          }
+        }
+      }
+    }
+    const auto raw = add->rawData();
+    e.zones.insert(e.zones.end(), raw.begin(), raw.end());
+    ++e.nzones;
+    ++zones_;
+    bytes_ += zb * sizeof(dbm::raw_t);
+  }
+
+  void removeFullZone(Entry& e, uint32_t k) {
+    const size_t zb = blockSize();
+    const uint32_t last = e.nzones - 1;
+    if (k != last) {
+      std::memcpy(e.zones.data() + k * zb, e.zones.data() + size_t{last} * zb,
+                  zb * sizeof(dbm::raw_t));
+    }
+    e.zones.resize(size_t{last} * zb);
+    e.nzones = last;
+    --zones_;
+    bytes_ -= zb * sizeof(dbm::raw_t);
+  }
+
+  void insertCompact(Entry& e, const dbm::Dbm& z) {
+    const dbm::Dbm* add = &z;
+    dbm::Dbm merged(1);
+    for (bool again = true; again;) {
+      again = false;
+      // Symmetric subsumption pruning: edgewise pre-filter, then exact
+      // confirmation on the reconstructed zone (see maybeSubsumedBy for
+      // why the filter alone would be unsound).
+      for (uint32_t k = 0; k < e.nzones;) {
+        if (maybeSubsumedBy(*add, edgeSpan(e, k)) &&
+            add->includes(dbm::MinimalDbm::reconstruct(dim_, edgeSpan(e, k)))) {
+          removeCompactZone(e, k);
+        } else {
+          ++k;
+        }
+      }
+      if (merge_) {
+        const uint32_t limit = std::min(e.nzones, kCompactMergeCandidates);
+        for (uint32_t k = 0; k < limit; ++k) {
+          const dbm::Dbm stored =
+              dbm::MinimalDbm::reconstruct(dim_, edgeSpan(e, k));
+          dbm::Dbm out(1);
+          if (dbm::Dbm::tryConvexUnion(stored, *add, &out, kMergeMaxPieces)) {
+            removeCompactZone(e, k);
+            ++merges_;
+            merged = std::move(out);
+            add = &merged;
+            again = true;
+            break;
+          }
+        }
+      }
+    }
+    const dbm::MinimalDbm red = dbm::MinimalDbm::from(*add);
+    e.medges.insert(e.medges.end(), red.entries().begin(),
+                    red.entries().end());
+    e.moffs.push_back(static_cast<uint32_t>(e.medges.size()));
+    ++e.nzones;
+    ++zones_;
+    bytes_ += red.size() * sizeof(dbm::MinimalDbm::Entry) + sizeof(uint32_t);
+  }
+
+  void removeCompactZone(Entry& e, uint32_t k) {
+    const uint32_t begin = e.moffs[k];
+    const uint32_t len = e.moffs[k + 1] - begin;
+    e.medges.erase(e.medges.begin() + begin,
+                   e.medges.begin() + e.moffs[k + 1]);
+    e.moffs.erase(e.moffs.begin() + k + 1);
+    for (size_t j = k + 1; j < e.moffs.size(); ++j) e.moffs[j] -= len;
+    --e.nzones;
+    --zones_;
+    bytes_ -= len * sizeof(dbm::MinimalDbm::Entry) + sizeof(uint32_t);
+  }
 
   bool inclusion_;
   bool compact_;
-  std::unordered_map<DiscreteState, std::vector<dbm::Dbm>, DiscreteHash> map_;
-  std::unordered_map<DiscreteState, std::vector<dbm::MinimalDbm>,
-                     DiscreteHash>
-      compactMap_;
+  bool merge_;
+  StateInterner* interner_;
+  uint32_t dim_ = 0;
+
+  // Open-addressing slot arrays (parallel so probes stream one buffer;
+  // power-of-two size, linear probing, grown at 7/8 load).
+  std::vector<uint64_t> slotHash_;
+  std::vector<uint32_t> slotEntry_;  ///< entry index + 1; 0 = empty
+  std::vector<Entry> entries_;
+
+  size_t zones_ = 0;
   size_t bytes_ = 0;
-  size_t states_ = 0;
+  size_t merges_ = 0;
+  // Mutable: covered() is logically const; the sequential engines own
+  // the store outright and the sharded wrapper serializes per shard.
+  mutable size_t lookups_ = 0;
+  mutable size_t probeSteps_ = 0;
 };
 
 /// Holzmann-style two-bit bit-state hash table. The words are relaxed
@@ -145,57 +409,54 @@ class BitTable {
 
 /// N = 2^shardBits independently-locked PassedStores for the parallel
 /// explorer. Lock scope is one shard, so threads working on different
-/// discrete-state hash slices never contend.
+/// discrete-state hash slices never contend. The interner is shared
+/// across shards (it has its own internal sharding); interning happens
+/// under the store shard's lock only for states that survive the
+/// covered check, and the shard-then-interner lock order is acyclic.
 class ShardedPassedStore {
  public:
-  ShardedPassedStore(uint32_t shardBits, bool inclusion, bool compact)
-      : mask_((size_t{1} << shardBits) - 1) {
+  ShardedPassedStore(uint32_t shardBits, const Options& opts,
+                     StateInterner& interner)
+      : interner_(&interner), mask_((size_t{1} << shardBits) - 1) {
     const size_t n = size_t{1} << shardBits;
     shards_.reserve(n);
     for (size_t i = 0; i < n; ++i) {
-      shards_.push_back(std::make_unique<Shard>(inclusion, compact));
+      shards_.push_back(std::make_unique<Shard>(opts, interner));
     }
   }
 
   /// Atomic covered-check + insert under the owning shard's lock.
-  /// Returns true when the state was new (and is now stored).
-  [[nodiscard]] bool testAndInsert(const SymbolicState& s) {
-    Shard& sh = *shards_[shardOf(s.d.hash())];
+  /// Returns the interned id of the newly stored state, or
+  /// StateInterner::kNoId when it was already covered.
+  [[nodiscard]] uint32_t testAndInsert(const SymbolicState& s) {
+    const uint64_t h = s.d.hash();
+    Shard& sh = *shards_[shardOf(h)];
     std::unique_lock<std::mutex> lk(sh.m, std::try_to_lock);
     if (!lk.owns_lock()) {
       contention_.fetch_add(1, std::memory_order_relaxed);
       lk.lock();
     }
-    if (sh.store.covered(s)) return false;
-    // Inclusion-insert may subsume-remove previously stored zones, so
-    // the shard's byte count can shrink as well as grow; fold the
-    // signed delta into the running total while still holding the lock.
+    if (sh.store.coveredHashed(s.d, s.zone, h)) return StateInterner::kNoId;
+    const uint32_t id = interner_->intern(s.d, h);
+    // Subsumption pruning and merging may shrink the shard's byte
+    // count as well as grow it; fold the signed delta into the running
+    // total while still holding the lock.
     const size_t before = sh.store.bytes();
-    sh.store.insert(s);
+    sh.store.insertHashed(id, s.zone, h);
     approxBytes_.fetch_add(sh.store.bytes() - before,
                            std::memory_order_relaxed);
-    return true;
+    return id;
   }
 
   // Aggregates lock shard-by-shard; exact when no insert is racing
-  // (the engine reads them at level barriers).
-  [[nodiscard]] size_t bytes() const {
-    size_t b = 0;
-    for (const auto& sh : shards_) {
-      std::lock_guard<std::mutex> lk(sh->m);
-      b += sh->store.bytes();
-    }
-    return b;
+  // (the engine reads them at level barriers / after the join).
+  [[nodiscard]] size_t bytes() const { return sum(&PassedStore::bytes); }
+  [[nodiscard]] size_t states() const { return sum(&PassedStore::states); }
+  [[nodiscard]] size_t lookups() const { return sum(&PassedStore::lookups); }
+  [[nodiscard]] size_t probeSteps() const {
+    return sum(&PassedStore::probeSteps);
   }
-
-  [[nodiscard]] size_t states() const {
-    size_t n = 0;
-    for (const auto& sh : shards_) {
-      std::lock_guard<std::mutex> lk(sh->m);
-      n += sh->store.states();
-    }
-    return n;
-  }
+  [[nodiscard]] size_t merges() const { return sum(&PassedStore::merges); }
 
   /// Lock-free running byte total maintained by testAndInsert (unsigned
   /// wraparound makes the shrink deltas of subsumption-removal exact).
@@ -216,17 +477,28 @@ class ShardedPassedStore {
  private:
   // One cache line per shard header so neighbouring locks don't false-share.
   struct alignas(64) Shard {
-    Shard(bool inclusion, bool compact) : store(inclusion, compact) {}
+    Shard(const Options& opts, StateInterner& interner)
+        : store(opts, interner) {}
     mutable std::mutex m;
     PassedStore store;
   };
 
   [[nodiscard]] size_t shardOf(size_t h) const noexcept {
-    // The unordered_map inside each shard consumes the low bits of the
+    // The flat table inside each shard consumes the low bits of the
     // same hash; take the shard index from remixed high bits.
     return ((h * 0x9e3779b97f4a7c15ull) >> 32) & mask_;
   }
 
+  [[nodiscard]] size_t sum(size_t (PassedStore::*fn)() const noexcept) const {
+    size_t n = 0;
+    for (const auto& sh : shards_) {
+      std::lock_guard<std::mutex> lk(sh->m);
+      n += (sh->store.*fn)();
+    }
+    return n;
+  }
+
+  StateInterner* interner_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<size_t> contention_{0};
   std::atomic<size_t> approxBytes_{0};

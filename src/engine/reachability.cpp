@@ -7,20 +7,21 @@
 #include <random>
 
 #include "dbm/pool.hpp"
+#include "engine/interner.hpp"
 #include "engine/passed_store.hpp"
 
 namespace engine {
 
-bool Goal::matches(const ta::System& sys, const SymbolicState& s) const {
+bool Goal::matches(const ta::System& sys, const DiscreteState& d,
+                   const dbm::Dbm& zone) const {
   for (const auto& [proc, loc] : locations) {
-    if (s.d.locs[static_cast<size_t>(proc)] != loc) return false;
+    if (d.locs[static_cast<size_t>(proc)] != loc) return false;
   }
-  if (predicate != ta::kNoExpr &&
-      !sys.pool().evalBool(predicate, s.d.vars)) {
+  if (predicate != ta::kNoExpr && !sys.pool().evalBool(predicate, d.vars)) {
     return false;
   }
   if (!clockConstraints.empty()) {
-    dbm::Dbm z = dbm::ZonePool::copyOf(s.zone);
+    dbm::Dbm z = dbm::ZonePool::copyOf(zone);
     for (const ta::ClockConstraint& cc : clockConstraints) {
       if (!z.constrain(static_cast<uint32_t>(cc.i),
                        static_cast<uint32_t>(cc.j), cc.bound)) {
@@ -67,9 +68,15 @@ Reachability::Reachability(const ta::System& sys, Options opts)
          "bit-state hashing requires a depth-first order (as in the paper)");
 }
 
+Reachability::~Reachability() = default;
+
 Result Reachability::run(const Goal& goal) {
   // Clocks the goal observes must survive the reductions.
   gen_.observeGoalConstraints(goal.clockConstraints);
+  // Fresh discrete-state arena per run: every engine (and every
+  // portfolio worker) of this search interns into it and resolves the
+  // ids it stores back through it.
+  interner_ = std::make_unique<StateInterner>(opts_.internStates);
   Result res;
   if (opts_.order != SearchOrder::kBfs) {
     if (opts_.threads > 1) {
@@ -86,6 +93,11 @@ Result Reachability::run(const Goal& goal) {
   res.stats.storedZones = res.stats.statesStored;
   res.stats.extrapolationCoarsenings = gen_.extrapolationCoarsenings();
   res.stats.inactiveClocksFreed = gen_.inactiveClocksFreed();
+  // Interner observability — like the generator, the arena is shared
+  // by every engine and portfolio worker of this run.
+  res.stats.statesInterned = interner_->size();
+  res.stats.internHits = interner_->hits();
+  res.stats.internBytes = interner_->bytes();
   return res;
 }
 
@@ -94,15 +106,19 @@ Result Reachability::run(const Goal& goal) {
 // --------------------------------------------------------------------------
 
 Result Reachability::runBfs(const Goal& goal) {
+  // Nodes carry the interned discrete id plus the zone; the discrete
+  // vectors live once in the interner arena.
   struct Node {
-    SymbolicState s;
+    uint32_t did;
+    dbm::Dbm zone;
     Transition via;
     int64_t parent;
   };
 
   Result res;
   CutoffChecker cut{opts_};
-  PassedStore passed(opts_.inclusionChecking, opts_.compactPassed);
+  StateInterner& interner = *interner_;
+  PassedStore passed(opts_, interner);
 
   std::vector<Node> arena;
   std::deque<int64_t> waiting;
@@ -112,7 +128,8 @@ Result Reachability::runBfs(const Goal& goal) {
     std::vector<TraceStep> rev;
     for (int64_t k = idx; k >= 0; k = arena[static_cast<size_t>(k)].parent) {
       const Node& n = arena[static_cast<size_t>(k)];
-      rev.push_back(TraceStep{n.via, n.s});
+      rev.push_back(TraceStep{n.via, SymbolicState{interner.get(n.did),
+                                                   n.zone}});
     }
     std::reverse(rev.begin(), rev.end());
     res.trace.steps = std::move(rev);
@@ -123,28 +140,37 @@ Result Reachability::runBfs(const Goal& goal) {
     res.exhausted = exhausted && c == Cutoff::kNone;
     res.stats.seconds = cut.seconds();
     res.stats.statesStored = passed.states();
+    res.stats.storeLookups = passed.lookups();
+    res.stats.storeProbeSteps = passed.probeSteps();
+    res.stats.zonesMerged = passed.merges();
+    res.stats.storeBytes = passed.bytes();
     return res;
   };
 
   SymbolicState init = gen_.initial();
   if (!goal.deadlock && goal.matches(sys_, init)) {
-    arena.push_back({std::move(init), Transition{}, -1});
+    arena.push_back(
+        {interner.intern(init.d), std::move(init.zone), Transition{}, -1});
     res.reachable = true;
     buildTrace(0);
     return finish(Cutoff::kNone, false);
   }
-  passed.insert(init);
-  arenaBytes += init.memoryBytes();
-  arena.push_back({std::move(init), Transition{}, -1});
-  waiting.push_back(0);
-  res.stats.bytesStored = passed.bytes() + arenaBytes;
+  {
+    const uint64_t h = init.d.hash();
+    const uint32_t id = interner.intern(init.d, h);
+    passed.insertHashed(id, init.zone, h);
+    arenaBytes += init.zone.memoryBytes();
+    arena.push_back({id, std::move(init.zone), Transition{}, -1});
+    waiting.push_back(0);
+  }
+  res.stats.bytesStored = passed.bytes() + interner.bytes() + arenaBytes;
   res.stats.peakBytes = res.stats.bytesStored;
 
   while (!waiting.empty()) {
     // Refresh memory accounting once per popped state — covered
     // successors never enter the insert branch, and a long covered
     // stretch must not let the maxMemoryBytes cutoff fire late.
-    res.stats.bytesStored = passed.bytes() + arenaBytes +
+    res.stats.bytesStored = passed.bytes() + interner.bytes() + arenaBytes +
                             arena.size() * sizeof(Node) +
                             waiting.size() * sizeof(int64_t);
     res.stats.peakBytes = std::max(res.stats.peakBytes, res.stats.bytesStored);
@@ -155,10 +181,13 @@ Result Reachability::runBfs(const Goal& goal) {
     waiting.pop_front();
     ++res.stats.statesExplored;
 
-    // Copy: arena may reallocate while pushing successors.
-    const SymbolicState current = arena[static_cast<size_t>(idx)].s;
-    std::vector<Successor> succs = gen_.successors(current);
-    if (goal.deadlock && succs.empty() && goal.matches(sys_, current)) {
+    // The interned reference is stable; the zone is copied because the
+    // arena may reallocate while pushing successors.
+    const uint32_t did = arena[static_cast<size_t>(idx)].did;
+    const DiscreteState& d = interner.get(did);
+    const dbm::Dbm zone = arena[static_cast<size_t>(idx)].zone;
+    std::vector<Successor> succs = gen_.successors(d, zone);
+    if (goal.deadlock && succs.empty() && goal.matches(sys_, d, zone)) {
       res.reachable = true;
       buildTrace(idx);
       return finish(Cutoff::kNone, false);
@@ -166,18 +195,21 @@ Result Reachability::runBfs(const Goal& goal) {
     for (Successor& suc : succs) {
       ++res.stats.statesGenerated;
       if (!goal.deadlock && goal.matches(sys_, suc.state)) {
-        arena.push_back({std::move(suc.state), std::move(suc.via), idx});
+        arena.push_back({interner.intern(suc.state.d),
+                         std::move(suc.state.zone), std::move(suc.via), idx});
         res.reachable = true;
         buildTrace(static_cast<int64_t>(arena.size()) - 1);
         return finish(Cutoff::kNone, false);
       }
-      if (passed.covered(suc.state)) {
+      const uint64_t h = suc.state.d.hash();
+      if (passed.coveredHashed(suc.state.d, suc.state.zone, h)) {
         dbm::ZonePool::recycle(std::move(suc.state.zone));
         continue;
       }
-      passed.insert(suc.state);
-      arenaBytes += suc.state.memoryBytes();
-      arena.push_back({std::move(suc.state), std::move(suc.via), idx});
+      const uint32_t id = interner.intern(suc.state.d, h);
+      passed.insertHashed(id, suc.state.zone, h);
+      arenaBytes += suc.state.zone.memoryBytes();
+      arena.push_back({id, std::move(suc.state.zone), std::move(suc.via), idx});
       waiting.push_back(static_cast<int64_t>(arena.size()) - 1);
     }
   }
@@ -195,8 +227,11 @@ Result Reachability::runDfs(const Goal& goal) {
 
 Result Reachability::dfsCore(const Goal& goal, const Options& opts,
                              const std::atomic<bool>* cancel) {
+  // Frames carry the interned discrete id plus the zone; the discrete
+  // vectors live once in the (run-wide, portfolio-shared) interner.
   struct Frame {
-    SymbolicState s;
+    uint32_t did;
+    dbm::Dbm zone;
     Transition via;
     std::vector<Successor> succ;
     size_t next = 0;
@@ -205,33 +240,31 @@ Result Reachability::dfsCore(const Goal& goal, const Options& opts,
 
   Result res;
   CutoffChecker cut{opts};
-  PassedStore passed(opts.inclusionChecking, opts.compactPassed);
+  StateInterner& interner = *interner_;
+  PassedStore passed(opts, interner);
   std::optional<BitTable> bits;
   if (opts.bitstateHashing) bits.emplace(opts.hashBits);
   std::mt19937_64 rng(opts.seed);
 
   const auto covered = [&](const SymbolicState& s) {
     // testAndSet both queries and marks — call sites rely on that.
-    return bits ? bits->testAndSet(s) : passed.covered(s);
-  };
-  const auto store = [&](const SymbolicState& s) {
-    if (!bits) passed.insert(s);
+    return bits ? bits->testAndSet(s) : passed.covered(s.d, s.zone);
   };
 
   std::vector<Frame> stack;
   size_t stackBytes = 0;
 
   const auto frameBytes = [](const Frame& f) {
-    size_t b = f.s.memoryBytes() + sizeof(Frame);
+    size_t b = f.zone.memoryBytes() + sizeof(Frame);
     for (const Successor& suc : f.succ) {
       b += suc.state.memoryBytes() + sizeof(Successor);
     }
     return b;
   };
 
-  const auto pushFrame = [&](SymbolicState s, Transition via) {
-    Frame f{std::move(s), std::move(via), {}, 0, 0};
-    f.succ = gen_.successors(f.s);
+  const auto pushFrame = [&](uint32_t did, dbm::Dbm zone, Transition via) {
+    Frame f{did, std::move(zone), std::move(via), {}, 0, 0};
+    f.succ = gen_.successors(interner.get(did), f.zone);
     if (opts.order == SearchOrder::kRandomDfs) {
       std::shuffle(f.succ.begin(), f.succ.end(), rng);
     } else if (opts.dfsReverse) {
@@ -245,15 +278,25 @@ Result Reachability::dfsCore(const Goal& goal, const Options& opts,
     ++res.stats.statesExplored;
   };
 
+  // Intern, record in the passed store (unless bit-state hashing owns
+  // dedup), and push the search frame.
+  const auto visit = [&](SymbolicState s, Transition via) {
+    const uint64_t h = s.d.hash();
+    const uint32_t did = interner.intern(s.d, h);
+    if (!bits) passed.insertHashed(did, s.zone, h);
+    pushFrame(did, std::move(s.zone), std::move(via));
+  };
+
   const auto accountMemory = [&] {
-    res.stats.bytesStored =
-        stackBytes + (bits ? bits->bytes() : passed.bytes());
+    res.stats.bytesStored = stackBytes + interner.bytes() +
+                            (bits ? bits->bytes() : passed.bytes());
     res.stats.peakBytes = std::max(res.stats.peakBytes, res.stats.bytesStored);
   };
 
   const auto buildTrace = [&](const Successor* last) {
     for (const Frame& f : stack) {
-      res.trace.steps.push_back(TraceStep{f.via, f.s});
+      res.trace.steps.push_back(
+          TraceStep{f.via, SymbolicState{interner.get(f.did), f.zone}});
     }
     if (last != nullptr) {
       res.trace.steps.push_back(TraceStep{last->via, last->state});
@@ -266,26 +309,31 @@ Result Reachability::dfsCore(const Goal& goal, const Options& opts,
     res.exhausted = exhausted && c == Cutoff::kNone && !bits;
     res.stats.seconds = cut.seconds();
     res.stats.statesStored = bits ? 0 : passed.states();
+    res.stats.storeLookups = passed.lookups();
+    res.stats.storeProbeSteps = passed.probeSteps();
+    res.stats.zonesMerged = passed.merges();
+    res.stats.storeBytes = passed.bytes();
     return res;
   };
 
   SymbolicState init = gen_.initial();
   if (!goal.deadlock && goal.matches(sys_, init)) {
-    stack.push_back(Frame{std::move(init), Transition{}, {}, 0, 0});
+    stack.push_back(Frame{interner.intern(init.d), std::move(init.zone),
+                          Transition{}, {}, 0, 0});
     res.reachable = true;
     buildTrace(nullptr);
     return finish(Cutoff::kNone, false);
   }
-  (void)covered(init);  // mark visited
-  store(init);
-  pushFrame(std::move(init), Transition{});
+  (void)covered(init);  // mark visited (bit-state mode)
+  visit(std::move(init), Transition{});
   accountMemory();
 
   // A deadlock goal matches states without successors; the state just
   // pushed is on top of the stack with its successors precomputed.
   const auto topIsDeadlock = [&] {
     return goal.deadlock && stack.back().succ.empty() &&
-           goal.matches(sys_, stack.back().s);
+           goal.matches(sys_, interner.get(stack.back().did),
+                        stack.back().zone);
   };
   if (topIsDeadlock()) {
     res.reachable = true;
@@ -317,8 +365,7 @@ Result Reachability::dfsCore(const Goal& goal, const Options& opts,
       dbm::ZonePool::recycle(std::move(suc.state.zone));
       continue;
     }
-    store(suc.state);
-    pushFrame(std::move(suc.state), std::move(suc.via));
+    visit(std::move(suc.state), std::move(suc.via));
     if (topIsDeadlock()) {
       res.reachable = true;
       buildTrace(nullptr);

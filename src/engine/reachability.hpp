@@ -4,6 +4,7 @@
 #pragma once
 
 #include <atomic>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,8 +29,12 @@ struct Goal {
   std::vector<ta::ClockConstraint> clockConstraints;
   bool deadlock = false;
 
+  [[nodiscard]] bool matches(const ta::System& sys, const DiscreteState& d,
+                             const dbm::Dbm& zone) const;
   [[nodiscard]] bool matches(const ta::System& sys,
-                             const SymbolicState& s) const;
+                             const SymbolicState& s) const {
+    return matches(sys, s.d, s.zone);
+  }
 };
 
 /// One step of a symbolic trace: the transition fired (empty parts for
@@ -53,9 +58,12 @@ struct Result {
   SymbolicTrace trace;  ///< meaningful iff reachable
 };
 
+class StateInterner;
+
 class Reachability {
  public:
   Reachability(const ta::System& sys, Options opts);
+  ~Reachability();
 
   [[nodiscard]] Result run(const Goal& goal);
 
@@ -83,6 +91,12 @@ class Reachability {
   const ta::System& sys_;
   Options opts_;
   SuccessorGenerator gen_;
+  /// Hash-consing arena for discrete states, created per run() and
+  /// shared by every engine and portfolio worker of that run. The
+  /// engines' nodes/frames and the passed stores carry its 32-bit ids
+  /// instead of DiscreteState copies. With opts_.internStates off the
+  /// arena is append-only (one entry per stored state).
+  std::unique_ptr<StateInterner> interner_;
 };
 
 }  // namespace engine

@@ -150,20 +150,21 @@ SymbolicState SuccessorGenerator::initial() const {
   return s;
 }
 
-void SuccessorGenerator::tryFire(const SymbolicState& s,
+void SuccessorGenerator::tryFire(const DiscreteState& d,
+                                 const dbm::Dbm& zone,
                                  const std::vector<TransitionPart>& parts,
                                  std::vector<Successor>& out) const {
   // 1. Integer guards — all evaluated against the pre-state valuation.
   for (const TransitionPart& part : parts) {
     const ta::Edge& e =
         sys_.automaton(part.proc).edges()[static_cast<size_t>(part.edge)];
-    if (!sys_.pool().evalBool(e.guard, s.d.vars)) return;
+    if (!sys_.pool().evalBool(e.guard, d.vars)) return;
   }
 
   // The candidate zone comes from (and, on rejection, returns to) the
   // thread-local pool: most attempts die on a guard or invariant, and
   // this is the allocation hot path of the whole search.
-  SymbolicState next{s.d, dbm::ZonePool::copyOf(s.zone)};
+  SymbolicState next{d, dbm::ZonePool::copyOf(zone)};
   const auto reject = [&next] {
     dbm::ZonePool::recycle(std::move(next.zone));
   };
@@ -215,23 +216,23 @@ void SuccessorGenerator::tryFire(const SymbolicState& s,
 }
 
 std::vector<Successor> SuccessorGenerator::successors(
-    const SymbolicState& s) const {
+    const DiscreteState& d, const dbm::Dbm& zone) const {
   std::vector<Successor> out;
-  const bool committedPhase = anyCommitted(sys_, s.d);
+  const bool committedPhase = anyCommitted(sys_, d);
   const auto locCommitted = [&](ta::ProcId p) {
-    return sys_.automaton(p).location(s.d.locs[static_cast<size_t>(p)])
+    return sys_.automaton(p).location(d.locs[static_cast<size_t>(p)])
         .committed;
   };
 
   const auto numProcs = static_cast<ta::ProcId>(sys_.numAutomata());
   for (ta::ProcId p = 0; p < numProcs; ++p) {
     const ta::Automaton& a = sys_.automaton(p);
-    for (int32_t ei : a.outgoing(s.d.locs[static_cast<size_t>(p)])) {
+    for (int32_t ei : a.outgoing(d.locs[static_cast<size_t>(p)])) {
       const ta::Edge& e = a.edges()[static_cast<size_t>(ei)];
       switch (e.sync) {
         case ta::Sync::kNone: {
           if (committedPhase && !locCommitted(p)) break;
-          tryFire(s, {{p, ei}}, out);
+          tryFire(d, zone, {{p, ei}}, out);
           break;
         }
         case ta::Sync::kSend: {
@@ -240,10 +241,10 @@ std::vector<Successor> SuccessorGenerator::successors(
               if (q == p) continue;
               const ta::Edge& r =
                   sys_.automaton(q).edges()[static_cast<size_t>(ej)];
-              if (r.src != s.d.locs[static_cast<size_t>(q)]) continue;
+              if (r.src != d.locs[static_cast<size_t>(q)]) continue;
               if (committedPhase && !locCommitted(p) && !locCommitted(q))
                 continue;
-              tryFire(s, {{p, ei}, {q, ej}}, out);
+              tryFire(d, zone, {{p, ei}, {q, ej}}, out);
             }
           } else {
             // Broadcast: the sender fires unconditionally (given its own
@@ -255,12 +256,12 @@ std::vector<Successor> SuccessorGenerator::successors(
             for (ta::ProcId q = 0; q < numProcs; ++q) {
               if (q == p) continue;
               const ta::Automaton& b = sys_.automaton(q);
-              for (int32_t ej : b.outgoing(s.d.locs[static_cast<size_t>(q)])) {
+              for (int32_t ej : b.outgoing(d.locs[static_cast<size_t>(q)])) {
                 const ta::Edge& r = b.edges()[static_cast<size_t>(ej)];
                 if (r.sync != ta::Sync::kReceive || r.chan != e.chan) continue;
                 assert(r.clockGuard.empty() &&
                        "clock guards on broadcast receivers are unsupported");
-                if (!sys_.pool().evalBool(r.guard, s.d.vars)) continue;
+                if (!sys_.pool().evalBool(r.guard, d.vars)) continue;
                 parts.push_back({q, ej});
                 receiversCommitted = receiversCommitted || locCommitted(q);
                 break;
@@ -268,7 +269,7 @@ std::vector<Successor> SuccessorGenerator::successors(
             }
             if (committedPhase && !locCommitted(p) && !receiversCommitted)
               break;
-            tryFire(s, parts, out);
+            tryFire(d, zone, parts, out);
           }
           break;
         }

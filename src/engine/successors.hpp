@@ -31,9 +31,16 @@ class SuccessorGenerator {
   /// delayed as permitted).
   [[nodiscard]] SymbolicState initial() const;
 
-  /// All normalized symbolic successors of `s`.
+  /// All normalized symbolic successors of (d, zone). The engines hold
+  /// interned discrete states and zones separately, so this is the
+  /// primary entry point; the SymbolicState overload forwards.
   [[nodiscard]] std::vector<Successor> successors(
-      const SymbolicState& s) const;
+      const DiscreteState& d, const dbm::Dbm& zone) const;
+
+  [[nodiscard]] std::vector<Successor> successors(
+      const SymbolicState& s) const {
+    return successors(s.d, s.zone);
+  }
 
   /// Human-readable label of a transition, e.g. "b2left!/b2left?" —
   /// joins the labels of the participating edges.
@@ -82,7 +89,7 @@ class SuccessorGenerator {
   bool applyInvariants(SymbolicState& s) const;
 
   /// Attempt one discrete transition; appends to `out` on success.
-  void tryFire(const SymbolicState& s,
+  void tryFire(const DiscreteState& d, const dbm::Dbm& zone,
                const std::vector<TransitionPart>& parts,
                std::vector<Successor>& out) const;
 

@@ -1,0 +1,195 @@
+// Property tests for Dbm::tryConvexUnion — the exactness guarantee the
+// passed store's zone merging rests on. The oracle enumerates integer
+// points of a bounding box: whenever tryConvexUnion succeeds, the
+// returned hull must contain exactly the points of a ∪ b (no more, no
+// less); whenever it declines, nothing is asserted beyond the hull
+// being a sound over-approximation. Soundness of the whole merge
+// optimisation reduces to this pointwise property (DESIGN.md "Convex
+// zone merging").
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dbm/dbm.hpp"
+
+namespace dbm {
+namespace {
+
+/// A random non-empty canonical zone over `dim-1` clocks with constants
+/// in [0, box]: start unconstrained, apply a handful of random upper /
+/// lower / diagonal constraints, retry until non-empty.
+Dbm randomZone(std::mt19937_64& rng, uint32_t dim, int box) {
+  std::uniform_int_distribution<int> c(0, box);
+  std::uniform_int_distribution<uint32_t> clk(1, dim - 1);
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_int_distribution<int> nCons(1, 4);
+  for (;;) {
+    Dbm z = Dbm::unconstrained(dim);
+    bool ok = true;
+    const int n = nCons(rng);
+    for (int k = 0; k < n && ok; ++k) {
+      const uint32_t i = clk(rng);
+      switch (coin(rng) * 2 + coin(rng)) {
+        case 0:  // upper bound x_i <= c
+          ok = z.constrain(i, 0, boundWeak(c(rng)));
+          break;
+        case 1:  // lower bound x_i >= c
+          ok = z.constrain(0, i, boundWeak(-c(rng)));
+          break;
+        default: {  // diagonal x_i - x_j <= c
+          uint32_t j = clk(rng);
+          if (j == i) j = (j % (dim - 1)) + 1;
+          if (j == i) break;  // dim == 2: no diagonal available
+          ok = z.constrain(i, j, boundWeak(c(rng)));
+          break;
+        }
+      }
+    }
+    if (ok && !z.isEmpty()) return z;
+  }
+}
+
+/// Enumerate every integer valuation of [0, box]^(dim-1) and check that
+/// hull membership coincides with (a ∪ b) membership. Integer points
+/// suffice as a distinguishing oracle for weak-bound zones; the strict/
+/// weak edge cases are covered by the deterministic tests below.
+void expectExactUnion(const Dbm& a, const Dbm& b, const Dbm& hull,
+                      uint32_t dim, int box, uint64_t seed) {
+  std::vector<int64_t> val(dim, 0);
+  const auto total = [&] {
+    size_t t = 1;
+    for (uint32_t k = 1; k < dim; ++k) t *= static_cast<size_t>(box) + 1;
+    return t;
+  }();
+  for (size_t it = 0; it < total; ++it) {
+    size_t rest = it;
+    for (uint32_t k = 1; k < dim; ++k) {
+      val[k] = static_cast<int64_t>(rest % (static_cast<size_t>(box) + 1));
+      rest /= static_cast<size_t>(box) + 1;
+    }
+    const bool inUnion = a.containsPoint(val) || b.containsPoint(val);
+    const bool inHull = hull.containsPoint(val);
+    ASSERT_EQ(inHull, inUnion)
+        << "seed " << seed << ": point diverges (union=" << inUnion
+        << " hull=" << inHull << ")";
+  }
+}
+
+TEST(MergeOracle, AcceptedMergesAreExactOnIntegerPoints) {
+  // Small dimensions and boxes keep the brute-force oracle fast while
+  // covering upper/lower/diagonal interactions.
+  size_t accepted = 0;
+  for (uint64_t seed = 1; seed <= 400; ++seed) {
+    std::mt19937_64 rng(seed);
+    const uint32_t dim = 2 + static_cast<uint32_t>(seed % 2);  // 2 or 3
+    const int box = 4;
+    const Dbm a = randomZone(rng, dim, box);
+    const Dbm b = randomZone(rng, dim, box);
+    Dbm out(1);
+    if (!Dbm::tryConvexUnion(a, b, &out)) continue;
+    ++accepted;
+    expectExactUnion(a, b, out, dim, box + 2, seed);
+    // The merge result must cover both operands outright.
+    EXPECT_TRUE(out.includes(a)) << "seed " << seed;
+    EXPECT_TRUE(out.includes(b)) << "seed " << seed;
+  }
+  // The generator produces plenty of mergeable pairs (inclusions,
+  // overlapping intervals); a silent "never merge" implementation must
+  // not pass this suite.
+  EXPECT_GT(accepted, 50u);
+}
+
+TEST(MergeOracle, RejectsNonConvexUnion) {
+  // x in [0,1] vs x in [3,4]: the hull [0,4] contains 2, which is in
+  // neither operand.
+  Dbm a = Dbm::unconstrained(2);
+  ASSERT_TRUE(a.constrain(1, 0, boundWeak(1)));
+  Dbm b = Dbm::unconstrained(2);
+  ASSERT_TRUE(b.constrain(0, 1, boundWeak(-3)));
+  ASSERT_TRUE(b.constrain(1, 0, boundWeak(4)));
+  Dbm out(1);
+  EXPECT_FALSE(Dbm::tryConvexUnion(a, b, &out));
+}
+
+TEST(MergeOracle, MergesAdjacentIntervals) {
+  // [0,2] ∪ [2,5] = [0,5]: convex, must merge.
+  Dbm a = Dbm::unconstrained(2);
+  ASSERT_TRUE(a.constrain(1, 0, boundWeak(2)));
+  Dbm b = Dbm::unconstrained(2);
+  ASSERT_TRUE(b.constrain(0, 1, boundWeak(-2)));
+  ASSERT_TRUE(b.constrain(1, 0, boundWeak(5)));
+  Dbm out(1);
+  ASSERT_TRUE(Dbm::tryConvexUnion(a, b, &out));
+  EXPECT_EQ(out.at(1, 0), boundWeak(5));
+  EXPECT_EQ(out.at(0, 1), kZeroBound);
+}
+
+TEST(MergeOracle, RejectsAbuttingStrictIntervals) {
+  // [0,2) ∪ (2,5]: the hull [0,5] contains 2, in neither operand. The
+  // integer oracle cannot see this gap — this is the strictness case it
+  // delegates to tryConvexUnion's piece decomposition.
+  Dbm a = Dbm::unconstrained(2);
+  ASSERT_TRUE(a.constrain(1, 0, boundStrict(2)));
+  Dbm b = Dbm::unconstrained(2);
+  ASSERT_TRUE(b.constrain(0, 1, boundStrict(-2)));
+  ASSERT_TRUE(b.constrain(1, 0, boundWeak(5)));
+  Dbm out(1);
+  EXPECT_FALSE(Dbm::tryConvexUnion(a, b, &out));
+}
+
+TEST(MergeOracle, MergesHalfOpenAdjacency) {
+  // [0,2) ∪ [2,5]: exactly [0,5], the weak lower bound closes the gap.
+  Dbm a = Dbm::unconstrained(2);
+  ASSERT_TRUE(a.constrain(1, 0, boundStrict(2)));
+  Dbm b = Dbm::unconstrained(2);
+  ASSERT_TRUE(b.constrain(0, 1, boundWeak(-2)));
+  ASSERT_TRUE(b.constrain(1, 0, boundWeak(5)));
+  Dbm out(1);
+  ASSERT_TRUE(Dbm::tryConvexUnion(a, b, &out));
+  EXPECT_EQ(out.at(1, 0), boundWeak(5));
+}
+
+TEST(MergeOracle, InclusionDegeneratesToLargerOperand) {
+  Dbm a = Dbm::unconstrained(3);
+  ASSERT_TRUE(a.constrain(1, 0, boundWeak(10)));
+  Dbm b(a);
+  ASSERT_TRUE(b.constrain(1, 0, boundWeak(4)));
+  ASSERT_TRUE(b.constrain(2, 0, boundWeak(4)));
+  Dbm out(1);
+  ASSERT_TRUE(Dbm::tryConvexUnion(a, b, &out));
+  EXPECT_EQ(out.relation(a), Relation::kEqual);
+}
+
+TEST(MergeOracle, SquareVsDiagonalStripe) {
+  // The square [0,5]^2 vs the square cut by x-y <= 2: the union is the
+  // square itself (the stripe is a subset), so the merge must succeed
+  // and return the square — a regression guard for the subset fast
+  // path interacting with diagonal constraints.
+  Dbm square = Dbm::unconstrained(3);
+  ASSERT_TRUE(square.constrain(1, 0, boundWeak(5)));
+  ASSERT_TRUE(square.constrain(2, 0, boundWeak(5)));
+  Dbm stripe(square);
+  ASSERT_TRUE(stripe.constrain(1, 2, boundWeak(2)));
+  Dbm out(1);
+  ASSERT_TRUE(Dbm::tryConvexUnion(square, stripe, &out));
+  EXPECT_EQ(out.relation(square), Relation::kEqual);
+}
+
+TEST(MergeOracle, PieceCapDeclinesConservatively) {
+  // With maxPieces = 0 every non-inclusion pair must be declined, even
+  // a perfectly convex one — the cap trades merges for bounded cost,
+  // never soundness.
+  Dbm a = Dbm::unconstrained(2);
+  ASSERT_TRUE(a.constrain(1, 0, boundWeak(2)));
+  Dbm b = Dbm::unconstrained(2);
+  ASSERT_TRUE(b.constrain(0, 1, boundWeak(-1)));
+  ASSERT_TRUE(b.constrain(1, 0, boundWeak(5)));
+  Dbm out(1);
+  ASSERT_TRUE(Dbm::tryConvexUnion(a, b, &out));   // merges normally
+  EXPECT_FALSE(Dbm::tryConvexUnion(a, b, &out, 0));  // declined under cap
+}
+
+}  // namespace
+}  // namespace dbm

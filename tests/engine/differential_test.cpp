@@ -6,7 +6,9 @@
 // BFS, work-stealing parallel DFS and the seeded portfolio at 2 and 4
 // threads, crossed with every zone-abstraction operator (kGlobalM /
 // kLocationM / kLocationLUPlus, with and without the active-clock
-// reduction). Config 0 — sequential BFS under kGlobalM — is the
+// reduction) and the storage-engine knobs (discrete-state interning
+// on/off, exact convex-union zone merging, reduced-form zone layout).
+// Config 0 — sequential BFS under kGlobalM — is the
 // oracle: all configurations must agree with it on reachability, and
 // every positive answer must concretize into a validated timed trace.
 #include <random>
@@ -217,16 +219,41 @@ Options config(int kind) {
       o.extrapolation = Extrapolation::kLocationLUPlus;
       o.activeClockReduction = false;
       break;
-    default:  // LU+ with exact-equality dedup (no zone inclusion)
+    case 21:  // LU+ with exact-equality dedup (no zone inclusion)
       o.order = SearchOrder::kDfs;
       o.extrapolation = Extrapolation::kLocationLUPlus;
       o.inclusionChecking = false;
+      break;
+    // -- Storage-engine matrix: interning off (append-only arena) and
+    //    exact convex-union merging on, alone and combined, across
+    //    sequential and parallel engines and both zone layouts.
+    case 22:  // BFS without discrete-state interning
+      o.internStates = false;
+      break;
+    case 23:  // BFS with convex-union zone merging
+      o.mergeZones = true;
+      break;
+    case 24:  // work-stealing DFS with merging, sharded store
+      o.order = SearchOrder::kDfs;
+      o.threads = 2;
+      o.shardBits = 2;
+      o.mergeZones = true;
+      break;
+    case 25:  // DFS, interning off + merging on
+      o.order = SearchOrder::kDfs;
+      o.internStates = false;
+      o.mergeZones = true;
+      break;
+    default:  // reduced-form store with merging, interning off
+      o.compactPassed = true;
+      o.mergeZones = true;
+      o.internStates = false;
       break;
   }
   return o;
 }
 
-constexpr int kNumConfigs = 22;
+constexpr int kNumConfigs = 27;
 
 class Differential : public ::testing::TestWithParam<uint64_t> {};
 

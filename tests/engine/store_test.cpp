@@ -1,0 +1,301 @@
+// Unit tests for the storage engine: the hash-consing StateInterner,
+// the flat open-addressing PassedStore (full and reduced-form zone
+// layouts, symmetric subsumption pruning, convex-union merging) and the
+// ShardedPassedStore wrapper, plus end-to-end equivalence of the
+// interning/merging knobs on the batch plant.
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/interner.hpp"
+#include "engine/passed_store.hpp"
+#include "engine/reachability.hpp"
+#include "plant/plant.hpp"
+
+namespace engine {
+namespace {
+
+DiscreteState ds(std::vector<ta::LocId> locs, std::vector<int32_t> vars) {
+  DiscreteState d;
+  d.locs = std::move(locs);
+  d.vars = std::move(vars);
+  return d;
+}
+
+/// The interval [lo, hi] on clock 1 (weak bounds, dimension 2).
+dbm::Dbm interval(int lo, int hi) {
+  dbm::Dbm z = dbm::Dbm::unconstrained(2);
+  EXPECT_TRUE(z.constrain(0, 1, dbm::boundWeak(-lo)));
+  EXPECT_TRUE(z.constrain(1, 0, dbm::boundWeak(hi)));
+  return z;
+}
+
+TEST(Interner, DedupSharesOneEntry) {
+  StateInterner in(true);
+  const DiscreteState a = ds({0, 1}, {7});
+  const uint32_t id1 = in.intern(a);
+  const uint32_t id2 = in.intern(ds({0, 1}, {7}));
+  EXPECT_EQ(id1, id2);
+  EXPECT_EQ(in.size(), 1u);
+  EXPECT_EQ(in.hits(), 1u);
+  EXPECT_EQ(in.get(id1), a);
+
+  const uint32_t id3 = in.intern(ds({0, 2}, {7}));
+  EXPECT_NE(id3, id1);
+  EXPECT_EQ(in.size(), 2u);
+  EXPECT_EQ(in.hashOf(id3), ds({0, 2}, {7}).hash());
+}
+
+TEST(Interner, AppendOnlyWithoutDedup) {
+  StateInterner in(false);
+  const uint32_t id1 = in.intern(ds({3}, {1}));
+  const uint32_t id2 = in.intern(ds({3}, {1}));
+  // Ids name insertion events: same value, distinct entries.
+  EXPECT_NE(id1, id2);
+  EXPECT_EQ(in.size(), 2u);
+  EXPECT_EQ(in.hits(), 0u);
+  EXPECT_EQ(in.get(id1), in.get(id2));
+}
+
+TEST(Interner, TableGrowthKeepsRoundTrips) {
+  // Enough states to force several table rehashes and chunk
+  // allocations in every shard.
+  StateInterner in(true);
+  std::vector<uint32_t> ids;
+  const int n = 50000;
+  ids.reserve(static_cast<size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    ids.push_back(in.intern(ds({static_cast<ta::LocId>(k % 17)}, {k})));
+  }
+  EXPECT_EQ(in.size(), static_cast<size_t>(n));
+  std::set<uint32_t> distinct(ids.begin(), ids.end());
+  EXPECT_EQ(distinct.size(), static_cast<size_t>(n));
+  for (int k = 0; k < n; k += 997) {
+    EXPECT_EQ(in.get(ids[static_cast<size_t>(k)]).vars[0], k);
+    // A re-intern of an existing value must return the original id.
+    EXPECT_EQ(in.intern(ds({static_cast<ta::LocId>(k % 17)}, {k})),
+              ids[static_cast<size_t>(k)]);
+  }
+}
+
+class StoreTest : public ::testing::Test {
+ protected:
+  StateInterner interner_{true};
+  Options opts_;
+};
+
+TEST_F(StoreTest, CoveredAnswersInclusion) {
+  PassedStore store(opts_, interner_);
+  const DiscreteState d = ds({0, 0}, {1});
+  store.insert(interner_.intern(d), interval(0, 5));
+  EXPECT_TRUE(store.covered(d, interval(1, 3)));
+  EXPECT_TRUE(store.covered(d, interval(0, 5)));
+  EXPECT_FALSE(store.covered(d, interval(0, 7)));
+  EXPECT_FALSE(store.covered(ds({0, 1}, {1}), interval(1, 3)));
+  EXPECT_EQ(store.states(), 1u);
+  EXPECT_GT(store.lookups(), 0u);
+  EXPECT_GT(store.probeSteps(), 0u);
+  EXPECT_GT(store.bytes(), 0u);
+}
+
+TEST_F(StoreTest, InsertPrunesSubsumedZonesFullLayout) {
+  PassedStore store(opts_, interner_);
+  const uint32_t id = interner_.intern(ds({0}, {}));
+  store.insert(id, interval(1, 3));
+  store.insert(id, interval(5, 6));
+  EXPECT_EQ(store.states(), 2u);
+  const size_t bytesBefore = store.bytes();
+  // Subsumes both stored zones: they must be pruned, not accumulated.
+  store.insert(id, interval(0, 8));
+  EXPECT_EQ(store.states(), 1u);
+  EXPECT_LE(store.bytes(), bytesBefore);
+  EXPECT_TRUE(store.covered(interner_.get(id), interval(1, 3)));
+}
+
+TEST_F(StoreTest, InsertPrunesSubsumedZonesCompactLayout) {
+  // The reduced-form store must prune symmetrically too (a new zone
+  // drops the stored zones it covers) — this was one-directional
+  // before the flat-store rewrite.
+  opts_.compactPassed = true;
+  PassedStore store(opts_, interner_);
+  const uint32_t id = interner_.intern(ds({0}, {}));
+  store.insert(id, interval(1, 3));
+  store.insert(id, interval(5, 6));
+  EXPECT_EQ(store.states(), 2u);
+  store.insert(id, interval(0, 8));
+  EXPECT_EQ(store.states(), 1u);
+  EXPECT_TRUE(store.covered(interner_.get(id), interval(5, 6)));
+  EXPECT_FALSE(store.covered(interner_.get(id), interval(0, 9)));
+}
+
+TEST_F(StoreTest, MergesAdjacentZones) {
+  opts_.mergeZones = true;
+  PassedStore store(opts_, interner_);
+  const uint32_t id = interner_.intern(ds({0}, {}));
+  store.insert(id, interval(0, 2));
+  store.insert(id, interval(2, 5));
+  EXPECT_EQ(store.states(), 1u);
+  EXPECT_EQ(store.merges(), 1u);
+  // The merged zone covers the exact union.
+  EXPECT_TRUE(store.covered(interner_.get(id), interval(0, 5)));
+}
+
+TEST_F(StoreTest, MergeChainsAcrossStoredZones) {
+  opts_.mergeZones = true;
+  PassedStore store(opts_, interner_);
+  const uint32_t id = interner_.intern(ds({0}, {}));
+  store.insert(id, interval(0, 2));
+  store.insert(id, interval(4, 6));
+  EXPECT_EQ(store.states(), 2u);  // disjoint: no merge possible
+  // [2,4] bridges the gap; the merge loop must absorb both neighbours.
+  store.insert(id, interval(2, 4));
+  EXPECT_EQ(store.states(), 1u);
+  EXPECT_EQ(store.merges(), 2u);
+  EXPECT_TRUE(store.covered(interner_.get(id), interval(0, 6)));
+}
+
+TEST_F(StoreTest, MergeRefusesNonConvexUnion) {
+  opts_.mergeZones = true;
+  PassedStore store(opts_, interner_);
+  const uint32_t id = interner_.intern(ds({0}, {}));
+  store.insert(id, interval(0, 1));
+  store.insert(id, interval(3, 5));
+  EXPECT_EQ(store.states(), 2u);
+  EXPECT_EQ(store.merges(), 0u);
+  // The gap (1,3) must not be covered — merging is exact, never a
+  // hull over-approximation.
+  EXPECT_FALSE(store.covered(interner_.get(id), interval(1, 3)));
+}
+
+TEST_F(StoreTest, MergesInCompactLayout) {
+  opts_.compactPassed = true;
+  opts_.mergeZones = true;
+  PassedStore store(opts_, interner_);
+  const uint32_t id = interner_.intern(ds({0}, {}));
+  store.insert(id, interval(0, 2));
+  store.insert(id, interval(2, 5));
+  EXPECT_EQ(store.states(), 1u);
+  EXPECT_EQ(store.merges(), 1u);
+  EXPECT_TRUE(store.covered(interner_.get(id), interval(0, 5)));
+  EXPECT_FALSE(store.covered(interner_.get(id), interval(0, 6)));
+}
+
+TEST_F(StoreTest, ExactEqualityModeStoresDistinctZones) {
+  opts_.inclusionChecking = false;
+  PassedStore store(opts_, interner_);
+  const uint32_t id = interner_.intern(ds({0}, {}));
+  store.insert(id, interval(0, 5));
+  EXPECT_TRUE(store.covered(interner_.get(id), interval(0, 5)));
+  // Equality dedup: a strictly smaller zone is NOT covered.
+  EXPECT_FALSE(store.covered(interner_.get(id), interval(1, 3)));
+  store.insert(id, interval(1, 3));
+  EXPECT_EQ(store.states(), 2u);
+}
+
+TEST_F(StoreTest, TableResizeStress) {
+  PassedStore store(opts_, interner_);
+  const int n = 5000;
+  for (int k = 0; k < n; ++k) {
+    const uint32_t id = interner_.intern(ds({0}, {k}));
+    store.insert(id, interval(0, 1 + (k % 3)));
+  }
+  EXPECT_EQ(store.states(), static_cast<size_t>(n));
+  EXPECT_EQ(store.entryCount(), static_cast<size_t>(n));
+  for (int k = 0; k < n; k += 97) {
+    EXPECT_TRUE(store.covered(ds({0}, {k}), interval(0, 1)));
+  }
+  EXPECT_FALSE(store.covered(ds({0}, {n + 1}), interval(0, 1)));
+  // Mean probe length stays short at the 7/8 load cap.
+  EXPECT_LT(store.probeSteps(),
+            store.lookups() * 8 + static_cast<size_t>(n) * 8);
+}
+
+TEST_F(StoreTest, WorksWithoutInternerDedup) {
+  // internStates off: ids name insertion events; the store's key
+  // comparison goes through the interner by value, so dedup of the
+  // buckets still works.
+  StateInterner plain(false);
+  PassedStore store(opts_, plain);
+  const uint32_t id1 = plain.intern(ds({0}, {1}));
+  store.insert(id1, interval(0, 5));
+  const uint32_t id2 = plain.intern(ds({0}, {1}));
+  EXPECT_NE(id1, id2);
+  EXPECT_TRUE(store.covered(plain.get(id2), interval(1, 2)));
+  store.insert(id2, interval(0, 9));
+  // Same discrete value: one bucket, subsumption pruned the old zone.
+  EXPECT_EQ(store.entryCount(), 1u);
+  EXPECT_EQ(store.states(), 1u);
+}
+
+TEST(ShardedStore, TestAndInsertReturnsIdOnceAndCoverageAfter) {
+  StateInterner interner(true);
+  Options opts;
+  ShardedPassedStore store(2, opts, interner);
+  SymbolicState s{ds({0, 1}, {5}), interval(0, 5)};
+  const uint32_t id = store.testAndInsert(s);
+  ASSERT_NE(id, StateInterner::kNoId);
+  EXPECT_EQ(interner.get(id), s.d);
+  // Identical and included states are rejected.
+  EXPECT_EQ(store.testAndInsert(s), StateInterner::kNoId);
+  SymbolicState smaller{s.d, interval(1, 3)};
+  EXPECT_EQ(store.testAndInsert(smaller), StateInterner::kNoId);
+  SymbolicState larger{s.d, interval(0, 6)};
+  EXPECT_NE(store.testAndInsert(larger), StateInterner::kNoId);
+  EXPECT_EQ(store.states(), 1u);  // subsumption pruned the original
+  EXPECT_GT(store.bytes(), 0u);
+  EXPECT_EQ(store.approxBytes(), store.bytes());
+}
+
+// --- End-to-end equivalence of the storage knobs on the batch plant ----
+
+Result runPlant(int batches, const Options& o) {
+  plant::PlantConfig cfg;
+  cfg.order = plant::standardOrder(batches);
+  const auto p = plant::buildPlant(cfg);
+  Reachability checker(p->sys, o);
+  return checker.run(p->goal);
+}
+
+TEST(StorePlant, InternOnOffIdenticalSearch) {
+  Options on;
+  on.order = SearchOrder::kDfs;
+  on.dfsReverse = true;
+  on.maxSeconds = 60.0;
+  Options off = on;
+  off.internStates = false;
+
+  const Result a = runPlant(2, on);
+  const Result b = runPlant(2, off);
+  ASSERT_TRUE(a.reachable);
+  ASSERT_TRUE(b.reachable);
+  // Interning changes representation only: identical search.
+  EXPECT_EQ(a.stats.statesExplored, b.stats.statesExplored);
+  EXPECT_EQ(a.stats.statesStored, b.stats.statesStored);
+  // With dedup the arena holds distinct discrete states and records
+  // hits; append-only holds one entry per intern call.
+  EXPECT_LE(a.stats.statesInterned, b.stats.statesInterned);
+  EXPECT_GT(a.stats.internHits, 0u);
+  EXPECT_EQ(b.stats.internHits, 0u);
+  EXPECT_GT(a.stats.storeLookups, 0u);
+  EXPECT_GT(a.stats.storeBytes, 0u);
+}
+
+TEST(StorePlant, MergingPreservesVerdictAndShrinksStore) {
+  Options plainOpts;
+  plainOpts.order = SearchOrder::kDfs;
+  plainOpts.dfsReverse = true;
+  plainOpts.maxSeconds = 60.0;
+  Options mergeOpts = plainOpts;
+  mergeOpts.mergeZones = true;
+
+  const Result plain = runPlant(3, plainOpts);
+  const Result merged = runPlant(3, mergeOpts);
+  ASSERT_TRUE(plain.reachable);
+  EXPECT_EQ(plain.reachable, merged.reachable);
+  // Exact merging can only reduce what is stored.
+  EXPECT_LE(merged.stats.statesStored, plain.stats.statesStored);
+}
+
+}  // namespace
+}  // namespace engine
