@@ -29,6 +29,12 @@
 #                 the pre-interning baseline), plus the store unit
 #                 suites re-run under the ASan and TSan builds from
 #                 stages 3-4.
+#   6. robust   — the fault-injection stage: the Monte-Carlo campaign
+#                 smoke gate (100% success on a nominal channel, >= 95%
+#                 at 5% i.i.d. loss, seed-reproducible trials), the RCX
+#                 VM / adversarial-channel / plant-sim suites under the
+#                 ASan build, and the parallel campaign runner under
+#                 the TSan build.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -57,8 +63,13 @@ echo "== stage 5a: storage-engine perf gates (release) =="
 ctest --test-dir build --output-on-failure \
   -R 'store_micro_smoke|ablation_store_smoke'
 
+echo "== stage 6a: fault-campaign robustness gate (release) =="
+# Also part of the stage-1 full ctest; re-run by name so a robustness
+# regression is reported as its own stage.
+ctest --test-dir build --output-on-failure -R 'fault_campaign_smoke'
+
 if [[ "$fast" == 1 ]]; then
-  echo "== stages 3-5b: sanitizers skipped (--fast) =="
+  echo "== stages 3-6c: sanitizers skipped (--fast) =="
   exit 0
 fi
 
@@ -85,5 +96,18 @@ echo "== stage 5b: storage engine under the sanitizer builds =="
 ctest --test-dir build-tsan --output-on-failure -R 'Store|Interner' -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -R 'Store|Interner|MergeOracle' \
   -j "$jobs"
+
+echo "== stage 6b: RCX execution-layer suites under ASan/UBSan =="
+# The VM (new ops, watchdog halt), the adversarial channel's split
+# streams, the plant physics, and whole simulated trials under
+# memory/UB checking. (FaultInjection's model-level hazard searches are
+# wall-clock-bounded and engine-bound, so they stay in stages 1-2.)
+ctest --test-dir build-asan --output-on-failure \
+  -R 'RcxVm|FaultChannel|FaultSim|PhysicsTest|Lifecycle' -j "$jobs"
+
+echo "== stage 6c: parallel campaign runner under TSan =="
+# The campaign fans trials out over a std::thread pool; the smoke grid
+# under ThreadSanitizer certifies the worker/result handoff.
+./build-tsan/bench/fault_campaign --smoke --trials 12
 
 echo "all checks passed"

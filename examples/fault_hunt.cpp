@@ -3,13 +3,22 @@
 // discovered by execution, show the plant catching each error, then run
 // the corrected model cleanly.
 //
+// The corrected run takes the fault-injection surface (--loss, --burst,
+// --jitter, --drift, --crash, --dup), multiple seeded trials
+// (--trials, --seed), the hardened codegen profile (--hardened) and
+// machine-readable per-trial output (--stats-json); the buggy variants
+// always run on a perfect channel so the modelling errors stay isolated
+// from channel noise.
+//
 // Usage: fault_hunt [--extrapolation none|global|location|lu]
+//                   [fault/trial flags — see sim_cli.hpp]
 #include <cstring>
 #include <iostream>
 
 #include "engine/trace.hpp"
 #include "plant/plant.hpp"
 #include "rcx/plant_sim.hpp"
+#include "sim_cli.hpp"
 #include "synthesis/rcx_codegen.hpp"
 #include "synthesis/schedule.hpp"
 
@@ -17,7 +26,8 @@ namespace {
 
 engine::Extrapolation g_extrapolation = engine::Extrapolation::kLocationLUPlus;
 
-bool pipeline(const plant::PlantConfig& cfg, const char* title) {
+bool pipeline(const plant::PlantConfig& cfg, const char* title,
+              const simcli::Options& fault) {
   std::cout << "\n--- " << title << " ---\n";
   const auto p = plant::buildPlant(cfg);
   engine::Options opts;
@@ -38,56 +48,62 @@ bool pipeline(const plant::PlantConfig& cfg, const char* title) {
     return false;
   }
   const synthesis::Schedule sched = synthesis::project(p->sys, *ct);
-  synthesis::CodegenOptions cg;
-  cg.ticksPerTimeUnit = 1000;
-  const synthesis::RcxProgram prog = synthesis::synthesize(sched, cg);
+  const synthesis::RcxProgram prog =
+      synthesis::synthesize(sched, fault.codegen(1000));
   std::cout << "  model checker: schedule with " << sched.items.size()
             << " commands (model says everything is fine)\n";
 
-  rcx::SimOptions sim;
-  sim.messageLossProb = 0.0;
-  sim.slackTicks = 3000;
-  const rcx::SimResult out = rcx::runProgram(prog, cfg, 1000, sim);
-  if (out.ok()) {
-    std::cout << "  physical plant: RUN OK (" << out.exited
-              << " batches completed)\n";
+  if (fault.trials > 1 || fault.statsJson) {
+    const int failures = simcli::runTrials(prog, cfg, 1000, fault);
+    std::cout << "  physical plant: " << (fault.trials - failures) << "/"
+              << fault.trials << " trial(s) OK\n";
+    return failures == 0;
+  }
+  const int failures = simcli::runTrials(prog, cfg, 1000, fault);
+  if (failures == 0) {
+    std::cout << "  physical plant: RUN OK\n";
     return true;
   }
-  std::cout << "  physical plant: RUN FAILED —\n";
-  for (size_t e = 0; e < out.errors.size() && e < 4; ++e) {
-    std::cout << "    tick " << out.errors[e].tick << ": "
-              << out.errors[e].what << "\n";
-  }
+  std::cout << "  physical plant: RUN FAILED (errors above)\n";
   return false;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  simcli::Options fault;
   for (int i = 1; i < argc; ++i) {
+    if (simcli::consume(fault, argc, argv, i)) continue;
     if (std::strcmp(argv[i], "--extrapolation") == 0 && i + 1 < argc) {
       if (!engine::parseExtrapolation(argv[++i], &g_extrapolation)) {
         std::cerr << "unknown extrapolation mode: " << argv[i] << "\n";
         return 2;
       }
+    } else {
+      std::cerr << "usage: fault_hunt [--extrapolation mode]\n  "
+                << simcli::kUsage << "\n";
+      return 2;
     }
   }
   std::cout << "Hunting the paper's three modelling errors by executing "
                "synthesized programs\nin the simulated plant (§6).\n";
 
+  const simcli::Options nominal;  // buggy variants: perfect channel
   {
     plant::PlantConfig cfg;
     cfg.order = {plant::qualityA()};
     cfg.bugNoLiftDelay = true;
     pipeline(cfg, "error 1: crane moves horizontally while the pickup runs "
-                  "(missing delay in the model)");
+                  "(missing delay in the model)",
+             nominal);
   }
   {
     plant::PlantConfig cfg;
     cfg.order = {plant::qualityA()};
     cfg.bugCasterSkipsFinalEject = true;
     pipeline(cfg, "error 3: caster does not turn out the final ladle "
-                  "(missing command in the model)");
+                  "(missing command in the model)",
+             nominal);
   }
   std::cout << "\n(error 2 — tailgating cranes — is a model-level hazard: "
                "see tests/rcx/fault_injection_test)\n";
@@ -95,7 +111,7 @@ int main(int argc, char** argv) {
     plant::PlantConfig cfg;
     cfg.order = plant::standardOrder(3);
     const bool ok =
-        pipeline(cfg, "corrected model, 3 batches (all errors fixed)");
+        pipeline(cfg, "corrected model, 3 batches (all errors fixed)", fault);
     return ok ? 0 : 1;
   }
 }

@@ -1,0 +1,159 @@
+// Shared command-line surface for the §6 execution examples: fault
+// flags (--loss, --burst, --jitter, --drift, --crash, --dup), trial
+// control (--seed, --trials), the hardened codegen profile
+// (--hardened), and machine-readable output (--stats-json).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "rcx/fault.hpp"
+#include "rcx/plant_sim.hpp"
+#include "synthesis/rcx_codegen.hpp"
+
+namespace simcli {
+
+struct Options {
+  double loss = 0.0;    ///< i.i.d. loss, both directions
+  double burst = 0.0;   ///< Gilbert–Elliott P(Good->Bad); 0 = off
+  int32_t jitter = 0;   ///< uniform extra latency bound, ticks
+  double drift = 0.0;   ///< per-unit clock skew, ppm
+  double crash = 0.0;   ///< per-unit per-tick crash probability
+  double dup = 0.0;     ///< duplication probability
+  uint64_t seed = 42;
+  int trials = 1;
+  bool statsJson = false;
+  bool hardened = false;
+
+  [[nodiscard]] rcx::FaultPlan plan() const {
+    rcx::FaultPlan f = rcx::FaultPlan::iidLoss(loss);
+    if (burst > 0.0) {
+      f.burst.pGoodToBad = burst;
+      f.burst.pBadToGood = 0.3;
+      f.burst.lossBad = 0.9;
+    }
+    f.jitterTicks = jitter;
+    f.driftPpm = drift;
+    f.duplicateProb = dup;
+    if (crash > 0.0) {
+      f.crash.crashPerTick = crash;
+      f.crash.downTicks = 2000;
+    }
+    return f;
+  }
+
+  [[nodiscard]] bool anyFault() const {
+    return loss > 0.0 || burst > 0.0 || jitter > 0 || drift > 0.0 ||
+           crash > 0.0 || dup > 0.0;
+  }
+
+  /// Slack the plant grants the program: generous once faults delay
+  /// deliveries (matches the campaign's setting), tight otherwise.
+  [[nodiscard]] int64_t slackTicks() const { return anyFault() ? 8000 : 3000; }
+
+  [[nodiscard]] synthesis::CodegenOptions codegen(int32_t tpu) const {
+    if (hardened) return synthesis::CodegenOptions::hardened(tpu, slackTicks());
+    synthesis::CodegenOptions cg;
+    cg.ticksPerTimeUnit = tpu;
+    return cg;
+  }
+};
+
+inline const char* kUsage =
+    "[--loss p] [--burst p] [--jitter ticks] [--drift ppm] [--crash p]\n"
+    "  [--dup p] [--seed s] [--trials n] [--hardened] [--stats-json]";
+
+/// Consume argv[i] (and a value argument when the flag takes one).
+/// Returns false when the flag is not one of ours.
+inline bool consume(Options& o, int argc, char** argv, int& i) {
+  const auto value = [&](double* out) {
+    if (i + 1 >= argc) return false;
+    *out = std::atof(argv[++i]);
+    return true;
+  };
+  const std::string a = argv[i];
+  double v = 0.0;
+  if (a == "--loss" && value(&v)) {
+    o.loss = v;
+  } else if (a == "--burst" && value(&v)) {
+    o.burst = v;
+  } else if (a == "--jitter" && value(&v)) {
+    o.jitter = static_cast<int32_t>(v);
+  } else if (a == "--drift" && value(&v)) {
+    o.drift = v;
+  } else if (a == "--crash" && value(&v)) {
+    o.crash = v;
+  } else if (a == "--dup" && value(&v)) {
+    o.dup = v;
+  } else if (a == "--seed" && value(&v)) {
+    o.seed = static_cast<uint64_t>(v);
+  } else if (a == "--trials" && value(&v)) {
+    o.trials = static_cast<int>(v);
+  } else if (a == "--hardened") {
+    o.hardened = true;
+  } else if (a == "--stats-json") {
+    o.statsJson = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+inline void printTrialJson(std::ostream& os, int trial, uint64_t seed,
+                           const rcx::SimResult& r) {
+  os << "{\"trial\": " << trial << ", \"seed\": " << seed
+     << ", \"ok\": " << (r.ok() ? "true" : "false")
+     << ", \"ticks\": " << r.ticks << ", \"exited\": " << r.exited
+     << ", \"commandsSent\": " << r.commandsSent
+     << ", \"commandsLost\": " << r.commandsLost
+     << ", \"acksLost\": " << r.acksLost
+     << ", \"duplicatesIgnored\": " << r.duplicatesIgnored
+     << ", \"duplicatesInjected\": " << r.duplicatesInjected
+     << ", \"reordered\": " << r.reordered
+     << ", \"crashes\": " << r.crashes
+     << ", \"crashDropped\": " << r.crashDropped
+     << ", \"watchdogHalted\": " << (r.watchdogHalted ? "true" : "false")
+     << ", \"errors\": " << r.errors.size() << "}\n";
+}
+
+/// Run `trials` independently seeded executions of the program in the
+/// simulated plant. Returns the number of failed trials; per-trial JSON
+/// goes to stdout when statsJson is set.
+inline int runTrials(const synthesis::RcxProgram& prog,
+                     const plant::PlantConfig& cfg, int32_t tpu,
+                     const Options& o) {
+  int failures = 0;
+  for (int t = 0; t < o.trials; ++t) {
+    const uint64_t seed = o.seed + static_cast<uint64_t>(t);
+    rcx::SimOptions sim;
+    sim.messageLossProb = 0.0;
+    sim.faults = o.plan();
+    sim.seed = seed;
+    sim.slackTicks = o.slackTicks();
+    const rcx::SimResult r = rcx::runProgram(prog, cfg, tpu, sim);
+    if (!r.ok()) ++failures;
+    if (o.statsJson) {
+      printTrialJson(std::cout, t, seed, r);
+    } else if (o.trials > 1) {
+      std::cout << "  trial " << t << " (seed " << seed << "): "
+                << (r.ok() ? "OK" : "FAILED") << ", " << r.ticks << " ticks, "
+                << r.commandsSent << " sends\n";
+    }
+    if (!r.ok() && !o.statsJson) {
+      for (size_t e = 0; e < r.errors.size() && e < 3; ++e) {
+        std::cout << "    tick " << r.errors[e].tick << ": "
+                  << r.errors[e].what << "\n";
+      }
+      if (r.watchdogHalted) std::cout << "    (watchdog halt)\n";
+      if (r.errors.empty() && !r.programCompleted) {
+        std::cout << "    (program did not complete)\n";
+      }
+    }
+  }
+  return failures;
+}
+
+}  // namespace simcli

@@ -6,8 +6,15 @@
 //         --execution--> (simulated) physical plant, with the plant's
 //                         physical invariants checked throughout.
 //
+// The execution stage takes the full fault-injection surface: --loss,
+// --burst, --jitter, --drift, --crash, --dup compose an adversarial
+// channel; --trials runs several independently seeded executions;
+// --hardened switches the codegen to the backoff + watchdog profile;
+// --stats-json emits one JSON object per trial.
+//
 // Usage: synthesize_and_run [batches] [lossProb]
 //                           [--extrapolation none|global|location|lu]
+//                           [fault/trial flags — see sim_cli.hpp]
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -15,16 +22,19 @@
 #include "engine/trace.hpp"
 #include "plant/plant.hpp"
 #include "rcx/plant_sim.hpp"
+#include "sim_cli.hpp"
 #include "synthesis/io.hpp"
 #include "synthesis/rcx_codegen.hpp"
 #include "synthesis/schedule.hpp"
 
 int main(int argc, char** argv) {
   int batches = 3;
-  double loss = 0.01;
   engine::Extrapolation extrapolation = engine::Extrapolation::kLocationLUPlus;
+  simcli::Options fault;
+  fault.loss = 0.01;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
+    if (simcli::consume(fault, argc, argv, i)) continue;
     if (std::strcmp(argv[i], "--extrapolation") == 0 && i + 1 < argc) {
       if (!engine::parseExtrapolation(argv[++i], &extrapolation)) {
         std::cerr << "unknown extrapolation mode: " << argv[i] << "\n";
@@ -34,8 +44,12 @@ int main(int argc, char** argv) {
       batches = std::atoi(argv[i]);
       ++positional;
     } else if (positional == 1) {
-      loss = std::atof(argv[i]);
+      fault.loss = std::atof(argv[i]);
       ++positional;
+    } else {
+      std::cerr << "usage: synthesize_and_run [batches] [lossProb]\n  "
+                << simcli::kUsage << "\n";
+      return 2;
     }
   }
 
@@ -69,34 +83,26 @@ int main(int argc, char** argv) {
             << sched.makespan << " time units\n";
 
   // 3. Control program by textual substitution.
-  synthesis::CodegenOptions cg;
-  cg.ticksPerTimeUnit = 1000;
-  const synthesis::RcxProgram prog = synthesis::synthesize(sched, cg);
+  const synthesis::RcxProgram prog =
+      synthesis::synthesize(sched, fault.codegen(1000));
   std::cout << "[3] program: " << prog.code.size() << " RCX instructions, "
-            << prog.commands.size() << " commands\n";
+            << prog.commands.size() << " commands ("
+            << (fault.hardened ? "hardened" : "classic") << " segments)\n";
   if (synthesis::writeScheduleFile(sched, "schedule.txt") &&
       synthesis::writeProgramFile(prog, "program.rcx")) {
     std::cout << "    wrote schedule.txt and program.rcx\n";
   }
 
-  // 4. Execute in the simulated LEGO plant.
-  rcx::SimOptions sim;
-  sim.messageLossProb = loss;
-  sim.slackTicks = 3000;
-  const rcx::SimResult out = rcx::runProgram(prog, cfg, 1000, sim);
-  std::cout << "[4] plant run: " << out.ticks << " ticks, " << out.exited
-            << "/" << batches << " batches completed, "
-            << out.commandsSent << " sends (" << out.commandsLost
-            << " commands lost, " << out.acksLost << " acks lost, "
-            << out.duplicatesIgnored << " duplicates ignored)\n";
-  if (!out.ok()) {
-    std::cout << "plant run FAILED:\n";
-    for (const rcx::SimError& e : out.errors) {
-      std::cout << "  tick " << e.tick << ": " << e.what << "\n";
-    }
+  // 4. Execute in the simulated LEGO plant, N seeded trials.
+  std::cout << "[4] plant run: " << fault.trials << " trial(s), seed "
+            << fault.seed << ", loss " << fault.loss << "\n";
+  const int failures = simcli::runTrials(prog, cfg, 1000, fault);
+  if (failures > 0) {
+    std::cout << "plant run FAILED in " << failures << "/" << fault.trials
+              << " trial(s)\n";
     return 1;
   }
-  std::cout << "plant run OK — schedule executed without physical "
-               "violations\n";
+  std::cout << "plant run OK — " << fault.trials
+            << " trial(s) executed without physical violations\n";
   return 0;
 }

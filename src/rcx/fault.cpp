@@ -1,0 +1,119 @@
+#include "rcx/fault.hpp"
+
+namespace rcx {
+
+FaultChannel::FaultChannel(const FaultPlan& plan, uint64_t seed)
+    : plan_(plan),
+      seed_(seed),
+      cmdLossRng_(splitRng(seed, kCmdLoss)),
+      ackLossRng_(splitRng(seed, kAckLoss)),
+      burstRng_(splitRng(seed, kBurst)),
+      dupRng_(splitRng(seed, kDuplicate)),
+      reorderRng_(splitRng(seed, kReorder)),
+      jitterRng_(splitRng(seed, kJitter)),
+      crashRng_(splitRng(seed, kCrash)),
+      driftRng_(splitRng(seed, kDrift)) {}
+
+std::mt19937_64 FaultChannel::splitRng(uint64_t seed, uint32_t tag) {
+  // seed_seq mixes all words, so (seed, tag) pairs give uncorrelated
+  // streams even for adjacent seeds and tags.
+  std::seed_seq seq{static_cast<uint32_t>(seed & 0xffffffffu),
+                    static_cast<uint32_t>(seed >> 32), tag};
+  return std::mt19937_64(seq);
+}
+
+bool FaultChannel::flip(std::mt19937_64& rng, double p) {
+  if (p <= 0.0) return false;
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng) < p;
+}
+
+std::vector<Delivery> FaultChannel::offer(bool towardCentral) {
+  std::vector<Delivery> out;
+
+  // Direction-specific i.i.d. loss. Each direction consumes only its
+  // own stream: an ack decision never advances the command stream.
+  if (towardCentral) {
+    if (flip(ackLossRng_, plan_.ackLossProb)) {
+      ++lossAck_;
+      return out;
+    }
+  } else {
+    if (flip(cmdLossRng_, plan_.commandLossProb)) {
+      ++lossCmd_;
+      return out;
+    }
+  }
+
+  // Bursty loss: one Gilbert–Elliott chain shared by both directions
+  // (the physical medium is shared), stepped once per carried message.
+  if (plan_.burst.enabled()) {
+    burstBad_ = burstBad_ ? !flip(burstRng_, plan_.burst.pBadToGood)
+                          : flip(burstRng_, plan_.burst.pGoodToBad);
+    const double p = burstBad_ ? plan_.burst.lossBad : plan_.burst.lossGood;
+    if (flip(burstRng_, p)) {
+      ++lossBurst_;
+      return out;
+    }
+  }
+
+  Delivery first;
+  if (plan_.jitterTicks > 0) {
+    first.extraTicks = std::uniform_int_distribution<int32_t>(
+        0, plan_.jitterTicks)(jitterRng_);
+  }
+  // Reordering: push this message past later traffic by an extra
+  // jitter-window delay — the in-flight queue delivers strictly by due
+  // tick, so a penalized message genuinely arrives after its
+  // successors.
+  if (flip(reorderRng_, plan_.reorderProb)) {
+    ++reorders_;
+    first.extraTicks += std::max<int32_t>(plan_.jitterTicks, 8) * 4;
+  }
+  out.push_back(first);
+
+  if (flip(dupRng_, plan_.duplicateProb)) {
+    ++dups_;
+    Delivery dup = first;
+    // The copy trails the original by a small offset (a retransmit echo
+    // or a reflection, not a simultaneous twin).
+    dup.extraTicks +=
+        1 + std::uniform_int_distribution<int32_t>(
+                0, std::max<int32_t>(plan_.jitterTicks, 4))(dupRng_);
+    out.push_back(dup);
+  }
+  return out;
+}
+
+double FaultChannel::driftFactor(const std::string& unit) {
+  if (plan_.driftPpm <= 0.0) return 1.0;
+  const auto it = drift_.find(unit);
+  if (it != drift_.end()) return it->second;
+  const double ppm = std::uniform_real_distribution<double>(
+      -plan_.driftPpm, plan_.driftPpm)(driftRng_);
+  const double f = 1.0 + ppm / 1e6;
+  drift_.emplace(unit, f);
+  return f;
+}
+
+std::vector<std::string> FaultChannel::stepCrashes(
+    int64_t tick, const std::vector<std::string>& units) {
+  std::vector<std::string> crashed;
+  if (!plan_.crash.enabled()) return crashed;
+  for (const std::string& u : units) {
+    const auto it = downUntil_.find(u);
+    if (it != downUntil_.end() && tick < it->second) continue;  // still down
+    if (flip(crashRng_, plan_.crash.crashPerTick)) {
+      downUntil_[u] = tick + plan_.crash.downTicks;
+      ++crashes_;
+      crashed.push_back(u);
+    }
+  }
+  return crashed;
+}
+
+bool FaultChannel::isDown(const std::string& unit, int64_t tick) const {
+  const auto it = downUntil_.find(unit);
+  return it != downUntil_.end() && tick < it->second;
+}
+
+}  // namespace rcx

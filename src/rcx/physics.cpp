@@ -148,7 +148,7 @@ void PlantPhysics::command(const std::string& unit, const std::string& cmd,
                               std::to_string(t));
       l.where = Load::Where::kTrackMoving;
       l.toSlot = to;
-      l.actionDone = tick + cfg_.bmove * tpu_;
+      l.actionDone = tick + drifted(unit, cfg_.bmove * tpu_);
       return;
     }
     if (cmd.rfind("Machine", 0) == 0 && cmd.size() > 8) {
@@ -208,7 +208,7 @@ void PlantPhysics::command(const std::string& unit, const std::string& cmd,
       c.moving = true;
       c.dir = dir;
       c.moveStart = tick;
-      c.moveDone = tick + cfg_.cmove * tpu_;
+      c.moveDone = tick + drifted(unit, cfg_.cmove * tpu_);
       return;
     }
     if (cmd.rfind("Pickup", 0) == 0) {
@@ -228,7 +228,7 @@ void PlantPhysics::command(const std::string& unit, const std::string& cmd,
         return fail(tick, unit + " pickup at position " + std::to_string(*k) +
                               " with no ladle present");
       c.lifting = true;
-      c.hoistDone = tick + cfg_.cupdown * tpu_;
+      c.hoistDone = tick + drifted(unit, cfg_.cupdown * tpu_);
       c.hoistLoad = b;
       c.hoistK = *k;
       Load& l = loads_[static_cast<size_t>(b)];
@@ -252,7 +252,7 @@ void PlantPhysics::command(const std::string& unit, const std::string& cmd,
         return fail(tick, unit + " putting down onto occupied position " +
                               std::to_string(*k));
       c.lowering = true;
-      c.hoistDone = tick + cfg_.cupdown * tpu_;
+      c.hoistDone = tick + drifted(unit, cfg_.cupdown * tpu_);
       c.hoistLoad = c.carrying;
       c.hoistK = *k;
       Load& l = loads_[static_cast<size_t>(c.carrying)];
@@ -284,7 +284,7 @@ void PlantPhysics::command(const std::string& unit, const std::string& cmd,
       }
       casting_ = b;
       castComplete_ = false;
-      castDone_ = tick + cfg_.tcast * tpu_;
+      castDone_ = tick + drifted(unit, cfg_.tcast * tpu_);
       l.where = Load::Where::kInCaster;
       return;
     }

@@ -11,7 +11,9 @@
 // (the paper found three modelling errors exactly this way).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -41,6 +43,14 @@ class PlantPhysics {
 
   /// End-of-program checks: every ladle out, caster empty, machines off.
   void finish(int64_t tick);
+
+  /// Per-unit clock drift (fault injection): every action duration of
+  /// `unit` is scaled by the factor the provider returns for it (1.0 =
+  /// a perfect local clock). Lazily consulted once per started action,
+  /// so the provider may draw the factor on first use.
+  void setDriftProvider(std::function<double(const std::string&)> provider) {
+    drift_ = std::move(provider);
+  }
 
   [[nodiscard]] const std::vector<SimError>& errors() const noexcept {
     return errors_;
@@ -94,6 +104,14 @@ class PlantPhysics {
     errors_.push_back(SimError{tick, std::move(what)});
   }
 
+  /// `ticks` stretched (or shrunk) by the unit's clock-drift factor.
+  [[nodiscard]] int64_t drifted(const std::string& unit,
+                                int64_t ticks) const {
+    if (!drift_) return ticks;
+    return static_cast<int64_t>(
+        std::llround(static_cast<double>(ticks) * drift_(unit)));
+  }
+
   [[nodiscard]] bool trackSlotOccupied(int32_t track, int32_t slot) const;
   [[nodiscard]] bool groundOccupied(int32_t k) const;
   /// Load standing (not moving/lifting) at ground position k, or -1.
@@ -112,6 +130,7 @@ class PlantPhysics {
   int64_t castDone_ = 0;
   int64_t lastCastEnd_ = -1;
   bool collisionReported_ = false;
+  std::function<double(const std::string&)> drift_;
   std::vector<SimError> errors_;
 };
 

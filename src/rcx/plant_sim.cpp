@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <map>
-#include <random>
+#include <set>
 
 #include "rcx/vm.hpp"
 
@@ -24,23 +24,37 @@ SimResult runProgram(const synthesis::RcxProgram& program,
                      const SimOptions& opts) {
   SimResult res;
   PlantPhysics physics(cfg, ticksPerTimeUnit, opts.slackTicks);
-  std::mt19937_64 rng(opts.seed);
-  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  const FaultPlan plan = opts.effectiveFaults();
+  FaultChannel chan(plan, opts.seed);
+  physics.setDriftProvider(
+      [&chan](const std::string& unit) { return chan.driftFactor(unit); });
+
+  // The units the crash process can take down: every distinct command
+  // target of the program.
+  std::vector<std::string> units;
+  {
+    std::set<std::string> seen;
+    for (const synthesis::RcxCommand& c : program.commands) {
+      if (seen.insert(c.unit).second) units.push_back(c.unit);
+    }
+  }
 
   std::deque<InFlight> air;
   int32_t centralMsgBuffer = 0;
   // Per-unit dedup: the last message id a unit executed. Resent
-  // commands (lost acks) must not re-execute.
+  // commands (lost acks) and channel-duplicated copies must not
+  // re-execute.
   std::map<std::string, int32_t> lastExecuted;
 
   VmHost host;
   host.send = [&](int32_t msgId, int64_t tick) {
     ++res.commandsSent;
-    if (coin(rng) < opts.messageLossProb) {
-      ++res.commandsLost;
-      return;  // the ether ate it
+    const auto copies = chan.offer(/*towardCentral=*/false);
+    if (copies.empty()) return;  // the ether ate it
+    for (const Delivery& d : copies) {
+      air.push_back(
+          InFlight{tick + opts.latencyTicks + d.extraTicks, msgId, false});
     }
-    air.push_back(InFlight{tick + opts.latencyTicks, msgId, false});
   };
   host.readMessage = [&] { return centralMsgBuffer; };
   host.clearMessage = [&] { centralMsgBuffer = 0; };
@@ -49,6 +63,21 @@ SimResult runProgram(const synthesis::RcxProgram& program,
 
   int64_t tick = 0;
   for (; tick < opts.maxTicks; ++tick) {
+    // Crash processes first: a unit that dies at this tick loses its
+    // pending traffic (commands still in the air toward it, acks it
+    // already emitted) along with the command it was about to receive.
+    if (plan.crash.enabled()) {
+      for (const std::string& u : chan.stepCrashes(tick, units)) {
+        const auto dead = [&](const InFlight& m) {
+          const synthesis::RcxCommand* c = program.commandById(m.msgId);
+          if (c == nullptr || c->unit != u) return false;
+          ++res.crashDropped;
+          return true;
+        };
+        air.erase(std::remove_if(air.begin(), air.end(), dead), air.end());
+      }
+    }
+
     vm.run(tick);
     // Deliver due messages.
     for (size_t i = 0; i < air.size();) {
@@ -64,6 +93,10 @@ SimResult runProgram(const synthesis::RcxProgram& program,
       }
       const synthesis::RcxCommand* c = program.commandById(m.msgId);
       if (c == nullptr) continue;  // stray message
+      if (plan.crash.enabled() && chan.isDown(c->unit, tick)) {
+        ++res.crashDropped;  // the unit is silent: command dies unheard
+        continue;
+      }
       auto [it, fresh] = lastExecuted.try_emplace(c->unit, 0);
       if (it->second != m.msgId) {
         physics.command(c->unit, c->command, tick);
@@ -71,12 +104,10 @@ SimResult runProgram(const synthesis::RcxProgram& program,
       } else {
         ++res.duplicatesIgnored;
       }
-      // Acknowledge receipt (also lossy).
-      if (coin(rng) < opts.messageLossProb) {
-        ++res.acksLost;
-      } else {
-        air.push_back(
-            InFlight{tick + opts.latencyTicks, m.msgId, true});
+      // Acknowledge receipt (the return path is equally adversarial).
+      for (const Delivery& d : chan.offer(/*towardCentral=*/true)) {
+        air.push_back(InFlight{tick + opts.latencyTicks + d.extraTicks,
+                               m.msgId, true});
       }
     }
     physics.step(tick);
@@ -90,11 +121,22 @@ SimResult runProgram(const synthesis::RcxProgram& program,
   for (; tick < drain; ++tick) physics.step(tick);
 
   physics.finish(tick);
-  res.programCompleted = vm.finished();
+  res.watchdogHalted = vm.halted();
+  res.programCompleted = vm.finished() && !vm.halted();
   res.allExited = physics.allExited();
   res.exited = physics.exitedCount();
   res.errors = physics.errors();
   res.ticks = tick;
+  // Channel-side statistics (the i.i.d. and burst losses both count as
+  // "lost" for the direction they were travelling).
+  res.commandsLost = chan.lossesCommand();
+  res.acksLost = chan.lossesAck();
+  res.duplicatesInjected = chan.duplicates();
+  res.reordered = chan.reorders();
+  res.crashes = chan.crashes();
+  // Burst losses are not attributed per direction by the channel; fold
+  // them into the command counter so totals still add up.
+  res.commandsLost += chan.burstLosses();
   return res;
 }
 

@@ -5,21 +5,33 @@
 // run in a central controller sending commands to the distributed local
 // controllers... the only feedback from the local controllers are
 // acknowledgements of commands received."
+//
+// The channel between the controllers is an adversarial `FaultChannel`
+// (see rcx/fault.hpp): per-direction loss, bursty loss, duplication,
+// reordering, jitter, local-controller crashes, and per-unit clock
+// drift, each drawing from an independent split of the trial seed.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "plant/config.hpp"
+#include "rcx/fault.hpp"
 #include "rcx/physics.hpp"
 #include "synthesis/rcx_codegen.hpp"
 
 namespace rcx {
 
 struct SimOptions {
-  /// Probability that any single message (command or ack) is lost.
+  /// Legacy single-knob channel: i.i.d. loss probability applied to
+  /// both directions, folded into `faults` at run start. Prefer
+  /// `faults` for anything richer.
   double messageLossProb = 0.01;
+  /// The composed adversary (defaults to a perfect channel; the
+  /// legacy knob above is added on top).
+  FaultPlan faults;
   uint64_t seed = 42;
   /// One-way message latency in ticks.
   int32_t latencyTicks = 5;
@@ -31,19 +43,35 @@ struct SimOptions {
   /// small deviations.
   int64_t slackTicks = 600;
   int64_t maxTicks = 200'000'000;
+
+  /// The fault plan actually applied: `faults` with the legacy i.i.d.
+  /// knob folded into both directions.
+  [[nodiscard]] FaultPlan effectiveFaults() const {
+    FaultPlan f = faults;
+    f.commandLossProb = std::min(1.0, f.commandLossProb + messageLossProb);
+    f.ackLossProb = std::min(1.0, f.ackLossProb + messageLossProb);
+    return f;
+  }
 };
 
 struct SimResult {
   bool programCompleted = false;
   bool allExited = false;
+  /// The hardened program's watchdog gave up on a silent unit and
+  /// halted (programCompleted is false in that case).
+  bool watchdogHalted = false;
   std::vector<SimError> errors;
   int64_t ticks = 0;
   int64_t exited = 0;
   // Channel statistics.
   int64_t commandsSent = 0;     ///< SendPBMessage executions (incl. resends)
-  int64_t commandsLost = 0;
-  int64_t acksLost = 0;
-  int64_t duplicatesIgnored = 0;
+  int64_t commandsLost = 0;     ///< i.i.d. + burst losses, central -> unit
+  int64_t acksLost = 0;         ///< i.i.d. + burst losses, unit -> central
+  int64_t duplicatesIgnored = 0;  ///< resends/dup copies the units deduped
+  int64_t duplicatesInjected = 0;  ///< channel-duplicated message copies
+  int64_t reordered = 0;        ///< messages delayed past their successors
+  int64_t crashes = 0;          ///< local-controller crash events
+  int64_t crashDropped = 0;     ///< messages dropped at/to a crashed unit
 
   [[nodiscard]] bool ok() const {
     return programCompleted && allExited && errors.empty();

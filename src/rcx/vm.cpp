@@ -19,6 +19,7 @@ RcxVm::RcxVm(const synthesis::RcxProgram& program, VmHost host,
     switch (program.code[i].op) {
       case RcxOp::kWhileVarNe:
       case RcxOp::kIfVarGe:
+      case RcxOp::kIfVarGeVar:
         open.push(i);
         break;
       case RcxOp::kEndWhile:
@@ -63,6 +64,10 @@ void RcxVm::run(int64_t now) {
         vars_[static_cast<size_t>(ins.a)] += ins.b;
         ++pc_;
         break;
+      case RcxOp::kMulVar:
+        vars_[static_cast<size_t>(ins.a)] *= ins.b;
+        ++pc_;
+        break;
       case RcxOp::kClearPBMessage:
         host_.clearMessage();
         ++pc_;
@@ -88,8 +93,20 @@ void RcxVm::run(int64_t now) {
           pc_ = match_[pc_] + 1;  // past EndIf
         }
         break;
+      case RcxOp::kIfVarGeVar:
+        if (vars_[static_cast<size_t>(ins.a)] >=
+            vars_[static_cast<size_t>(ins.b)]) {
+          ++pc_;
+        } else {
+          pc_ = match_[pc_] + 1;  // past EndIf
+        }
+        break;
       case RcxOp::kEndIf:
         ++pc_;
+        break;
+      case RcxOp::kHalt:
+        halted_ = true;
+        pc_ = program_->code.size();
         break;
     }
   }

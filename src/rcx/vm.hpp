@@ -29,10 +29,14 @@ class RcxVm {
   RcxVm(const synthesis::RcxProgram& program, VmHost host,
         int32_t instrTicks = 1);
 
-  /// True when the program has run to completion.
+  /// True when the program has run to completion (including a halt).
   [[nodiscard]] bool finished() const noexcept {
     return pc_ >= program_->code.size();
   }
+
+  /// True when the program stopped via kHalt (the hardened codegen's
+  /// watchdog-exhaustion path) rather than by running off the end.
+  [[nodiscard]] bool halted() const noexcept { return halted_; }
 
   /// Tick at which the VM next wants to run (it may be waiting).
   [[nodiscard]] int64_t nextWakeTick() const noexcept { return wake_; }
@@ -50,6 +54,7 @@ class RcxVm {
   size_t pc_ = 0;
   int64_t wake_ = 0;
   int64_t sends_ = 0;
+  bool halted_ = false;
   std::vector<int32_t> vars_;
   /// Matching jump targets, precomputed: for While -> index of its
   /// EndWhile, for If -> its EndIf, and EndWhile -> its While.

@@ -8,9 +8,13 @@ namespace synthesis {
 namespace {
 
 // Register conventions (as in Figure 6): var 1 holds the last received
-// message, var 2 counts unacknowledged polls.
+// message, var 2 counts unacknowledged polls. The hardened segment adds
+// var 3 (current resend threshold, grown by the backoff) and var 4 (the
+// per-command watchdog budget counter).
 constexpr int32_t kAckVar = 1;
 constexpr int32_t kCtrVar = 2;
+constexpr int32_t kThreshVar = 3;
+constexpr int32_t kWdVar = 4;
 
 }  // namespace
 
@@ -49,21 +53,80 @@ RcxProgram synthesize(const Schedule& schedule, const CodegenOptions& opts) {
       now = item.time;
     }
     const int32_t id = commandId(item);
-    // The in-lined send + acknowledge-retry segment of Figure 6.
+    if (!opts.hardenedSegment()) {
+      // The in-lined send + acknowledge-retry segment of Figure 6.
+      emit(RcxOp::kPlaySystemSound, 1, 0, item.text());
+      emit(RcxOp::kSendPBMessage, id, 0,
+           "send " + item.command + " to " + item.unit);
+      emit(RcxOp::kSetVar, kAckVar, 0, "wait for ack");
+      emit(RcxOp::kWhileVarNe, kAckVar, id, "");
+      emit(RcxOp::kWait, opts.ackPollTicks, 0, "");
+      emit(RcxOp::kSetVarFromMsg, kAckVar, 0, "read the message");
+      emit(RcxOp::kClearPBMessage, 0, 0, "");
+      emit(RcxOp::kSumVar, kCtrVar, 1, "");
+      emit(RcxOp::kIfVarGe, kCtrVar, opts.resendAfterPolls,
+           "if looped " + std::to_string(opts.resendAfterPolls) + " times");
+      emit(RcxOp::kPlaySystemSound, 1, 0, "");
+      emit(RcxOp::kSendPBMessage, id, 0, "then send message again");
+      emit(RcxOp::kSetVar, kCtrVar, 0, "");
+      emit(RcxOp::kEndIf, 0, 0, "");
+      emit(RcxOp::kEndWhile, 0, 0, "");
+      emit(RcxOp::kSetVar, kCtrVar, 0, "");
+      continue;
+    }
+    // The hardened segment: same shape, plus exponential backoff on
+    // resends, a per-command watchdog budget, and optionally
+    // duplicate-ack tolerance.
     emit(RcxOp::kPlaySystemSound, 1, 0, item.text());
     emit(RcxOp::kSendPBMessage, id, 0,
          "send " + item.command + " to " + item.unit);
     emit(RcxOp::kSetVar, kAckVar, 0, "wait for ack");
+    emit(RcxOp::kSetVar, kCtrVar, 0, "");
+    emit(RcxOp::kSetVar, kThreshVar, opts.resendAfterPolls,
+         "initial resend threshold");
+    if (opts.watchdogPolls > 0) {
+      emit(RcxOp::kSetVar, kWdVar, 0, "fresh watchdog budget");
+    }
     emit(RcxOp::kWhileVarNe, kAckVar, id, "");
     emit(RcxOp::kWait, opts.ackPollTicks, 0, "");
     emit(RcxOp::kSetVarFromMsg, kAckVar, 0, "read the message");
     emit(RcxOp::kClearPBMessage, 0, 0, "");
     emit(RcxOp::kSumVar, kCtrVar, 1, "");
-    emit(RcxOp::kIfVarGe, kCtrVar, opts.resendAfterPolls,
-         "if looped " + std::to_string(opts.resendAfterPolls) + " times");
+    if (opts.watchdogPolls > 0) {
+      emit(RcxOp::kSumVar, kWdVar, 1, "");
+    }
+    if (opts.tolerateDuplicateAcks) {
+      // A non-zero read that is not the awaited id is a stale or
+      // duplicated ack, not silence: give the poll back to the resend
+      // counter (and the watchdog). When the read IS the awaited id the
+      // loop exits anyway, so the refund is harmless.
+      emit(RcxOp::kIfVarGe, kAckVar, 1, "stale/duplicate ack: free poll");
+      emit(RcxOp::kSumVar, kCtrVar, -1, "");
+      if (opts.watchdogPolls > 0) {
+        emit(RcxOp::kSumVar, kWdVar, -1, "");
+      }
+      emit(RcxOp::kEndIf, 0, 0, "");
+    }
+    if (opts.watchdogPolls > 0) {
+      emit(RcxOp::kIfVarGe, kWdVar, opts.watchdogPolls,
+           "watchdog: unit silent for " + std::to_string(opts.watchdogPolls) +
+               " polls");
+      emit(RcxOp::kPlaySystemSound, CodegenOptions::kFailSound, 0,
+           "fail sound");
+      emit(RcxOp::kHalt, 0, 0, "give up: plant needs intervention");
+      emit(RcxOp::kEndIf, 0, 0, "");
+    }
+    emit(RcxOp::kIfVarGeVar, kCtrVar, kThreshVar, "threshold polls elapsed");
     emit(RcxOp::kPlaySystemSound, 1, 0, "");
     emit(RcxOp::kSendPBMessage, id, 0, "then send message again");
     emit(RcxOp::kSetVar, kCtrVar, 0, "");
+    if (opts.backoffFactor > 1) {
+      emit(RcxOp::kMulVar, kThreshVar, opts.backoffFactor,
+           "exponential backoff");
+      emit(RcxOp::kIfVarGe, kThreshVar, opts.backoffCapPolls, "");
+      emit(RcxOp::kSetVar, kThreshVar, opts.backoffCapPolls, "backoff cap");
+      emit(RcxOp::kEndIf, 0, 0, "");
+    }
     emit(RcxOp::kEndIf, 0, 0, "");
     emit(RcxOp::kEndWhile, 0, 0, "");
     emit(RcxOp::kSetVar, kCtrVar, 0, "");
@@ -94,6 +157,10 @@ std::string RcxProgram::toText() const {
         line = "PB.SumVar " + std::to_string(ins.a) + ", 2, " +
                std::to_string(ins.b);
         break;
+      case RcxOp::kMulVar:
+        line = "PB.MulVar " + std::to_string(ins.a) + ", 2, " +
+               std::to_string(ins.b);
+        break;
       case RcxOp::kClearPBMessage:
         line = "PB.ClearPBMessage";
         break;
@@ -112,16 +179,26 @@ std::string RcxProgram::toText() const {
         line = "PB.If 0, " + std::to_string(ins.a) + ", 2, 2, " +
                std::to_string(ins.b);
         break;
+      case RcxOp::kIfVarGeVar:
+        line = "PB.If 0, " + std::to_string(ins.a) + ", 2, 0, " +
+               std::to_string(ins.b);
+        break;
       case RcxOp::kEndIf:
         --indent;
         line = "PB.EndIf";
+        break;
+      case RcxOp::kHalt:
+        line = "PB.StopAllTasks";
         break;
     }
     for (int k = 0; k < indent; ++k) os << "  ";
     os << line;
     if (!ins.comment.empty()) os << "\t' " << ins.comment;
     os << "\n";
-    if (ins.op == RcxOp::kWhileVarNe || ins.op == RcxOp::kIfVarGe) ++indent;
+    if (ins.op == RcxOp::kWhileVarNe || ins.op == RcxOp::kIfVarGe ||
+        ins.op == RcxOp::kIfVarGeVar) {
+      ++indent;
+    }
   }
   return os.str();
 }

@@ -9,6 +9,7 @@
 // of failed polls; Delay lines become Wait instructions.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -26,12 +27,15 @@ enum class RcxOp : uint8_t {
   kSetVar,           ///< a = var, b = constant
   kSetVarFromMsg,    ///< a = var := last received message
   kSumVar,           ///< a = var, b = constant (var += b)
+  kMulVar,           ///< a = var, b = constant (var *= b)
   kClearPBMessage,
   kWait,             ///< a = ticks
   kWhileVarNe,       ///< a = var, b = constant; loop while var != b
   kEndWhile,
   kIfVarGe,          ///< a = var, b = constant
+  kIfVarGeVar,       ///< a = var, b = var (var[a] >= var[b])
   kEndIf,
+  kHalt,             ///< stop the program (watchdog exhaustion)
 };
 
 struct RcxInstr {
@@ -73,6 +77,56 @@ struct CodegenOptions {
   /// Re-send the command after this many unacknowledged polls
   /// ("If looped 20 times ... Then Send message, again").
   int32_t resendAfterPolls = 20;
+
+  // -- Hardening (all off by default: the defaults emit exactly the
+  //    classic Figure-6 retry segment). See hardened() for the tuned
+  //    profile the fault campaigns gate on. ----------------------------
+
+  /// Exponential backoff: after every resend the poll threshold is
+  /// multiplied by this factor (1 = the fixed Figure-6 threshold).
+  /// Backoff keeps a retry storm from congesting a bursty channel.
+  int32_t backoffFactor = 1;
+  /// Threshold ceiling for the backoff, in polls (ignored when
+  /// backoffFactor == 1).
+  int32_t backoffCapPolls = 160;
+  /// Per-command watchdog: after this many total unacknowledged polls
+  /// the program plays kFailSound and halts instead of looping forever
+  /// (a silent unit means the schedule's timing is already lost — the
+  /// paper's plant would need operator intervention). 0 = no watchdog.
+  int32_t watchdogPolls = 0;
+  /// Duplicate-ack tolerance: polls that read a stale or duplicated
+  /// acknowledgement (any non-zero message other than the awaited id)
+  /// do not count toward the resend threshold or the watchdog budget,
+  /// so an ack storm from a duplicating channel cannot trigger spurious
+  /// resends or a spurious watchdog halt.
+  bool tolerateDuplicateAcks = false;
+
+  /// Sound id the watchdog plays before halting.
+  static constexpr int32_t kFailSound = 6;
+
+  /// The hardened profile the robustness campaign gates on: exponential
+  /// backoff (x2, capped), duplicate-ack tolerance, and a watchdog
+  /// budget derived from the schedule slack the plant tolerates:
+  /// slackTicks of silent polling per command before giving up.
+  [[nodiscard]] static CodegenOptions hardened(int32_t ticksPerTimeUnit = 100,
+                                               int64_t slackTicks = 3000) {
+    CodegenOptions o;
+    o.ticksPerTimeUnit = ticksPerTimeUnit;
+    o.backoffFactor = 2;
+    o.backoffCapPolls = 160;
+    o.tolerateDuplicateAcks = true;
+    // The watchdog must out-wait any recoverable outage, so budget a
+    // generous multiple of the per-command slack; the point is to bound
+    // a *permanently* silent unit, not to race the retry loop.
+    o.watchdogPolls = static_cast<int32_t>(
+        std::max<int64_t>(20 * o.resendAfterPolls,
+                          8 * slackTicks / std::max(1, o.ackPollTicks)));
+    return o;
+  }
+
+  [[nodiscard]] bool hardenedSegment() const noexcept {
+    return backoffFactor > 1 || watchdogPolls > 0 || tolerateDuplicateAcks;
+  }
 };
 
 /// Translate a schedule into a central-controller program: each command

@@ -1,0 +1,99 @@
+// Graceful degradation under a memory budget, uniformly across all five
+// engines: sequential BFS, sequential (random) DFS, level-synchronous
+// parallel BFS, work-stealing parallel DFS, and the seeded portfolio.
+// A breached maxMemoryBytes must come back as Cutoff::kMemory with
+// partial statistics — never as "unreachable/exhausted", never as a
+// crash — and a budget large enough for the whole search must leave the
+// verdict untouched.
+#include <cstddef>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "engine/reachability.hpp"
+#include "plant/plant.hpp"
+
+namespace engine {
+namespace {
+
+struct Engine {
+  const char* name;
+  SearchOrder order;
+  size_t threads;
+  bool portfolio;
+};
+
+constexpr Engine kEngines[] = {
+    {"bfs", SearchOrder::kBfs, 1, false},
+    {"dfs", SearchOrder::kRandomDfs, 1, false},
+    {"parallel-bfs", SearchOrder::kBfs, 4, false},
+    {"work-stealing-dfs", SearchOrder::kRandomDfs, 4, false},
+    {"portfolio", SearchOrder::kRandomDfs, 4, true},
+};
+
+Options engineOptions(const Engine& e) {
+  Options o;
+  o.order = e.order;
+  o.threads = e.threads;
+  o.portfolio = e.portfolio;
+  o.seed = 1;
+  o.maxSeconds = 60.0;
+  return o;
+}
+
+/// The unguided 2-batch plant: big enough that a tiny byte budget is
+/// breached almost immediately on every engine.
+TEST(MemoryCutoff, AllFiveEnginesReportMemoryCutoff) {
+  for (const Engine& e : kEngines) {
+    plant::PlantConfig cfg;
+    cfg.order = plant::standardOrder(2);
+    cfg.guides = plant::GuideLevel::kNone;
+    const auto p = plant::buildPlant(cfg);
+    Options o = engineOptions(e);
+    o.maxMemoryBytes = 512 * 1024;
+    Reachability checker(p->sys, o);
+    const Result res = checker.run(p->goal);
+    EXPECT_FALSE(res.reachable) << e.name;
+    EXPECT_FALSE(res.exhausted) << e.name;
+    EXPECT_EQ(res.stats.cutoff, Cutoff::kMemory) << e.name;
+    // Partial stats must survive the cutoff: the engine did real work
+    // and accounted for it before giving up.
+    EXPECT_GT(res.stats.statesExplored, 0u) << e.name;
+    EXPECT_GT(res.stats.peakBytes, 0u) << e.name;
+    EXPECT_GE(res.stats.seconds, 0.0) << e.name;
+  }
+}
+
+TEST(MemoryCutoff, GenerousBudgetLeavesVerdictUntouched) {
+  for (const Engine& e : kEngines) {
+    plant::PlantConfig cfg;
+    cfg.order = plant::standardOrder(1);
+    const auto p = plant::buildPlant(cfg);
+    Options o = engineOptions(e);
+    o.maxMemoryBytes = size_t{4} * 1024 * 1024 * 1024;
+    Reachability checker(p->sys, o);
+    const Result res = checker.run(p->goal);
+    EXPECT_TRUE(res.reachable) << e.name;
+    EXPECT_EQ(res.stats.cutoff, Cutoff::kNone) << e.name;
+  }
+}
+
+TEST(MemoryCutoff, TinyBudgetStopsEarly) {
+  // The memory cutoff must fire promptly, not after the frontier has
+  // ballooned: with a 512 KiB budget the store must hold well under the
+  // unbounded search's state count.
+  plant::PlantConfig cfg;
+  cfg.order = plant::standardOrder(2);
+  cfg.guides = plant::GuideLevel::kNone;
+  const auto p = plant::buildPlant(cfg);
+  Options o = engineOptions(kEngines[0]);
+  o.maxMemoryBytes = 512 * 1024;
+  o.maxStates = 2'000'000;
+  Reachability checker(p->sys, o);
+  const Result res = checker.run(p->goal);
+  EXPECT_EQ(res.stats.cutoff, Cutoff::kMemory);
+  EXPECT_LT(res.stats.statesStored, 200'000u);
+}
+
+}  // namespace
+}  // namespace engine

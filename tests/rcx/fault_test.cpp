@@ -1,0 +1,320 @@
+// The adversarial channel (rcx/fault.hpp): a deterministic-fault oracle
+// for each fault source, the split-stream seeding guarantees (enabling
+// one fault never perturbs another's decisions; identical seeds give
+// identical decisions), and end-to-end reproducibility of whole
+// simulated trials — the property the Monte-Carlo campaign's per-cell
+// comparisons rest on.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/reachability.hpp"
+#include "engine/trace.hpp"
+#include "plant/plant.hpp"
+#include "rcx/fault.hpp"
+#include "rcx/plant_sim.hpp"
+#include "synthesis/rcx_codegen.hpp"
+#include "synthesis/schedule.hpp"
+
+namespace rcx {
+namespace {
+
+/// Loss pattern of `n` consecutive same-direction offers: true = lost.
+std::vector<bool> lossPattern(FaultChannel& chan, int n, bool towardCentral) {
+  std::vector<bool> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(chan.offer(towardCentral).empty());
+  return out;
+}
+
+TEST(FaultChannel, SameSeedSameDecisions) {
+  const FaultPlan plan = FaultPlan::iidLoss(0.3);
+  FaultChannel a(plan, 99);
+  FaultChannel b(plan, 99);
+  EXPECT_EQ(lossPattern(a, 400, false), lossPattern(b, 400, false));
+  EXPECT_EQ(a.lossesCommand(), b.lossesCommand());
+}
+
+TEST(FaultChannel, DifferentSeedDifferentDecisions) {
+  const FaultPlan plan = FaultPlan::iidLoss(0.3);
+  FaultChannel a(plan, 99);
+  FaultChannel b(plan, 100);
+  EXPECT_NE(lossPattern(a, 400, false), lossPattern(b, 400, false));
+}
+
+TEST(FaultChannel, AddingFaultSourcesNeverPerturbsLossStream) {
+  // The split-stream guarantee: composing jitter, duplication, drift,
+  // and crashes into the plan must leave the command-loss decision of
+  // every offer untouched — each source draws from its own generator.
+  FaultPlan bare = FaultPlan::iidLoss(0.25);
+  FaultPlan composed = bare;
+  composed.jitterTicks = 50;
+  composed.duplicateProb = 0.5;
+  composed.reorderProb = 0.3;
+  composed.driftPpm = 400.0;
+  composed.crash.crashPerTick = 0.01;
+  composed.crash.downTicks = 10;
+
+  FaultChannel a(bare, 7);
+  FaultChannel b(composed, 7);
+  // Interleave the other sources' draws on channel b: drift factors and
+  // crash steps must not advance the loss stream either.
+  std::vector<bool> pa, pb;
+  const std::vector<std::string> units = {"Crane1", "Crane2"};
+  for (int i = 0; i < 400; ++i) {
+    pa.push_back(a.offer(false).empty());
+    (void)b.driftFactor(i % 2 == 0 ? "Crane1" : "Crane2");
+    (void)b.stepCrashes(i, units);
+    pb.push_back(b.offer(false).empty());
+  }
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(FaultChannel, PerDirectionLossIsIndependent) {
+  // Ack traffic must not advance the command-loss stream: a channel
+  // carrying interleaved acks sees the same command fates as one
+  // carrying commands only.
+  FaultPlan plan;
+  plan.commandLossProb = 0.4;
+  plan.ackLossProb = 0.6;
+  FaultChannel a(plan, 11);
+  FaultChannel b(plan, 11);
+  std::vector<bool> pa, pb;
+  for (int i = 0; i < 300; ++i) {
+    pa.push_back(a.offer(false).empty());
+    pb.push_back(b.offer(false).empty());
+    (void)b.offer(true);  // extra ack traffic on b only
+  }
+  EXPECT_EQ(pa, pb);
+  EXPECT_GT(b.lossesAck(), 0);
+  EXPECT_EQ(a.lossesAck(), 0);
+}
+
+TEST(FaultChannel, ZeroLossPlanDeliversEverything) {
+  FaultChannel chan(FaultPlan{}, 1);
+  for (int i = 0; i < 100; ++i) {
+    const auto d = chan.offer(i % 2 == 0);
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].extraTicks, 0);
+  }
+  EXPECT_EQ(chan.lossesCommand(), 0);
+  EXPECT_EQ(chan.lossesAck(), 0);
+}
+
+TEST(FaultChannel, BurstLossClusters) {
+  // Gilbert–Elliott with lossBad = 1: losses only happen inside Bad
+  // sojourns, so with slow transitions the loss pattern must contain
+  // adjacent losses (an i.i.d. channel of the same rate rarely would).
+  FaultPlan plan;
+  plan.burst.pGoodToBad = 0.1;
+  plan.burst.pBadToGood = 0.25;
+  plan.burst.lossGood = 0.0;
+  plan.burst.lossBad = 1.0;
+  FaultChannel chan(plan, 5);
+  const std::vector<bool> p = lossPattern(chan, 600, false);
+  EXPECT_GT(chan.burstLosses(), 0);
+  EXPECT_EQ(chan.lossesCommand(), 0) << "no i.i.d. loss configured";
+  int adjacentLosses = 0;
+  for (size_t i = 1; i < p.size(); ++i) {
+    if (p[i] && p[i - 1]) ++adjacentLosses;
+  }
+  EXPECT_GT(adjacentLosses, 0) << "bursty losses must cluster";
+}
+
+TEST(FaultChannel, DuplicationDeliversTrailingCopy) {
+  FaultPlan plan;
+  plan.duplicateProb = 1.0;
+  FaultChannel chan(plan, 3);
+  for (int i = 0; i < 50; ++i) {
+    const auto d = chan.offer(false);
+    ASSERT_EQ(d.size(), 2u);
+    EXPECT_GT(d[1].extraTicks, d[0].extraTicks)
+        << "the copy must trail the original";
+  }
+  EXPECT_EQ(chan.duplicates(), 50);
+}
+
+TEST(FaultChannel, ReorderDelaysPastSuccessors) {
+  FaultPlan plan;
+  plan.reorderProb = 1.0;
+  FaultChannel chan(plan, 3);
+  const auto d = chan.offer(false);
+  ASSERT_EQ(d.size(), 1u);
+  // No jitter configured: the penalty is the fixed minimum window.
+  EXPECT_EQ(d[0].extraTicks, 8 * 4);
+  EXPECT_EQ(chan.reorders(), 1);
+}
+
+TEST(FaultChannel, JitterBoundedByPlan) {
+  FaultPlan plan;
+  plan.jitterTicks = 25;
+  FaultChannel chan(plan, 17);
+  bool sawNonZero = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto d = chan.offer(false);
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_GE(d[0].extraTicks, 0);
+    EXPECT_LE(d[0].extraTicks, 25);
+    if (d[0].extraTicks > 0) sawNonZero = true;
+  }
+  EXPECT_TRUE(sawNonZero);
+}
+
+TEST(FaultChannel, DriftFactorStablePerUnitAndBounded) {
+  FaultPlan plan;
+  plan.driftPpm = 500.0;
+  FaultChannel chan(plan, 23);
+  const double f1 = chan.driftFactor("Crane1");
+  EXPECT_GE(f1, 1.0 - 500.0 / 1e6);
+  EXPECT_LE(f1, 1.0 + 500.0 / 1e6);
+  EXPECT_EQ(chan.driftFactor("Crane1"), f1) << "factor is fixed per unit";
+  EXPECT_NE(chan.driftFactor("Crane2"), f1);
+
+  FaultChannel none(FaultPlan{}, 23);
+  EXPECT_EQ(none.driftFactor("Crane1"), 1.0);
+}
+
+TEST(FaultChannel, CrashTakesUnitDownForConfiguredWindow) {
+  FaultPlan plan;
+  plan.crash.crashPerTick = 1.0;  // crash immediately, deterministically
+  plan.crash.downTicks = 10;
+  FaultChannel chan(plan, 31);
+  const std::vector<std::string> units = {"Caster"};
+  const auto crashed = chan.stepCrashes(100, units);
+  ASSERT_EQ(crashed.size(), 1u);
+  EXPECT_EQ(crashed[0], "Caster");
+  EXPECT_EQ(chan.crashes(), 1);
+  EXPECT_TRUE(chan.isDown("Caster", 100));
+  EXPECT_TRUE(chan.isDown("Caster", 109));
+  EXPECT_FALSE(chan.isDown("Caster", 110)) << "restarts after downTicks";
+  EXPECT_FALSE(chan.isDown("Crane1", 100));
+  // While down, the per-tick coin is not even flipped for the unit.
+  (void)chan.stepCrashes(105, units);
+  EXPECT_EQ(chan.crashes(), 1);
+}
+
+TEST(FaultChannel, LegacyKnobFoldsIntoBothDirections) {
+  SimOptions opts;
+  opts.messageLossProb = 0.07;
+  opts.faults.commandLossProb = 0.02;
+  const FaultPlan f = opts.effectiveFaults();
+  EXPECT_DOUBLE_EQ(f.commandLossProb, 0.09);
+  EXPECT_DOUBLE_EQ(f.ackLossProb, 0.07);
+}
+
+// ---- End-to-end: whole simulated trials are pure functions of the ----
+// ---- seed (the campaign's same-cell-twice acceptance criterion).  ----
+
+/// One real synthesized 1-batch program, built once for the suite (the
+/// usual model -> trace -> schedule -> codegen pipeline, hardened).
+class FaultSim : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cfg_ = new plant::PlantConfig;
+    cfg_->order = {plant::qualityA()};
+    const auto p = plant::buildPlant(*cfg_);
+    engine::Options opts;
+    opts.order = engine::SearchOrder::kDfs;
+    opts.dfsReverse = true;
+    opts.maxSeconds = 60.0;
+    engine::Reachability checker(p->sys, opts);
+    const engine::Result res = checker.run(p->goal);
+    ASSERT_TRUE(res.reachable);
+    std::string err;
+    const auto ct = engine::concretize(p->sys, res.trace, &err);
+    ASSERT_TRUE(ct.has_value()) << err;
+    prog_ = new synthesis::RcxProgram(synthesis::synthesize(
+        synthesis::project(p->sys, *ct),
+        synthesis::CodegenOptions::hardened(1000, 8000)));
+  }
+  static void TearDownTestSuite() {
+    delete prog_;
+    delete cfg_;
+    prog_ = nullptr;
+    cfg_ = nullptr;
+  }
+
+  static plant::PlantConfig* cfg_;
+  static synthesis::RcxProgram* prog_;
+};
+
+plant::PlantConfig* FaultSim::cfg_ = nullptr;
+synthesis::RcxProgram* FaultSim::prog_ = nullptr;
+
+struct TrialOutcome {
+  bool ok, watchdogHalted;
+  int64_t ticks, sent, cmdLost, ackLost, dups, reordered, crashes;
+
+  bool operator==(const TrialOutcome&) const = default;
+};
+
+TrialOutcome runCell(const synthesis::RcxProgram& prog,
+                     const plant::PlantConfig& cfg, uint64_t seed) {
+  SimOptions sim;
+  sim.messageLossProb = 0.0;
+  sim.faults = FaultPlan::iidLoss(0.1);
+  sim.faults.jitterTicks = 10;
+  sim.faults.duplicateProb = 0.1;
+  sim.seed = seed;
+  sim.slackTicks = 8000;
+  const SimResult r = runProgram(prog, cfg, 1000, sim);
+  return TrialOutcome{r.ok(),          r.watchdogHalted,
+                      r.ticks,         r.commandsSent,
+                      r.commandsLost,  r.acksLost,
+                      r.duplicatesInjected, r.reordered,
+                      r.crashes};
+}
+
+TEST_F(FaultSim, SameCampaignCellTwiceIsBitIdentical) {
+  // One campaign cell = N seeded trials; run the whole cell twice.
+  std::vector<TrialOutcome> first, second;
+  for (uint64_t t = 0; t < 6; ++t)
+    first.push_back(runCell(*prog_, *cfg_, 500 + t));
+  for (uint64_t t = 0; t < 6; ++t)
+    second.push_back(runCell(*prog_, *cfg_, 500 + t));
+  EXPECT_EQ(first, second);
+  // And the trials genuinely differ from one another (the faults are
+  // live, not degenerate).
+  bool anyDifference = false;
+  for (size_t i = 1; i < first.size(); ++i) {
+    if (!(first[i] == first[0])) anyDifference = true;
+  }
+  EXPECT_TRUE(anyDifference);
+}
+
+TEST_F(FaultSim, ModerateLossStillCompletes) {
+  // The campaign gate in miniature: at 5% i.i.d. loss the hardened
+  // program must still drive the single batch through cleanly.
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    const TrialOutcome t = runCell(*prog_, *cfg_, seed);
+    EXPECT_TRUE(t.ok) << "seed " << seed;
+    EXPECT_GT(t.cmdLost + t.ackLost, 0) << "faults must actually fire";
+  }
+}
+
+TEST_F(FaultSim, CrashedUnitRecoversViaResend) {
+  // A unit that is down when its command arrives loses it; the
+  // hardened retry segment must still complete the schedule once the
+  // unit restarts.
+  bool sawCrashRecovery = false;
+  for (uint64_t seed = 1; seed <= 10 && !sawCrashRecovery; ++seed) {
+    SimOptions sim;
+    sim.messageLossProb = 0.0;
+    sim.faults.crash.crashPerTick = 1e-5;
+    sim.faults.crash.downTicks = 1500;
+    sim.seed = seed;
+    sim.slackTicks = 8000;
+    const SimResult r = runProgram(*prog_, *cfg_, 1000, sim);
+    if (r.crashes == 0) continue;  // this seed never crashed a unit
+    EXPECT_TRUE(r.ok()) << "seed " << seed
+                        << ": retries must ride out a bounded outage";
+    sawCrashRecovery = true;
+  }
+  EXPECT_TRUE(sawCrashRecovery)
+      << "no seed in 1..10 produced a crash — intensity miscalibrated";
+}
+
+}  // namespace
+}  // namespace rcx

@@ -11,6 +11,7 @@ using synthesis::RcxProgram;
 
 struct ScriptedHost {
   std::vector<std::pair<int32_t, int64_t>> sent;
+  std::vector<int32_t> soundIds;
   int32_t messageBuffer = 0;
   int sounds = 0;
 
@@ -19,7 +20,10 @@ struct ScriptedHost {
     h.send = [this](int32_t id, int64_t tick) { sent.push_back({id, tick}); };
     h.readMessage = [this] { return messageBuffer; };
     h.clearMessage = [this] { messageBuffer = 0; };
-    h.playSound = [this](int32_t) { ++sounds; };
+    h.playSound = [this](int32_t id) {
+      ++sounds;
+      soundIds.push_back(id);
+    };
     return h;
   }
 };
@@ -159,6 +163,84 @@ TEST(RcxVm, RetrySegmentResendsAfterThreshold) {
   EXPECT_TRUE(vm.finished());
 }
 
+TEST(RcxVm, NestedWhileIfMatchTableJumpsCorrectly) {
+  // A While containing an If-of-vars containing a plain If: the match
+  // table must pair each opener with its own closer, not a sibling's.
+  ScriptedHost sh;
+  const RcxProgram p = programOf({
+      {RcxOp::kSetVar, 1, 0, ""},
+      {RcxOp::kSetVar, 2, 5, ""},
+      {RcxOp::kSetVar, 3, 3, ""},
+      {RcxOp::kWhileVarNe, 1, 2, ""},   // while var1 != 2
+      {RcxOp::kSumVar, 1, 1, ""},
+      {RcxOp::kIfVarGeVar, 2, 3, ""},   // var2 (5) >= var3 (3): taken
+      {RcxOp::kIfVarGe, 1, 2, ""},      // var1 >= 2: second pass only
+      {RcxOp::kSendPBMessage, 99, 0, ""},
+      {RcxOp::kEndIf, 0, 0, ""},
+      {RcxOp::kEndIf, 0, 0, ""},
+      {RcxOp::kEndWhile, 0, 0, ""},
+      {RcxOp::kSendPBMessage, 100, 0, ""},
+  });
+  RcxVm vm(p, sh.host());
+  vm.run(10'000);
+  EXPECT_TRUE(vm.finished());
+  ASSERT_EQ(sh.sent.size(), 2u);
+  EXPECT_EQ(sh.sent[0].first, 99) << "inner If fires on the second pass";
+  EXPECT_EQ(sh.sent[1].first, 100);
+}
+
+TEST(RcxVm, MulVarMultipliesInPlace) {
+  ScriptedHost sh;
+  const RcxProgram p = programOf({
+      {RcxOp::kSetVar, 5, 3, ""},
+      {RcxOp::kMulVar, 5, 4, ""},     // var5 = 12
+      {RcxOp::kIfVarGe, 5, 12, ""},
+      {RcxOp::kSendPBMessage, 1, 0, ""},
+      {RcxOp::kEndIf, 0, 0, ""},
+      {RcxOp::kIfVarGe, 5, 13, ""},
+      {RcxOp::kSendPBMessage, 2, 0, ""},
+      {RcxOp::kEndIf, 0, 0, ""},
+  });
+  RcxVm vm(p, sh.host());
+  vm.run(1000);
+  ASSERT_EQ(sh.sent.size(), 1u);
+  EXPECT_EQ(sh.sent[0].first, 1);
+}
+
+TEST(RcxVm, IfVarGeVarComparesTwoVars) {
+  ScriptedHost sh;
+  const RcxProgram p = programOf({
+      {RcxOp::kSetVar, 1, 7, ""},
+      {RcxOp::kSetVar, 2, 7, ""},
+      {RcxOp::kIfVarGeVar, 1, 2, ""},  // 7 >= 7: taken
+      {RcxOp::kSendPBMessage, 1, 0, ""},
+      {RcxOp::kEndIf, 0, 0, ""},
+      {RcxOp::kSetVar, 2, 8, ""},
+      {RcxOp::kIfVarGeVar, 1, 2, ""},  // 7 >= 8: skipped
+      {RcxOp::kSendPBMessage, 2, 0, ""},
+      {RcxOp::kEndIf, 0, 0, ""},
+  });
+  RcxVm vm(p, sh.host());
+  vm.run(1000);
+  ASSERT_EQ(sh.sent.size(), 1u);
+  EXPECT_EQ(sh.sent[0].first, 1);
+}
+
+TEST(RcxVm, HaltStopsExecutionAndSetsFlag) {
+  ScriptedHost sh;
+  const RcxProgram p = programOf({
+      {RcxOp::kSendPBMessage, 1, 0, ""},
+      {RcxOp::kHalt, 0, 0, ""},
+      {RcxOp::kSendPBMessage, 2, 0, ""},
+  });
+  RcxVm vm(p, sh.host());
+  EXPECT_FALSE(vm.halted());
+  vm.run(1000);
+  EXPECT_TRUE(vm.halted());
+  EXPECT_TRUE(vm.finished());
+  ASSERT_EQ(sh.sent.size(), 1u) << "nothing executes past Halt";
+}
+
 TEST(RcxVm, EmptyProgramFinishesImmediately) {
   ScriptedHost sh;
   const RcxProgram p = programOf({});
@@ -166,6 +248,101 @@ TEST(RcxVm, EmptyProgramFinishesImmediately) {
   EXPECT_TRUE(vm.finished());
   vm.run(0);
   EXPECT_TRUE(vm.finished());
+}
+
+// ---- The synthesized hardened retry segment, end to end on the VM ----
+
+synthesis::Schedule oneCommand() {
+  synthesis::Schedule s;
+  s.items = {{0, "Crane1", "Pickup1"}};
+  s.makespan = 1;
+  return s;
+}
+
+TEST(RcxVm, SynthesizedBackoffDoublesResendGapUpToCap) {
+  // factor 2, threshold 2, cap 8: with no ack ever arriving the resend
+  // thresholds run 2, 4, 8, 8, ... polls. With free instructions
+  // (instrTicks = 0) and 20-tick polls the send times are exactly
+  // 0, 40, 120, 280, 440, 600 (cumulative polls 0, 2, 6, 14, 22, 30).
+  synthesis::CodegenOptions cg;
+  cg.ackPollTicks = 20;
+  cg.resendAfterPolls = 2;
+  cg.backoffFactor = 2;
+  cg.backoffCapPolls = 8;
+  const synthesis::RcxProgram p = synthesis::synthesize(oneCommand(), cg);
+  ScriptedHost sh;
+  RcxVm vm(p, sh.host(), /*instrTicks=*/0);
+  vm.run(700);
+  ASSERT_GE(sh.sent.size(), 6u);
+  const int64_t expected[] = {0, 40, 120, 280, 440, 600};
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(sh.sent[i].second, expected[i]) << "send " << i;
+    EXPECT_EQ(sh.sent[i].first, 1) << "always the same command id";
+  }
+  // The ack still releases the loop after any number of backoffs.
+  sh.messageBuffer = 1;
+  vm.run(2000);
+  EXPECT_TRUE(vm.finished());
+  EXPECT_FALSE(vm.halted());
+}
+
+TEST(RcxVm, SynthesizedWatchdogHaltsWithFailSound) {
+  synthesis::CodegenOptions cg;
+  cg.ackPollTicks = 20;
+  cg.watchdogPolls = 5;
+  const synthesis::RcxProgram p = synthesis::synthesize(oneCommand(), cg);
+  ScriptedHost sh;
+  RcxVm vm(p, sh.host(), /*instrTicks=*/0);
+  vm.run(1'000'000);  // no ack, ever: a permanently silent unit
+  EXPECT_TRUE(vm.halted());
+  EXPECT_TRUE(vm.finished());
+  ASSERT_FALSE(sh.soundIds.empty());
+  EXPECT_EQ(sh.soundIds.back(), synthesis::CodegenOptions::kFailSound);
+  // The budget bounds the polling: 5 polls of 20 ticks, then the halt —
+  // not a million ticks of spinning.
+  ASSERT_FALSE(sh.sent.empty());
+  EXPECT_EQ(sh.sent.size(), 1u) << "threshold 20 never reached in 5 polls";
+}
+
+TEST(RcxVm, SynthesizedDuplicateAckToleranceRefundsPolls) {
+  // A channel echoing stale acks (id 7) forever: with tolerance the
+  // watchdog budget never depletes; without it the segment halts.
+  synthesis::CodegenOptions cg;
+  cg.ackPollTicks = 20;
+  cg.watchdogPolls = 5;
+
+  cg.tolerateDuplicateAcks = false;
+  {
+    const synthesis::RcxProgram p = synthesis::synthesize(oneCommand(), cg);
+    ScriptedHost sh;
+    sh.messageBuffer = 7;
+    RcxVm vm(p, sh.host(), 0);
+    // Re-arm the stale ack every time the loop clears it.
+    for (int64_t t = 0; t < 2000; t += 20) {
+      vm.run(t);
+      sh.messageBuffer = 7;
+    }
+    EXPECT_TRUE(vm.halted()) << "stale acks exhaust an intolerant watchdog";
+  }
+
+  cg.tolerateDuplicateAcks = true;
+  {
+    const synthesis::RcxProgram p = synthesis::synthesize(oneCommand(), cg);
+    ScriptedHost sh;
+    sh.messageBuffer = 7;
+    RcxVm vm(p, sh.host(), 0);
+    for (int64_t t = 0; t < 2000; t += 20) {
+      vm.run(t);
+      sh.messageBuffer = 7;
+    }
+    EXPECT_FALSE(vm.halted()) << "stale acks are free polls with tolerance";
+    EXPECT_FALSE(vm.finished());
+    // The real ack still gets through.
+    sh.messageBuffer = 1;
+    vm.run(3000);
+    EXPECT_TRUE(vm.finished());
+    EXPECT_FALSE(vm.halted());
+  }
 }
 
 }  // namespace
