@@ -1,13 +1,23 @@
 // Micro-benchmarks of the DBM substrate (google-benchmark): the
 // operations the reachability engine performs millions of times.
+// `--simd-smoke` instead runs the roofline gate: the vectorized
+// close / inclusion / batch-scan kernels must beat the forced-scalar
+// baseline by >= 1.5x on hardware with a vector path, recorded in
+// BENCH_dbm_micro.json (hw-aware skip elsewhere).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "dbm/dbm.hpp"
+#include "dbm/simd.hpp"
+#include "dbm/zone_batch.hpp"
 
 namespace {
 
@@ -178,9 +188,114 @@ void writeReport() {
   report.write();
 }
 
+/// Best-of-three wall time of `body()` run `iters` times.
+template <typename F>
+double timeMs(int iters, F&& body) {
+  using Clock = std::chrono::steady_clock;
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const Clock::time_point t0 = Clock::now();
+    for (int k = 0; k < iters; ++k) body();
+    best = std::min(
+        best,
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+  }
+  return best;
+}
+
+/// Roofline gate: times the three kernel families the engines lean on —
+/// Floyd–Warshall closure, pairwise inclusion, and the ZoneBatch
+/// superset scan — once with dispatch forced to scalar and once at the
+/// detected level, in this one binary. Returns the number of kernels
+/// under the 1.5x bar (0 on scalar-only hardware: nothing to gate).
+int simdSmoke() {
+  namespace simd = dbm::simd;
+  const simd::Level detected = simd::detectedLevel();
+  benchutil::Report report("dbm_micro");
+  if (detected == simd::Level::kScalar) {
+    std::printf("simd-smoke: SKIP (no vector path on %s hardware)\n",
+                simd::levelName(detected));
+    report.add("simd-smoke-skipped", 0.0, 0, 0);
+    report.write();
+    return 0;
+  }
+
+  std::mt19937_64 rng(7);
+  const uint32_t dim = 184;  // the 45-batch network's DBM size class
+  const dbm::Dbm canon = randomZone(dim, rng);
+  // close() on an already-canonical matrix still runs the full cubic
+  // loop nest, so copies of one zone are a faithful workload.
+  // The inclusion operand is a tightened copy: a true superset
+  // relation scans every row to the end (a random pair fails on the
+  // first entry and exits before the kernel can matter — the covered()
+  // hot path is dominated by the scans that succeed).
+  dbm::Dbm other = canon;
+  other.constrain(1, 0, dbm::boundWeak(dbm::boundValue(canon.at(1, 0)) - 1));
+
+  dbm::ZoneBatch batch(64);
+  std::vector<dbm::Dbm> queries;
+  {
+    std::mt19937_64 brng(11);
+    for (int k = 0; k < 256; ++k) batch.push(randomZone(64, brng));
+    for (int k = 0; k < 64; ++k) queries.push_back(randomZone(64, brng));
+  }
+
+  struct Kernel {
+    const char* name;
+    int iters;
+    double scalarMs = 0.0;
+    double simdMs = 0.0;
+  } kernels[] = {
+      {"close-dim184", 40},
+      {"includes-dim184", 20000},
+      {"batch-superset-256x64", 200},
+  };
+  const auto runAll = [&](bool scalar) {
+    simd::forceLevel(scalar ? simd::Level::kScalar : detected);
+    double* slot = scalar ? &kernels[0].scalarMs : &kernels[0].simdMs;
+    *slot = timeMs(kernels[0].iters, [&] {
+      dbm::Dbm w = canon;
+      benchmark::DoNotOptimize(w.close());
+    });
+    slot = scalar ? &kernels[1].scalarMs : &kernels[1].simdMs;
+    *slot = timeMs(kernels[1].iters, [&] {
+      benchmark::DoNotOptimize(canon.includes(other));
+    });
+    slot = scalar ? &kernels[2].scalarMs : &kernels[2].simdMs;
+    *slot = timeMs(kernels[2].iters, [&] {
+      for (const dbm::Dbm& q : queries) {
+        benchmark::DoNotOptimize(batch.anySuperset(q.rawData()));
+      }
+    });
+  };
+  runAll(true);
+  runAll(false);
+  simd::forceLevel(detected);
+
+  int failures = 0;
+  for (const Kernel& k : kernels) {
+    const double speedup = k.simdMs > 0.0 ? k.scalarMs / k.simdMs : 0.0;
+    const bool ok = speedup >= 1.5;
+    std::printf("simd-smoke: %-24s scalar %8.2f ms  %s %8.2f ms  %.2fx %s\n",
+                k.name, k.scalarMs, simd::levelName(detected), k.simdMs,
+                speedup, ok ? "ok" : "FAIL (< 1.5x)");
+    if (!ok) ++failures;
+    report.add(std::string(k.name) + "-scalar", k.scalarMs, 0, 0);
+    report.add(std::string(k.name) + "-" + simd::levelName(detected),
+               k.simdMs, 0, 0);
+  }
+  report.write();
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--simd-smoke") == 0) {
+      return simdSmoke() == 0 ? 0 : 1;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -23,12 +23,16 @@
 #                 workloads drive the extrapolation operators and the
 #                 bounds fixpoint through their edge cases under
 #                 memory/UB checking.
-#   5. store    — the storage-engine stage: the perf-smoke gates that
-#                 certify the flat passed store (covered() throughput
+#   5. store /  — the storage + kernel stage: the perf-smoke gates that
+#      kernels    certify the flat passed store (covered() throughput
 #                 vs the legacy map layout, guided-workload bytes vs
-#                 the pre-interning baseline), plus the store unit
-#                 suites re-run under the ASan and TSan builds from
-#                 stages 3-4.
+#                 the pre-interning baseline), the SIMD roofline gate
+#                 (vectorized close/inclusion/batch-scan >= 1.5x the
+#                 forced-scalar baseline), the best-first optimizer
+#                 gate (match-or-beat binary search in <= 0.8x its
+#                 wall time), plus the store unit suites and the
+#                 priced-zone / best-first suites re-run under the
+#                 ASan and TSan builds from stages 3-4.
 #   6. robust   — the fault-injection stage: the Monte-Carlo campaign
 #                 smoke gate (100% success on a nominal channel, >= 95%
 #                 at 5% i.i.d. loss, seed-reproducible trials), the RCX
@@ -63,6 +67,13 @@ echo "== stage 5a: storage-engine perf gates (release) =="
 ctest --test-dir build --output-on-failure \
   -R 'store_micro_smoke|ablation_store_smoke'
 
+echo "== stage 5b: SIMD roofline + best-first optimizer gates (release) =="
+# Also part of the stage-1 full ctest; re-run by name so a kernel or
+# optimizer regression is reported as its own stage. The roofline gate
+# self-skips on hardware without a vector path.
+ctest --test-dir build --output-on-failure \
+  -R 'dbm_micro_simd_smoke|bestfirst_opt_smoke'
+
 echo "== stage 6a: fault-campaign robustness gate (release) =="
 # Also part of the stage-1 full ctest; re-run by name so a robustness
 # regression is reported as its own stage.
@@ -88,7 +99,7 @@ cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -L fuzz -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -R 'BoundsAnalysis' -j "$jobs"
 
-echo "== stage 5b: storage engine under the sanitizer builds =="
+echo "== stage 5c: storage engine under the sanitizer builds =="
 # The interner's lock-free reads and the flat store's probe loops under
 # TSan (store_parallel_test is in -L parallel already; the sequential
 # store/interner units are picked up by name), and the zone-arena
@@ -96,6 +107,19 @@ echo "== stage 5b: storage engine under the sanitizer builds =="
 ctest --test-dir build-tsan --output-on-failure -R 'Store|Interner' -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -R 'Store|Interner|MergeOracle' \
   -j "$jobs"
+
+echo "== stage 5d: priced zones + best-first under the sanitizer builds =="
+# The SoA batch's lane arithmetic, the priced-zone cost adjustments,
+# and the best-first engine's node recycling under ASan/UBSan (the
+# ZoneBatch / PricedOracle / HeuristicProperty fuzz suites are in the
+# stage-4 label run already; BestFirst and the hash-invalidation
+# regressions are picked up by name), and the forced-dispatch kernels
+# under TSan — the dispatch switch and kernel-hit counters are shared
+# state every search thread touches.
+ctest --test-dir build-asan --output-on-failure -R 'BestFirst|DbmHash' \
+  -j "$jobs"
+ctest --test-dir build-tsan --output-on-failure \
+  -R 'ZoneBatch|PricedOracle|BestFirst|HeuristicProperty' -j "$jobs"
 
 echo "== stage 6b: RCX execution-layer suites under ASan/UBSan =="
 # The VM (new ops, watchdog halt), the adversarial channel's split

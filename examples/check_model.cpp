@@ -48,6 +48,9 @@ void printStatsJson(std::ostream& os, size_t query, bool reachable,
      << ", \"storeProbeSteps\": " << s.storeProbeSteps
      << ", \"zonesMerged\": " << s.zonesMerged
      << ", \"storeBytes\": " << s.storeBytes
+     << ", \"reopenings\": " << s.reopenings
+     << ", \"simdKernelOps\": " << s.simdKernelOps
+     << ", \"scalarKernelOps\": " << s.scalarKernelOps
      << ", \"lockContention\": " << s.lockContention
      << ", \"chunkSteals\": " << s.chunkSteals
      << ", \"frameSteals\": " << s.frameSteals

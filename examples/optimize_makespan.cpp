@@ -1,62 +1,118 @@
 // Time-optimal schedules — the paper's future-work direction of
 // synthesizing "more optimal programs".
 //
-// Technique: add a never-reset global clock `gtime` to the plant model,
-// constrain the goal with `gtime <= B`, and binary-search the smallest
-// feasible bound B.  (This is how time-optimal reachability was done
-// with plain UPPAAL before priced timed automata existed.)
+// Two optimizers over the same plant model (synthesis::optimizeMakespan):
 //
-// Usage: optimize_makespan [batches] [--threads N] [--portfolio]
+//  --optimizer binary     Add a never-reset global clock `gtime` to the
+//                         plant, constrain the goal with `gtime <= B`,
+//                         and binary-search the smallest feasible bound.
+//                         (How time-optimal reachability was done with
+//                         plain UPPAAL before priced timed automata.)
+//  --optimizer bestfirst  One A* run over priced zones: cost-ordered
+//                         expansion with the static remaining-time lower
+//                         bound as heuristic and the first-found DFS
+//                         schedule as the initial incumbent. Anytime —
+//                         improving schedules stream as they are found.
+//
+// Usage: optimize_makespan [batches] [--optimizer binary|bestfirst]
+//                          [--threads N] [--portfolio] [--stats-json]
+//                          [--soft-guide SUBSTR=WEIGHT ...]
+//                          [--max-seconds S]
 //                          [--extrapolation none|global|location|lu]
 //
-// --threads N runs every probe of the binary search on the parallel
-// work-stealing DFS; --portfolio races seeded DFS workers instead —
-// useful on the tight (near-optimal) bounds where the heuristic order
-// starts to backtrack. --extrapolation selects the zone-abstraction
-// operator (default: per-location Extra+_LU).
+// --soft-guide adds WEIGHT to the cost of every transition whose label
+// contains SUBSTR (best-first only) — the DCSynth-style soft-requirement
+// mechanism: prefer schedules avoiding penalized actions, at equal
+// makespan. --stats-json prints one machine-readable line with the full
+// optimization statistics.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 
-#include "engine/trace.hpp"
 #include "plant/plant.hpp"
+#include "synthesis/schedule.hpp"
 
 namespace {
 
-/// Schedule with makespan bound B; returns the reachability result.
-engine::Result tryBound(const plant::PlantConfig& cfg, int32_t bound,
-                        size_t threads, bool portfolio,
-                        engine::Extrapolation extrapolation) {
-  const auto p = plant::buildPlant(cfg);
-  engine::Goal goal = p->goal;
-  if (bound >= 0) {
-    goal.clockConstraints.push_back(ta::ccLe(p->makespan, bound));
+void printStatsJson(std::ostream& os, const synthesis::OptimizeResult& r,
+                    const char* optimizer) {
+  os << "{\"optimizer\": \"" << optimizer << "\""
+     << ", \"feasible\": " << (r.feasible ? "true" : "false")
+     << ", \"optimal\": " << (r.optimal ? "true" : "false")
+     << ", \"firstMakespan\": " << r.firstMakespan
+     << ", \"optimalMakespan\": " << r.optimalMakespan
+     << ", \"cost\": " << r.cost << ", \"runs\": " << r.runs
+     << ", \"statesExplored\": " << r.stats.statesExplored
+     << ", \"statesGenerated\": " << r.stats.statesGenerated
+     << ", \"reopenings\": " << r.stats.reopenings
+     << ", \"simdKernelOps\": " << r.stats.simdKernelOps
+     << ", \"scalarKernelOps\": " << r.stats.scalarKernelOps
+     << ", \"seconds\": " << r.seconds << ", \"incumbents\": [";
+  for (size_t i = 0; i < r.incumbents.size(); ++i) {
+    os << (i ? ", " : "") << r.incumbents[i];
   }
-  engine::Options opts;
-  opts.order = engine::SearchOrder::kDfs;
-  opts.dfsReverse = true;
-  opts.maxSeconds = 60.0;
-  opts.threads = threads;
-  opts.portfolio = portfolio;
-  opts.extrapolation = extrapolation;
-  engine::Reachability checker(p->sys, opts);
-  return checker.run(goal);
+  os << "]}\n";
+}
+
+/// Per-process terminal locations for the best-first heuristic: every
+/// automaton that has a "done"/"alldone" location necessarily sits in
+/// it when the monitor's goal location is reached (batches enter `done`
+/// by firing the very dump! the monitor counts), so the remaining-time
+/// bound may draw from all of them, not just the monitor.
+std::vector<std::vector<ta::LocId>> heuristicTargets(const plant::Plant& p) {
+  std::vector<std::vector<ta::LocId>> targets(p.sys.numAutomata());
+  for (size_t i = 0; i < p.sys.numAutomata(); ++i) {
+    const ta::Automaton& a = p.sys.automaton(static_cast<ta::ProcId>(i));
+    for (const char* name : {"done", "alldone"}) {
+      const ta::LocId l = a.findLocation(name);
+      if (l >= 0) {
+        targets[i].push_back(l);
+        break;
+      }
+    }
+  }
+  return targets;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   int batches = 3;
-  size_t threads = 1;
-  bool portfolio = false;
-  engine::Extrapolation extrapolation = engine::Extrapolation::kLocationLUPlus;
+  bool statsJson = false;
+  synthesis::OptimizeOptions oo;
+  oo.engine.order = engine::SearchOrder::kDfs;
+  oo.engine.dfsReverse = true;
+  oo.engine.maxSeconds = 60.0;
+  const char* optimizerName = "binary";
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = static_cast<size_t>(std::atoi(argv[++i]));
+    if (std::strcmp(argv[i], "--optimizer") == 0 && i + 1 < argc) {
+      optimizerName = argv[++i];
+      if (!synthesis::parseOptimizer(optimizerName, &oo.optimizer)) {
+        std::cerr << "unknown optimizer: " << optimizerName << "\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      oo.engine.threads = static_cast<size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--portfolio") == 0) {
-      portfolio = true;
+      oo.engine.portfolio = true;
+    } else if (std::strcmp(argv[i], "--max-seconds") == 0 && i + 1 < argc) {
+      oo.engine.maxSeconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--stats-json") == 0) {
+      statsJson = true;
+    } else if (std::strcmp(argv[i], "--soft-guide") == 0 && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const size_t eq = spec.rfind('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::cerr << "--soft-guide wants SUBSTR=WEIGHT, got: " << spec
+                  << "\n";
+        return 2;
+      }
+      engine::SoftGuide sg;
+      sg.labelContains = spec.substr(0, eq);
+      sg.weight = std::atoll(spec.c_str() + eq + 1);
+      oo.engine.softGuides.push_back(std::move(sg));
     } else if (std::strcmp(argv[i], "--extrapolation") == 0 && i + 1 < argc) {
-      if (!engine::parseExtrapolation(argv[++i], &extrapolation)) {
+      if (!engine::parseExtrapolation(argv[++i], &oo.engine.extrapolation)) {
         std::cerr << "unknown extrapolation mode: " << argv[i] << "\n";
         return 2;
       }
@@ -64,45 +120,32 @@ int main(int argc, char** argv) {
       batches = std::atoi(argv[i]);
     }
   }
+
   plant::PlantConfig cfg;
   cfg.order = plant::standardOrder(batches);
   cfg.makespanClock = true;
+  const auto p = plant::buildPlant(cfg);
+  oo.heuristicTargets = heuristicTargets(*p);
 
-  // First-found schedule: the baseline a plain guided DFS produces.
-  const engine::Result first =
-      tryBound(cfg, -1, threads, portfolio, extrapolation);
-  if (!first.reachable) {
+  const synthesis::OptimizeResult res =
+      synthesis::optimizeMakespan(p->sys, p->goal, p->makespan, oo);
+  if (!res.feasible) {
     std::cerr << "no schedule at all\n";
     return 1;
   }
-  const auto p = plant::buildPlant(cfg);
-  std::string err;
-  const auto firstTrace = engine::concretize(p->sys, first.trace, &err);
-  if (!firstTrace) {
-    std::cerr << "concretize: " << err << "\n";
-    return 1;
+  std::cout << "first-found schedule: makespan " << res.firstMakespan
+            << "\n";
+  for (size_t i = 1; i < res.incumbents.size(); ++i) {
+    std::cout << "  improved to " << res.incumbents[i] << "\n";
   }
-  const int32_t firstMakespan = static_cast<int32_t>(firstTrace->makespan());
-  std::cout << "first-found schedule: makespan " << firstMakespan << "\n";
-
-  // Binary search the smallest feasible bound.
-  int32_t lo = 0;
-  int32_t hi = firstMakespan;
-  while (lo < hi) {
-    const int32_t mid = lo + (hi - lo) / 2;
-    const engine::Result res =
-        tryBound(cfg, mid, threads, portfolio, extrapolation);
-    std::cout << "  bound " << mid << ": "
-              << (res.reachable ? "feasible" : "infeasible") << " ("
-              << res.stats.statesExplored << " states)\n";
-    if (res.reachable) {
-      hi = mid;
-    } else {
-      lo = mid + 1;
-    }
+  std::cout << "optimal makespan: " << res.optimalMakespan << " (saved "
+            << res.firstMakespan - res.optimalMakespan
+            << " time units over the first-found schedule, " << res.runs
+            << (res.runs == 1 ? " run, " : " runs, ")
+            << res.stats.statesExplored << " states)\n";
+  if (!res.optimal) {
+    std::cout << "  (cut off before the optimum was proven)\n";
   }
-  std::cout << "optimal makespan: " << lo << " (saved "
-            << firstMakespan - lo << " time units over the first-found "
-            << "schedule)\n";
+  if (statsJson) printStatsJson(std::cout, res, optimizerName);
   return 0;
 }

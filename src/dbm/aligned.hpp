@@ -1,0 +1,47 @@
+// Cache-line-aligned storage for DBM matrices and zone batches.
+//
+// The SIMD row kernels issue unaligned 256-bit loads, which are only
+// penalty-free when they do not straddle a cache line; allocating every
+// matrix buffer at a 64-byte boundary keeps each 8-entry row chunk of a
+// row-major DBM inside a single line and lets adjacent rows start at
+// predictable offsets for the batched scans.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "dbm/bound.hpp"
+
+namespace dbm {
+
+inline constexpr size_t kCacheLine = 64;
+
+/// Minimal std::allocator drop-in with a fixed 64-byte alignment floor.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  [[nodiscard]] T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kCacheLine}));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kCacheLine});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// The buffer type backing every Dbm matrix and ZoneBatch block.
+using RawBuffer = std::vector<raw_t, AlignedAllocator<raw_t>>;
+
+}  // namespace dbm

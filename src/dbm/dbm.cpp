@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "dbm/simd.hpp"
+
 namespace dbm {
 
 Dbm Dbm::unconstrained(uint32_t dim) {
@@ -18,15 +20,14 @@ Dbm Dbm::unconstrained(uint32_t dim) {
 
 bool Dbm::close() {
   invalidateHash();
+  simd::noteOp();
   const uint32_t n = dim_;
   for (uint32_t k = 0; k < n; ++k) {
+    const raw_t* rowK = raw_.data() + size_t{k} * n;
     for (uint32_t i = 0; i < n; ++i) {
       const raw_t dik = raw_[i * n + k];
       if (dik == kInfinity) continue;
-      for (uint32_t j = 0; j < n; ++j) {
-        const raw_t via = boundAdd(dik, raw_[k * n + j]);
-        if (via < raw_[i * n + j]) raw_[i * n + j] = via;
-      }
+      simd::rowMinPlus(raw_.data() + size_t{i} * n, rowK, dik, n);
     }
     if (raw_[k * n + k] < kZeroBound) {
       setEmpty();
@@ -38,19 +39,18 @@ bool Dbm::close() {
 
 bool Dbm::closeAfterConstrain(uint32_t a, uint32_t b) {
   invalidateHash();
+  simd::noteOp();
   const uint32_t n = dim_;
   const raw_t dab = raw_[a * n + b];
   if (boundAdd(dab, raw_[b * n + a]) < kZeroBound) {
     setEmpty();
     return false;
   }
+  const raw_t* rowB = raw_.data() + size_t{b} * n;
   for (uint32_t i = 0; i < n; ++i) {
     const raw_t dia = boundAdd(raw_[i * n + a], dab);
     if (dia == kInfinity) continue;
-    for (uint32_t j = 0; j < n; ++j) {
-      const raw_t via = boundAdd(dia, raw_[b * n + j]);
-      if (via < raw_[i * n + j]) raw_[i * n + j] = via;
-    }
+    simd::rowMinPlus(raw_.data() + size_t{i} * n, rowB, dia, n);
   }
   return true;
 }
@@ -237,32 +237,25 @@ bool Dbm::tryConvexUnion(const Dbm& a, const Dbm& b, Dbm* out,
 
 Relation Dbm::relation(const Dbm& other) const noexcept {
   assert(dim_ == other.dim_);
-  bool sub = true;   // this <= other entrywise
-  bool sup = true;   // this >= other entrywise
-  for (size_t k = 0; k < raw_.size(); ++k) {
-    if (raw_[k] > other.raw_[k]) sub = false;
-    if (raw_[k] < other.raw_[k]) sup = false;
-    if (!sub && !sup) return Relation::kDifferent;
-  }
-  if (sub && sup) return Relation::kEqual;
-  return sub ? Relation::kSubset : Relation::kSuperset;
+  simd::noteOp();
+  const simd::CompareResult r =
+      simd::rowCompare(raw_.data(), other.raw_.data(), raw_.size());
+  if (r.anyGreater && r.anyLess) return Relation::kDifferent;
+  if (!r.anyGreater && !r.anyLess) return Relation::kEqual;
+  return r.anyGreater ? Relation::kSuperset : Relation::kSubset;
 }
 
 bool Dbm::includes(const Dbm& other) const noexcept {
   assert(dim_ == other.dim_);
   if (other.isEmpty()) return true;
   if (isEmpty()) return false;
-  for (size_t k = 0; k < raw_.size(); ++k) {
-    if (raw_[k] < other.raw_[k]) return false;
-  }
-  return true;
+  simd::noteOp();
+  return simd::rowsInclude(raw_.data(), other.raw_.data(), raw_.size());
 }
 
 bool Dbm::intersect(const Dbm& other) {
   assert(dim_ == other.dim_);
-  for (size_t k = 0; k < raw_.size(); ++k) {
-    raw_[k] = std::min(raw_[k], other.raw_[k]);
-  }
+  simd::rowMinEq(raw_.data(), other.raw_.data(), raw_.size());
   return close();
 }
 

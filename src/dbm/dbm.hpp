@@ -10,6 +10,7 @@
 // represented canonically by at(0,0) < (0, <=).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
@@ -18,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "dbm/aligned.hpp"
 #include "dbm/bound.hpp"
 
 namespace dbm {
@@ -43,6 +45,8 @@ class Dbm {
 
   // The memoized hash lives in an atomic, which is neither copyable nor
   // movable — spell out the special members it would otherwise delete.
+  // Assignment must tolerate self-assignment: the best-first engine's
+  // reopen path can copy a queue entry back over itself.
   Dbm(const Dbm& o) : dim_(o.dim_), raw_(o.raw_) {
     hash_.store(o.hash_.load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
@@ -52,6 +56,7 @@ class Dbm {
                 std::memory_order_relaxed);
   }
   Dbm& operator=(const Dbm& o) {
+    if (this == &o) return *this;
     dim_ = o.dim_;
     raw_ = o.raw_;
     hash_.store(o.hash_.load(std::memory_order_relaxed),
@@ -59,6 +64,7 @@ class Dbm {
     return *this;
   }
   Dbm& operator=(Dbm&& o) noexcept {
+    if (this == &o) return *this;
     dim_ = o.dim_;
     raw_ = std::move(o.raw_);
     hash_.store(o.hash_.load(std::memory_order_relaxed),
@@ -234,6 +240,17 @@ class Dbm {
   /// The snapshot must already be canonical (no closure is run).
   [[nodiscard]] static Dbm fromSpan(uint32_t dim, std::span<const raw_t> raw);
 
+  /// Overwrite the whole matrix in place from a row-major snapshot of
+  /// the same dimension — the batch API's extraction path (ZoneBatch →
+  /// Dbm without reallocating). Invalidates the memoized hash: the new
+  /// entries share nothing with the old ones, and a copied zone that is
+  /// then mutated through this path must not keep its source's hash.
+  void assignRaw(std::span<const raw_t> raw) noexcept {
+    assert(raw.size() == raw_.size());
+    std::copy(raw.begin(), raw.end(), raw_.begin());
+    invalidateHash();
+  }
+
   // -- Misc ---------------------------------------------------------------
 
   /// FNV-1a over the raw entries, memoized: computed on first call and
@@ -259,7 +276,7 @@ class Dbm {
 
   /// Adopt an existing buffer (already holding dim*dim entries) —
   /// the ZonePool's recycling constructor.
-  Dbm(uint32_t dim, std::vector<raw_t>&& buf) noexcept
+  Dbm(uint32_t dim, RawBuffer&& buf) noexcept
       : dim_(dim), raw_(std::move(buf)) {
     assert(raw_.size() == size_t{dim} * dim);
   }
@@ -269,7 +286,7 @@ class Dbm {
   }
 
   uint32_t dim_;
-  std::vector<raw_t> raw_;
+  RawBuffer raw_;
   mutable std::atomic<size_t> hash_{0};
 };
 

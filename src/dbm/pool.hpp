@@ -24,7 +24,7 @@ class ZonePool {
   [[nodiscard]] static Dbm copyOf(const Dbm& src) {
     auto& fl = freeList();
     if (fl.empty()) return src;
-    std::vector<raw_t> buf = std::move(fl.back());
+    RawBuffer buf = std::move(fl.back());
     fl.pop_back();
     buf.assign(src.raw_.begin(), src.raw_.end());
     Dbm out(src.dim_, std::move(buf));
@@ -47,8 +47,8 @@ class ZonePool {
  private:
   static constexpr size_t kMaxPooled = 512;
 
-  [[nodiscard]] static std::vector<std::vector<raw_t>>& freeList() noexcept {
-    thread_local std::vector<std::vector<raw_t>> list;
+  [[nodiscard]] static std::vector<RawBuffer>& freeList() noexcept {
+    thread_local std::vector<RawBuffer> list;
     return list;
   }
 };

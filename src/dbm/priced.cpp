@@ -1,0 +1,40 @@
+#include "dbm/priced.hpp"
+
+namespace dbm {
+
+int64_t AffineCost::minOver(const Dbm& z) const {
+  assert(!z.isEmpty());
+  int64_t total = constant;
+  const uint32_t n = z.dimension();
+  for (uint32_t i = 1; i < n && i < coeff.size(); ++i) {
+    if (coeff[i] == 0) continue;
+    assert(coeff[i] > 0);
+    total += coeff[i] * static_cast<int64_t>(z.infimum(i));
+  }
+  return total;
+}
+
+int64_t AffineCost::minOverInt(const Dbm& z) const {
+  assert(!z.isEmpty());
+  int64_t total = constant;
+  const uint32_t n = z.dimension();
+  for (uint32_t i = 1; i < n && i < coeff.size(); ++i) {
+    if (coeff[i] == 0) continue;
+    assert(coeff[i] > 0);
+    const raw_t lo = z.at(0, i);
+    int64_t inf = -static_cast<int64_t>(boundValue(lo));
+    if (isStrict(lo) && lo != kInfinity) ++inf;
+    total += coeff[i] * inf;
+  }
+  return total;
+}
+
+int64_t AffineCost::at(std::span<const int64_t> val) const {
+  int64_t total = constant;
+  for (size_t i = 1; i < val.size() && i < coeff.size(); ++i) {
+    total += coeff[i] * val[i];
+  }
+  return total;
+}
+
+}  // namespace dbm

@@ -1,0 +1,133 @@
+// Priced zones: a DBM plus cost information, the symbolic states of
+// cost-optimal (priced timed automata) reachability in the style of
+// LPTA / Uppaal Cora.
+//
+// Two layers:
+//
+// `AffineCost` — an affine function over clock valuations,
+// cost(v) = constant + Σ coeff[i] · v_i with nonnegative coefficients.
+// Its exact minimum over a canonical zone is attained (in the closure)
+// at the pointwise-infimum point v_i = -d_0i: canonicity gives the
+// triangle inequality d_0j <= d_0i + d_ij, which is exactly
+// v_i - v_j <= d_ij for that point, so it satisfies every constraint
+// weakly, and with nonnegative coefficients no feasible point can do
+// better than every coordinate at its infimum.
+//
+// `PricedDbm` — the engine's specialization: cost is measured by a
+// designated *cost clock* that is never reset (the plant's makespan
+// clock), so delay cost accumulates through the ordinary DBM delay
+// operation, plus an integer `offset` holding discrete edge penalties
+// (the --soft-guide weights). The cost of a point is then
+// v_cost + offset, and the zone's minimal cost is the integer-adjusted
+// infimum of the cost clock plus the offset. Integer adjustment — a
+// strict lower bound (> c) contributes c+1, a weak one (>= c)
+// contributes c — makes minCost() agree exactly with what a binary
+// search over integer bounds `cost <= B` observes: the zone intersects
+// `cost <= B` iff B >= that adjusted infimum.
+//
+// Cost-aware inclusion ("domination") is pointwise: this dominates
+// other iff this's zone contains other's AND this's offset is no
+// larger — then every valuation other can reach is reachable here at
+// an equal or lower cost. Comparing minCost() alone would be unsound
+// (a cheaper minimum elsewhere in the zone says nothing about the
+// points other actually covers).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dbm/dbm.hpp"
+
+namespace dbm {
+
+/// cost(v) = constant + Σ coeff[i] · v_i, coeff[i] >= 0, coeff[0]
+/// ignored (the reference clock is identically 0).
+struct AffineCost {
+  int64_t constant = 0;
+  std::vector<int64_t> coeff;
+
+  /// Exact infimum of the function over a non-empty canonical zone
+  /// (attained in the zone's closure; see file comment).
+  [[nodiscard]] int64_t minOver(const Dbm& z) const;
+
+  /// Integer-adjusted infimum: coordinates with a strict lower bound
+  /// x_i > c contribute c+1 — the smallest *integer* value of x_i with
+  /// any feasible valuation arbitrarily close to it. Exact for
+  /// single-coordinate costs (one nonzero coefficient); for general
+  /// costs it is a valid lower bound on the cost of any integer point.
+  [[nodiscard]] int64_t minOverInt(const Dbm& z) const;
+
+  /// cost of a concrete valuation (val[0] == 0).
+  [[nodiscard]] int64_t at(std::span<const int64_t> val) const;
+};
+
+/// A zone priced by a never-reset cost clock plus a discrete offset.
+class PricedDbm {
+ public:
+  PricedDbm(Dbm zone, uint32_t costClock, int64_t offset = 0)
+      : zone_(std::move(zone)), costClock_(costClock), offset_(offset) {
+    assert(costClock >= 1 && costClock < zone_.dimension());
+  }
+
+  [[nodiscard]] const Dbm& zone() const noexcept { return zone_; }
+  [[nodiscard]] Dbm& zone() noexcept { return zone_; }
+  [[nodiscard]] uint32_t costClock() const noexcept { return costClock_; }
+  [[nodiscard]] int64_t offset() const noexcept { return offset_; }
+
+  [[nodiscard]] bool empty() const noexcept { return zone_.isEmpty(); }
+
+  /// Delay: ordinary DBM up(); the cost clock advances with time, so
+  /// delay cost needs no extra bookkeeping.
+  void up() { zone_.up(); }
+
+  /// x := v on an ordinary clock. The cost clock must never be reset —
+  /// resetting it would silently erase accumulated delay cost.
+  void reset(uint32_t clock, value_t v) {
+    assert(clock != costClock_);
+    zone_.reset(clock, v);
+  }
+
+  /// Add a discrete edge penalty (a --soft-guide weight).
+  void addPenalty(int64_t w) noexcept { offset_ += w; }
+
+  /// Minimal cost of any valuation in the zone, integer-adjusted (see
+  /// file comment). Undefined on empty zones.
+  [[nodiscard]] int64_t minCost() const noexcept {
+    const raw_t lo = zone_.at(0, costClock_);
+    // 0 - cost <= lo, so cost >= -value(lo); strict → next integer up.
+    int64_t inf = -static_cast<int64_t>(boundValue(lo));
+    if (isStrict(lo) && lo != kInfinity) ++inf;
+    return inf + offset_;
+  }
+
+  /// Pointwise cost-aware inclusion: every valuation of `other` is in
+  /// this zone at an equal or lower cost.
+  [[nodiscard]] bool dominates(const PricedDbm& other) const noexcept {
+    assert(costClock_ == other.costClock_);
+    return offset_ <= other.offset_ && zone_.includes(other.zone_);
+  }
+
+  /// Constrain to points whose total cost is <= budget (incumbent
+  /// pruning: cost clock <= budget - offset). Returns false and leaves
+  /// the zone empty when no such point exists. A budget below the
+  /// offset alone can never be met.
+  bool constrainCost(int64_t budget) {
+    const int64_t room = budget - offset_;
+    if (room < 0) {
+      zone_.setEmpty();
+      return false;
+    }
+    if (room > kMaxValue) return true;  // no encodable bound needed
+    return zone_.constrainUpper(costClock_, static_cast<value_t>(room),
+                                /*strict=*/false);
+  }
+
+ private:
+  Dbm zone_;
+  uint32_t costClock_;
+  int64_t offset_;
+};
+
+}  // namespace dbm

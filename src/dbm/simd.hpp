@@ -1,0 +1,135 @@
+// Vectorized row kernels for the DBM substrate.
+//
+// Every hot DBM operation — Floyd–Warshall closure, inclusion,
+// relation, batch-inclusion scans over a passed-store bucket — reduces
+// to a handful of row primitives over contiguous raw_t arrays:
+//
+//   rowMinPlus   dst[j] = min(dst[j], add ⊕ row[j])   (close inner loop)
+//   rowsInclude  ∀j: outer[j] >= inner[j]             (zone inclusion)
+//   rowCompare   entrywise <,> summary                (Dbm::relation)
+//   rowMinEq     dst[j] = min(dst[j], src[j])         (intersection)
+//
+// plus the 8-lane transposed kernels ZoneBatch builds its
+// structure-of-arrays scans on (laneSupersetMask / laneSubsetMask /
+// laneEqualMask / laneMinPlus).
+//
+// Each primitive has a portable scalar implementation and an AVX2
+// implementation compiled behind a function-level target attribute (so
+// the baseline build still runs on pre-AVX2 hardware); NEON maps to the
+// compiler's baseline auto-vectorization on aarch64. Dispatch is
+// resolved once at startup from CPUID (compile-time when the whole
+// build targets AVX2 anyway) and can be forced down to scalar at
+// runtime — the roofline benchmarks measure both paths in one binary,
+// and the Stats' SIMD-hit counters report which path served the search.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dbm/bound.hpp"
+
+namespace dbm::simd {
+
+/// Instruction set the row kernels dispatch to.
+enum class Level : uint8_t {
+  kScalar = 0,  ///< portable fallback (also the forced roofline baseline)
+  kAvx2 = 1,    ///< x86-64 AVX2, 8 x int32 lanes
+  kNeon = 2,    ///< aarch64 NEON via compiler vectorization of the
+                ///< scalar kernels (baseline on that architecture)
+};
+
+[[nodiscard]] const char* levelName(Level l) noexcept;
+
+/// The best level this build + this CPU supports (detected once).
+[[nodiscard]] Level detectedLevel() noexcept;
+
+/// The level the kernels currently dispatch to (detected unless forced).
+[[nodiscard]] Level activeLevel() noexcept;
+
+/// Force dispatch at or below the detected level (benchmarks force
+/// kScalar to measure the roofline baseline). Passing a level above
+/// detectedLevel() clamps. Not thread-safe against in-flight kernels;
+/// call from single-threaded setup/bench code only.
+void forceLevel(Level l) noexcept;
+
+// -- Kernel-hit counters ---------------------------------------------------
+// Process-wide relaxed atomics, split by the path that served the
+// work. Ticked once per DBM-level operation (close, inclusion scan,
+// batch normalize...), NOT per row primitive — one fetch_add per O(n^2)
+// kernel would dominate the kernel itself. The engines snapshot the
+// counters around a run to report Stats.simdKernelOps / scalarKernelOps.
+
+[[nodiscard]] size_t vectorOps() noexcept;
+[[nodiscard]] size_t scalarOps() noexcept;
+void resetCounters() noexcept;
+
+/// Record one DBM-level operation against the active path's counter
+/// (kScalar → scalarOps, anything vectorized → vectorOps).
+void noteOp() noexcept;
+
+// -- Row primitives --------------------------------------------------------
+
+/// dst[j] = min(dst[j], boundAdd(add, row[j])) for j in [0, n).
+/// `add` must be finite; infinity in row[] is absorbing (stays inf).
+void rowMinPlus(raw_t* dst, const raw_t* row, raw_t add, size_t n) noexcept;
+
+/// True iff outer[j] >= inner[j] for all j in [0, n)  (outer ⊇ inner
+/// for canonical zones).
+[[nodiscard]] bool rowsInclude(const raw_t* outer, const raw_t* inner,
+                               size_t n) noexcept;
+
+/// Entrywise comparison summary for Dbm::relation.
+struct CompareResult {
+  bool anyLess = false;     ///< some a[j] < b[j]
+  bool anyGreater = false;  ///< some a[j] > b[j]
+};
+[[nodiscard]] CompareResult rowCompare(const raw_t* a, const raw_t* b,
+                                       size_t n) noexcept;
+
+/// dst[j] = min(dst[j], src[j]).
+void rowMinEq(raw_t* dst, const raw_t* src, size_t n) noexcept;
+
+// -- 8-lane transposed (structure-of-arrays) primitives --------------------
+// `lanes` points at 8 consecutive raw_t holding the same matrix element
+// of 8 different zones (ZoneBatch's block layout). Masks are 8-bit,
+// lane i = bit i.
+
+inline constexpr size_t kLanes = 8;
+
+/// Bits of `mask` stay set only for lanes with lanes[i] >= q
+/// (stored ⊇ query, one element).
+[[nodiscard]] uint32_t laneSupersetMask(const raw_t* lanes, raw_t q,
+                                        uint32_t mask) noexcept;
+
+/// Bits survive only for lanes with lanes[i] <= q (stored ⊆ query).
+[[nodiscard]] uint32_t laneSubsetMask(const raw_t* lanes, raw_t q,
+                                      uint32_t mask) noexcept;
+
+/// Bits survive only for lanes with lanes[i] == q.
+[[nodiscard]] uint32_t laneEqualMask(const raw_t* lanes, raw_t q,
+                                     uint32_t mask) noexcept;
+
+// Block-granular scans: one dispatch per whole 8-lane block instead of
+// one per element. The per-call dispatch (atomic level load + branch +
+// out-of-line call) costs more than the 8-lane compare it guards, so
+// the element-granular primitives above are for mixed/irregular use;
+// the covered() hot path runs these. Each walks `elems` consecutive
+// 8-lane groups of `blk` against the row-major query `q`, pruning
+// `mask`, and early-exits once the mask dies.
+
+[[nodiscard]] uint32_t blockSupersetMask(const raw_t* blk, const raw_t* q,
+                                         size_t elems,
+                                         uint32_t mask) noexcept;
+[[nodiscard]] uint32_t blockSubsetMask(const raw_t* blk, const raw_t* q,
+                                       size_t elems, uint32_t mask) noexcept;
+[[nodiscard]] uint32_t blockEqualMask(const raw_t* blk, const raw_t* q,
+                                      size_t elems, uint32_t mask) noexcept;
+
+/// Transposed rowMinPlus over 8 zones at once:
+///   dst[8j + i] = min(dst[8j + i], boundAdd(add[i], row[8j + i]))
+/// for j in [0, n) and every lane i. Infinite add[i] lanes are
+/// absorbing (contribute nothing).
+void laneMinPlus(raw_t* dst, const raw_t* row, const raw_t* add,
+                 size_t n) noexcept;
+
+}  // namespace dbm::simd

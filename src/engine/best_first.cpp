@@ -1,0 +1,362 @@
+#include "engine/best_first.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <queue>
+#include <unordered_map>
+
+#include "dbm/priced.hpp"
+#include "dbm/simd.hpp"
+#include "engine/interner.hpp"
+#include "engine/successors.hpp"
+
+namespace engine {
+
+namespace {
+
+/// Integer-adjusted infimum of the cost clock (see dbm::PricedDbm):
+/// the smallest integer B for which the zone intersects cost <= B.
+int64_t intCostInf(const dbm::Dbm& z, ta::ClockId costClock) {
+  const dbm::raw_t lo = z.at(0, static_cast<uint32_t>(costClock));
+  int64_t inf = -static_cast<int64_t>(dbm::boundValue(lo));
+  if (dbm::isStrict(lo) && lo != dbm::kInfinity) ++inf;
+  return inf;
+}
+
+struct Node {
+  uint32_t did = 0;     ///< interned discrete state
+  dbm::Dbm zone;        ///< canonical, cost clock protected
+  int64_t offset = 0;   ///< accumulated soft-guide penalties
+  int64_t g = 0;        ///< intCostInf(zone) + offset
+  uint32_t parent = kNoParent;
+  Transition via;
+
+  static constexpr uint32_t kNoParent = 0xffffffffu;
+
+  Node(uint32_t d, dbm::Dbm z, int64_t off, int64_t cost, uint32_t par,
+       Transition v)
+      : did(d), zone(std::move(z)), offset(off), g(cost), parent(par),
+        via(std::move(v)) {}
+};
+
+struct HeapEntry {
+  int64_t f = 0;
+  int64_t g = 0;
+  uint32_t node = 0;
+};
+
+/// Min-f; ties broken toward larger g (deeper, closer to the goal).
+struct HeapOrder {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
+    if (a.f != b.f) return a.f > b.f;
+    return a.g < b.g;
+  }
+};
+
+}  // namespace
+
+BestFirst::BestFirst(const ta::System& sys, Options opts,
+                     ta::ClockId costClock)
+    : sys_(sys), opts_(std::move(opts)), costClock_(costClock) {
+  assert(costClock_ >= 1 &&
+         static_cast<uint32_t>(costClock_) < sys.dbmDimension());
+}
+
+void BestFirst::setHeuristicTargets(
+    std::vector<std::vector<ta::LocId>> targets) {
+  assert(targets.size() == sys_.numAutomata());
+  targets_ = std::move(targets);
+  targetsSet_ = true;
+}
+
+BestFirstResult BestFirst::run(const Goal& goal) {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  const size_t simdOps0 = dbm::simd::vectorOps();
+  const size_t scalarOps0 = dbm::simd::scalarOps();
+
+  BestFirstResult res;
+
+  SuccessorGenerator gen(sys_, opts_);
+  gen.observeGoalConstraints(goal.clockConstraints);
+  gen.protectClock(costClock_);
+
+  if (!targetsSet_) {
+    targets_.assign(sys_.numAutomata(), {});
+    for (const auto& [p, l] : goal.locations) {
+      targets_[static_cast<size_t>(p)].push_back(l);
+    }
+  }
+  const ta::RemainingTimeTable rt =
+      ta::analyzeMinRemainingTime(sys_, targets_);
+
+  // Per-part transition labels for soft-guide matching (same rendering
+  // as SuccessorGenerator::label, split per participating edge).
+  std::vector<std::vector<std::string>> partLabels;
+  if (!opts_.softGuides.empty()) {
+    partLabels.resize(sys_.numAutomata());
+    for (size_t p = 0; p < sys_.numAutomata(); ++p) {
+      const ta::Automaton& a = sys_.automaton(static_cast<ta::ProcId>(p));
+      partLabels[p].reserve(a.edges().size());
+      for (const ta::Edge& e : a.edges()) {
+        if (e.label.empty()) {
+          partLabels[p].push_back(a.name() + "." + a.location(e.src).name +
+                                  "->" + a.location(e.dst).name);
+        } else if (e.label.find('.') != std::string::npos) {
+          partLabels[p].push_back(e.label);
+        } else {
+          partLabels[p].push_back(a.name() + "." + e.label);
+        }
+      }
+    }
+  }
+  const auto penaltyOf = [&](const Transition& t) -> int64_t {
+    if (opts_.softGuides.empty()) return 0;
+    int64_t w = 0;
+    for (const TransitionPart& part : t.parts) {
+      const std::string& lbl =
+          partLabels[static_cast<size_t>(part.proc)]
+                    [static_cast<size_t>(part.edge)];
+      for (const SoftGuide& sg : opts_.softGuides) {
+        // Negative weights would break the admissibility of the
+        // time-only heuristic; clamp them out rather than mis-prune.
+        if (sg.weight > 0 && lbl.find(sg.labelContains) != std::string::npos) {
+          w += sg.weight;
+        }
+      }
+    }
+    return w;
+  };
+
+  StateInterner interner;
+  std::vector<Node> nodes;
+  std::vector<char> alive;     // still stored (not displaced by domination)
+  std::vector<char> expanded;  // popped at least once
+  std::unordered_map<uint32_t, std::vector<uint32_t>> buckets;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapOrder> open;
+
+  int64_t incumbent = incumbent0_ >= 0 ? incumbent0_ : -1;
+  uint32_t goalNode = Node::kNoParent;
+  size_t zoneBytes = 0;
+  size_t peakBytes = 0;
+
+  const auto heuristic = [&](const DiscreteState& d) -> int64_t {
+    return rt.lowerBound(d.locs);
+  };
+
+  // Constrain a candidate zone to costs that can still beat the
+  // incumbent (cost + offset <= incumbent - 1). False = prunable.
+  const auto applyIncumbent = [&](dbm::Dbm& z, int64_t offset) -> bool {
+    if (incumbent < 0) return true;
+    dbm::PricedDbm pz(std::move(z), static_cast<uint32_t>(costClock_),
+                      offset);
+    const bool ok = pz.constrainCost(incumbent - 1) && !pz.empty();
+    z = std::move(pz.zone());
+    return ok;
+  };
+
+  // Cost-aware insertion with domination pruning in both directions.
+  // Returns the stored node's index, or kNoParent when an existing
+  // entry dominates the candidate (or it cannot beat the incumbent).
+  const auto tryInsert = [&](const DiscreteState& d, dbm::Dbm&& zone,
+                             int64_t offset, uint32_t parent,
+                             Transition via) -> std::pair<uint32_t, int64_t> {
+    constexpr auto kNone = std::pair<uint32_t, int64_t>{Node::kNoParent, 0};
+    const uint32_t did = interner.intern(d);
+    auto& bucket = buckets[did];
+    for (uint32_t si : bucket) {
+      const Node& s = nodes[si];
+      if (s.offset <= offset && s.zone.includes(zone)) return kNone;
+    }
+    for (size_t k = 0; k < bucket.size();) {
+      const uint32_t si = bucket[k];
+      const Node& s = nodes[si];
+      if (offset <= s.offset && zone.includes(s.zone)) {
+        if (expanded[si]) ++res.stats.reopenings;
+        alive[si] = 0;
+        // The zone is dead weight from here on: nothing consults a
+        // displaced entry again (domination goes through the bucket,
+        // the trace only needs locations and transitions).
+        zoneBytes -= nodes[si].zone.memoryBytes();
+        nodes[si].zone = dbm::Dbm(1);
+        bucket[k] = bucket.back();
+        bucket.pop_back();
+      } else {
+        ++k;
+      }
+    }
+    const int64_t g =
+        intCostInf(zone, costClock_) + offset;
+    const int64_t h = heuristic(d);
+    if (h >= ta::kUnreachableRemaining) return kNone;  // dead end
+    const int64_t f = g + h;
+    if (incumbent >= 0 && f >= incumbent) return kNone;
+    zoneBytes += zone.memoryBytes();
+    const auto idx = static_cast<uint32_t>(nodes.size());
+    nodes.emplace_back(did, std::move(zone), offset, g, parent,
+                       std::move(via));
+    alive.push_back(1);
+    expanded.push_back(0);
+    bucket.push_back(idx);
+    open.push(HeapEntry{f, g, idx});
+    return {idx, f};
+  };
+
+  // Root.
+  {
+    SymbolicState s0 = gen.initial();
+    dbm::Dbm z0 = std::move(s0.zone);
+    if (applyIncumbent(z0, 0)) {
+      tryInsert(s0.d, std::move(z0), 0, Node::kNoParent, Transition{});
+    }
+  }
+
+  // Expansion order is best-first with a greedy dive bias: after
+  // expanding a node, its cheapest inserted child is expanded next,
+  // bypassing the heap. The chain follows one schedule depth-first
+  // (finding incumbents as fast as guided DFS does); when it dies —
+  // dominated, cost-pruned, or childless — the heap supplies the best
+  // global frontier node, which doubles as the backtracking point.
+  // Optimality is untouched: the proof only needs the heap's f
+  // watermark, and every dive node still holds a (now stale) heap
+  // entry, so the watermark never skips an unexpanded node.
+  bool cut = false;
+  uint32_t dive = Node::kNoParent;
+  while (true) {
+    if (opts_.maxSeconds > 0.0 &&
+        std::chrono::duration<double>(Clock::now() - t0).count() >
+            opts_.maxSeconds) {
+      res.stats.cutoff = Cutoff::kTime;
+      cut = true;
+      break;
+    }
+    if (opts_.maxStates > 0 && res.stats.statesExplored >= opts_.maxStates) {
+      res.stats.cutoff = Cutoff::kStates;
+      cut = true;
+      break;
+    }
+    if (opts_.maxMemoryBytes > 0 && zoneBytes > opts_.maxMemoryBytes) {
+      res.stats.cutoff = Cutoff::kMemory;
+      cut = true;
+      break;
+    }
+
+    uint32_t cur = Node::kNoParent;
+    if (dive != Node::kNoParent) {
+      const uint32_t cand = dive;
+      dive = Node::kNoParent;
+      if (alive[cand] && !expanded[cand]) {
+        const int64_t f =
+            nodes[cand].g + heuristic(interner.get(nodes[cand].did));
+        if (incumbent < 0 || f < incumbent) cur = cand;
+      }
+    }
+    if (cur == Node::kNoParent) {
+      if (open.empty()) break;
+      const HeapEntry top = open.top();
+      open.pop();
+      if (incumbent >= 0 && top.f >= incumbent) {
+        // Every remaining entry has f >= top.f: nothing can beat the
+        // incumbent. The optimum is proven.
+        break;
+      }
+      // Displaced by domination, or already expanded through a dive
+      // (dives leave their heap entries behind).
+      if (!alive[top.node] || expanded[top.node]) continue;
+      cur = top.node;
+    }
+    expanded[cur] = 1;
+    ++res.stats.statesExplored;
+
+    const DiscreteState& d = interner.get(nodes[cur].did);
+
+    if (goal.matches(sys_, d, nodes[cur].zone)) {
+      // Goal cost: the zone's reachable cost minimum under the goal's
+      // own clock constraints (none in the pure-makespan use).
+      dbm::Dbm gz = nodes[cur].zone;
+      bool ok = true;
+      for (const ta::ClockConstraint& cc : goal.clockConstraints) {
+        if (!gz.constrain(static_cast<uint32_t>(cc.i),
+                          static_cast<uint32_t>(cc.j), cc.bound)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        const int64_t cost = intCostInf(gz, costClock_) + nodes[cur].offset;
+        if (incumbent < 0 || cost < incumbent) {
+          incumbent = cost;
+          goalNode = cur;
+          res.stats.incumbentCosts.push_back(cost);
+          if (incumbentCb_) {
+            SymbolicTrace t;
+            for (uint32_t n = cur; n != Node::kNoParent;
+                 n = nodes[n].parent) {
+              t.steps.push_back(TraceStep{
+                  nodes[n].via,
+                  SymbolicState{interner.get(nodes[n].did), nodes[n].zone}});
+            }
+            std::reverse(t.steps.begin(), t.steps.end());
+            incumbentCb_(cost, t);
+          }
+        }
+      }
+      // Cost never decreases along a path (time only grows and
+      // penalties are nonnegative): successors of a goal state cannot
+      // reach a cheaper goal.
+      continue;
+    }
+
+    uint32_t bestChild = Node::kNoParent;
+    int64_t bestF = 0;
+    int64_t bestG = 0;
+    for (Successor& succ : gen.successors(d, nodes[cur].zone)) {
+      ++res.stats.statesGenerated;
+      const int64_t offset = nodes[cur].offset + penaltyOf(succ.via);
+      dbm::Dbm z = std::move(succ.state.zone);
+      if (!applyIncumbent(z, offset)) continue;
+      const auto [idx, f] = tryInsert(succ.state.d, std::move(z), offset,
+                                      cur, std::move(succ.via));
+      if (idx != Node::kNoParent &&
+          (bestChild == Node::kNoParent || f < bestF ||
+           (f == bestF && nodes[idx].g > bestG))) {
+        bestChild = idx;
+        bestF = f;
+        bestG = nodes[idx].g;
+      }
+    }
+    dive = bestChild;
+    peakBytes = std::max(peakBytes, zoneBytes);
+  }
+
+  if (goalNode != Node::kNoParent) {
+    res.reachable = true;
+    res.cost = incumbent;
+    for (uint32_t n = goalNode; n != Node::kNoParent; n = nodes[n].parent) {
+      res.trace.steps.push_back(TraceStep{
+          nodes[n].via,
+          SymbolicState{interner.get(nodes[n].did), nodes[n].zone}});
+    }
+    std::reverse(res.trace.steps.begin(), res.trace.steps.end());
+  }
+  res.optimal = !cut;
+
+  res.stats.statesStored =
+      static_cast<size_t>(std::count(alive.begin(), alive.end(), 1));
+  res.stats.storedZones = res.stats.statesStored;
+  res.stats.bytesStored = zoneBytes;
+  res.stats.peakBytes = std::max(peakBytes, zoneBytes);
+  res.stats.statesInterned = interner.size();
+  res.stats.internHits = interner.hits();
+  res.stats.internBytes = interner.bytes();
+  res.stats.extrapolationCoarsenings = gen.extrapolationCoarsenings();
+  res.stats.inactiveClocksFreed = gen.inactiveClocksFreed();
+  res.stats.simdKernelOps = dbm::simd::vectorOps() - simdOps0;
+  res.stats.scalarKernelOps = dbm::simd::scalarOps() - scalarOps0;
+  res.stats.seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  return res;
+}
+
+}  // namespace engine

@@ -1,0 +1,99 @@
+// Cost-optimal best-first search over priced zones.
+//
+// A* on the priced symbolic graph: states are (discrete state, zone,
+// penalty offset) with the plant's never-reset makespan clock as the
+// cost dimension (dbm::PricedDbm semantics). Ordering key is
+// f = g + h, where g is the zone's integer-adjusted cost infimum plus
+// the accumulated soft-guide penalties and h is the static admissible
+// remaining-time bound from ta::analyzeMinRemainingTime. One run
+// replaces the paper's guided binary search — N reachability sweeps
+// collapse into a single expansion front that closes in on the optimum
+// from both sides (f from below, the anytime incumbent from above).
+//
+// Soundness notes, in order of subtlety:
+//  - The cost clock is protected from extrapolation and active-clock
+//    reduction (SuccessorGenerator::protectClock): widening it would
+//    lower cost infima and report a fake optimum.
+//  - An unextrapolated clock makes the zone graph infinite in
+//    principle; the incumbent bound restores finiteness — every
+//    generated zone is constrained to cost <= incumbent - 1, so
+//    bootstrapping an initial incumbent (e.g. from one first-found DFS
+//    run) both prunes and guarantees termination. Without any
+//    incumbent the run can diverge exactly like UPPAAL without an
+//    upper-bound guess; the caller's cut-offs still apply.
+//  - h is admissible but not necessarily consistent, so a cheaper path
+//    to an already-expanded region can surface late (a "reopening");
+//    optimality therefore rests on the f >= incumbent termination
+//    test, not on expansion order alone.
+//  - Inclusion pruning is cost-aware domination: a stored entry prunes
+//    a new one only if its zone contains it AND its penalty offset is
+//    no larger (pointwise cheaper everywhere, dbm::PricedDbm's
+//    dominates()).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "engine/options.hpp"
+#include "engine/reachability.hpp"
+#include "ta/bounds_analysis.hpp"
+#include "ta/system.hpp"
+
+namespace engine {
+
+struct BestFirstResult {
+  /// A goal state was reached; `cost` and `trace` are valid.
+  bool reachable = false;
+  /// The optimum was proven (the open queue drained or every remaining
+  /// f reached the incumbent). False on a cut-off: `cost` is then only
+  /// the best incumbent found so far.
+  bool optimal = false;
+  /// Minimal makespan plus soft-guide penalties (-1 if unreachable).
+  int64_t cost = -1;
+  Stats stats;
+  SymbolicTrace trace;
+};
+
+class BestFirst {
+ public:
+  /// `costClock` is the system's never-reset cost clock (the plant's
+  /// makespan clock). `opts.softGuides` weight the transitions;
+  /// `opts.order` is ignored (the queue is f-ordered).
+  BestFirst(const ta::System& sys, Options opts, ta::ClockId costClock);
+
+  /// Per-process heuristic target locations. Defaults to the goal's
+  /// own location constraints; callers with domain knowledge (the
+  /// plant's per-batch "done" locations) widen this so h is nonzero
+  /// for processes the goal only constrains indirectly.
+  void setHeuristicTargets(std::vector<std::vector<ta::LocId>> targets);
+
+  /// Bootstrap upper bound for a cost already known to be achievable
+  /// (e.g. the makespan of a first-found DFS schedule). Pruning is
+  /// exclusive — the search only looks for strictly cheaper schedules,
+  /// so run() reporting `!reachable && optimal` proves the bound itself
+  /// is the optimum. Callers keep the bootstrap trace around for that
+  /// case. Only sound when the bound is an upper bound on the total
+  /// cost: with soft-guide penalties a plain makespan is not.
+  void setInitialIncumbent(int64_t bound) { incumbent0_ = bound; }
+
+  /// Anytime stream: invoked on every strictly improving incumbent
+  /// with its cost and trace, before the search continues.
+  void onIncumbent(std::function<void(int64_t, const SymbolicTrace&)> cb) {
+    incumbentCb_ = std::move(cb);
+  }
+
+  [[nodiscard]] BestFirstResult run(const Goal& goal);
+
+ private:
+  const ta::System& sys_;
+  Options opts_;
+  ta::ClockId costClock_;
+  std::vector<std::vector<ta::LocId>> targets_;
+  bool targetsSet_ = false;
+  int64_t incumbent0_ = -1;
+  std::function<void(int64_t, const SymbolicTrace&)> incumbentCb_;
+};
+
+}  // namespace engine

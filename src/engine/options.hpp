@@ -6,9 +6,22 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <string_view>
+#include <vector>
 
 namespace engine {
+
+/// One weighted soft requirement for the cost-optimal engine (the
+/// DCSynth-style guides): every fired transition whose label contains
+/// `labelContains` adds `weight` to the path cost. Positive weights
+/// steer the search away from matching edges (prefer-crane-1,
+/// minimize-resends); the optimum then minimizes makespan plus the
+/// accumulated penalties.
+struct SoftGuide {
+  std::string labelContains;
+  int64_t weight = 0;
+};
 
 enum class SearchOrder : uint8_t {
   kBfs,        ///< breadth-first (UPPAAL default)
@@ -132,6 +145,10 @@ struct Options {
 
   /// Seed for kRandomDfs.
   uint64_t seed = 1;
+
+  /// Soft-guide penalties, consumed by the best-first engine only (the
+  /// plain reachability engines ignore them — they have no cost).
+  std::vector<SoftGuide> softGuides;
 
   /// Explore successors in reverse generation order (DFS only). The
   /// generation order follows process declaration order, so this flips

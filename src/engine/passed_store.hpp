@@ -34,6 +34,7 @@
 
 #include "dbm/dbm.hpp"
 #include "dbm/minimal.hpp"
+#include "dbm/zone_batch.hpp"
 #include "engine/interner.hpp"
 #include "engine/options.hpp"
 #include "engine/state.hpp"
@@ -72,16 +73,9 @@ class PassedStore {
       }
       return false;
     }
-    const dbm::raw_t* q = z.rawData().data();
-    const size_t zb = blockSize();
-    for (uint32_t k = 0; k < e->nzones; ++k) {
-      const dbm::raw_t* s = e->zones.data() + k * zb;
-      if (inclusion_ ? rawIncludes(s, q, zb)
-                     : std::memcmp(s, q, zb * sizeof(dbm::raw_t)) == 0) {
-        return true;
-      }
-    }
-    return false;
+    // Full mode: one SoA scan over the bucket's ZoneBatch.
+    return inclusion_ ? e->zones.anySuperset(z.rawData())
+                      : e->zones.containsEqual(z.rawData());
   }
 
   /// Insert the zone under the interned discrete state `did`. The
@@ -125,8 +119,8 @@ class PassedStore {
     uint64_t hash = 0;
     uint32_t key = 0;  ///< intern id of the discrete part
     uint32_t nzones = 0;
-    /// Full mode: nzones contiguous dim*dim row-major blocks.
-    std::vector<dbm::raw_t> zones;
+    /// Full mode: the bucket's zones in SoA form (8-lane blocks).
+    dbm::ZoneBatch zones;
     /// Compact mode: concatenated reduced edge lists, delimited by moffs
     /// (moffs[k] .. moffs[k+1] are zone k's edges; moffs.size() ==
     /// nzones + 1).
@@ -136,17 +130,6 @@ class PassedStore {
 
   [[nodiscard]] size_t blockSize() const noexcept {
     return size_t{dim_} * dim_;
-  }
-
-  /// outer ⊇ inner for raw canonical blocks: every outer entry is at
-  /// least the inner one.
-  [[nodiscard]] static bool rawIncludes(const dbm::raw_t* outer,
-                                        const dbm::raw_t* inner,
-                                        size_t n) noexcept {
-    for (size_t k = 0; k < n; ++k) {
-      if (outer[k] < inner[k]) return false;
-    }
-    return true;
   }
 
   [[nodiscard]] std::span<const dbm::MinimalDbm::Entry> edgeSpan(
@@ -232,29 +215,26 @@ class PassedStore {
 
   void insertFull(Entry& e, const dbm::Dbm& z) {
     const size_t zb = blockSize();
+    e.zones.init(dim_);
     const dbm::Dbm* add = &z;
     dbm::Dbm merged(1);
     for (bool again = true; again;) {
       again = false;
-      const dbm::raw_t* raw = add->rawData().data();
       if (inclusion_) {
-        // Drop stored zones the new one subsumes (swap-remove keeps the
-        // arena contiguous).
-        for (uint32_t k = 0; k < e.nzones;) {
-          if (rawIncludes(raw, e.zones.data() + k * zb, zb)) {
-            removeFullZone(e, k);
-          } else {
-            ++k;
-          }
-        }
+        // Drop stored zones the new one subsumes (one SoA scan;
+        // swap-remove keeps the blocks dense).
+        const size_t removed = e.zones.pruneSubsets(add->rawData());
+        zones_ -= removed;
+        bytes_ -= removed * zb * sizeof(dbm::raw_t);
       }
       if (merge_) {
-        for (uint32_t k = 0; k < e.nzones; ++k) {
-          const dbm::Dbm stored =
-              dbm::Dbm::fromSpan(dim_, {e.zones.data() + k * zb, zb});
+        for (size_t k = 0; k < e.zones.size(); ++k) {
+          const dbm::Dbm stored = e.zones.zoneAt(k);
           dbm::Dbm out(1);
           if (dbm::Dbm::tryConvexUnion(stored, *add, &out, kMergeMaxPieces)) {
-            removeFullZone(e, k);
+            e.zones.swapRemove(k);
+            --zones_;
+            bytes_ -= zb * sizeof(dbm::raw_t);
             ++merges_;
             merged = std::move(out);
             add = &merged;
@@ -266,24 +246,10 @@ class PassedStore {
         }
       }
     }
-    const auto raw = add->rawData();
-    e.zones.insert(e.zones.end(), raw.begin(), raw.end());
-    ++e.nzones;
+    e.zones.push(*add);
+    e.nzones = static_cast<uint32_t>(e.zones.size());
     ++zones_;
     bytes_ += zb * sizeof(dbm::raw_t);
-  }
-
-  void removeFullZone(Entry& e, uint32_t k) {
-    const size_t zb = blockSize();
-    const uint32_t last = e.nzones - 1;
-    if (k != last) {
-      std::memcpy(e.zones.data() + k * zb, e.zones.data() + size_t{last} * zb,
-                  zb * sizeof(dbm::raw_t));
-    }
-    e.zones.resize(size_t{last} * zb);
-    e.nzones = last;
-    --zones_;
-    bytes_ -= zb * sizeof(dbm::raw_t);
   }
 
   void insertCompact(Entry& e, const dbm::Dbm& z) {

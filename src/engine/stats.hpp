@@ -44,6 +44,18 @@ struct Stats {
   size_t storeBytes = 0;      ///< bytes held by the passed store proper
                               ///< (excludes interner and search stack)
 
+  // -- Best-first engine only (zero / empty elsewhere) ------------------
+  size_t reopenings = 0;  ///< insertions that displaced an already-
+                          ///< expanded dominated entry (inconsistent-h
+                          ///< rework)
+  /// Monotonically improving incumbent costs in discovery order; the
+  /// last entry is the optimum when the run proved it.
+  std::vector<int64_t> incumbentCosts;
+
+  // -- DBM kernel dispatch (process-wide deltas around the run) ---------
+  size_t simdKernelOps = 0;    ///< DBM-level ops served by a vector path
+  size_t scalarKernelOps = 0;  ///< ops served by the scalar fallback
+
   // -- Parallel engines only (empty / zero on the sequential ones) ------
   std::vector<size_t> perThreadExplored;  ///< states expanded per worker
   size_t lockContention = 0;  ///< shard-lock try_lock failures

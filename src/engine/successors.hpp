@@ -68,6 +68,19 @@ class SuccessorGenerator {
     }
   }
 
+  /// Exclude one clock from active-clock reduction and from every
+  /// extrapolation operator outright, by folding the largest encodable
+  /// constant into its bounds. The best-first engine protects its cost
+  /// clock this way: widening (or freeing) the cost clock would shrink
+  /// the zone's cost infimum and the reported "optimal" cost with it.
+  void protectClock(ta::ClockId c) {
+    assert(c > 0 && static_cast<size_t>(c) < protected_.size());
+    protected_[static_cast<size_t>(c)] = true;
+    maxBounds_[static_cast<size_t>(c)] = dbm::kMaxValue;
+    baseLower_[static_cast<size_t>(c)] = dbm::kMaxValue;
+    baseUpper_[static_cast<size_t>(c)] = dbm::kMaxValue;
+  }
+
   [[nodiscard]] const ta::System& system() const noexcept { return sys_; }
 
   /// Cumulative over every state this generator normalized (all

@@ -29,6 +29,110 @@ void foldConstraint(const ClockConstraint& cc, std::vector<dbm::value_t>& lo,
 
 }  // namespace
 
+RemainingTimeTable analyzeMinRemainingTime(
+    const System& sys, const std::vector<std::vector<LocId>>& targets) {
+  assert(sys.finalized() && "System::finalize() must run before analysis");
+  assert(targets.size() == sys.numAutomata());
+  const size_t dim = sys.dbmDimension();
+  constexpr int64_t kInf = kUnreachableRemaining;
+
+  RemainingTimeTable table;
+  table.entry_.resize(sys.numAutomata());
+  table.from_.resize(sys.numAutomata());
+  table.hasTargets_.resize(sys.numAutomata());
+
+  for (size_t pi = 0; pi < sys.numAutomata(); ++pi) {
+    const Automaton& a = sys.automaton(static_cast<ProcId>(pi));
+    const size_t nLocs = a.numLocations();
+    auto& entry = table.entry_[pi];
+    auto& from = table.from_[pi];
+    table.hasTargets_[pi] = !targets[pi].empty();
+    if (targets[pi].empty()) {
+      // Unconstrained automaton: zero everywhere, never prunes.
+      entry.assign(nLocs, 0);
+      from.assign(nLocs, 0);
+      continue;
+    }
+
+    // fresh[l][x]: clock x is provably 0 whenever l is entered — every
+    // incoming edge resets it to 0, and reaching the initial location
+    // "from the start" (all clocks 0) counts as a resetting entry.
+    std::vector<std::vector<bool>> fresh(nLocs,
+                                         std::vector<bool>(dim, true));
+    for (const Edge& e : a.edges()) {
+      auto& f = fresh[static_cast<size_t>(e.dst)];
+      for (size_t x = 1; x < dim; ++x) {
+        const bool zeroed = std::any_of(
+            e.resets.begin(), e.resets.end(), [&](const ClockReset& r) {
+              return static_cast<size_t>(r.clock) == x && r.value == 0;
+            });
+        if (!zeroed) f[x] = false;
+      }
+    }
+    // A location no edge enters and that is not initial is unreachable;
+    // its freshness is irrelevant. (The initial location's virtual
+    // entry satisfies every freshness claim.)
+
+    // wait[e]: time that must pass inside src(e) before edge e can
+    // fire, from lower-bound guards x >= c / x > c on fresh clocks.
+    const auto& edges = a.edges();
+    std::vector<int64_t> wait(edges.size(), 0);
+    for (size_t ei = 0; ei < edges.size(); ++ei) {
+      const auto& f = fresh[static_cast<size_t>(edges[ei].src)];
+      for (const ClockConstraint& cc : edges[ei].clockGuard) {
+        if (cc.i != 0 || cc.j == 0) continue;  // not a lower bound
+        if (!f[static_cast<size_t>(cc.j)]) continue;
+        const int64_t c = -dbm::boundValue(cc.bound);
+        if (c > wait[ei]) wait[ei] = c;
+      }
+    }
+
+    // Backward Bellman fixpoint for entry(): targets at 0, everything
+    // else the min over outgoing edges of wait + entry(dst). Values
+    // only decrease from kInf and are bounded below by 0, so the
+    // iteration terminates (each pass that changes anything lowers at
+    // least one location; paths are finite).
+    std::vector<int64_t> d(nLocs, kInf);
+    for (LocId t : targets[pi]) d[static_cast<size_t>(t)] = 0;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t ei = 0; ei < edges.size(); ++ei) {
+        const auto src = static_cast<size_t>(edges[ei].src);
+        if (d[src] == 0) continue;  // targets stay 0
+        const int64_t dd = d[static_cast<size_t>(edges[ei].dst)];
+        if (dd == kInf) continue;
+        const int64_t via = std::min(kInf, wait[ei] + dd);
+        if (via < d[src]) {
+          d[src] = via;
+          changed = true;
+        }
+      }
+    }
+
+    // from(): the current state may already have dwelt at l with the
+    // guard clocks grown past their bounds, so its own wait must be
+    // dropped — only the successors' entry() values survive.
+    entry.assign(nLocs, 0);
+    from.assign(nLocs, 0);
+    for (size_t li = 0; li < nLocs; ++li) {
+      entry[li] = static_cast<dbm::value_t>(d[li]);
+      if (d[li] == 0) {
+        from[li] = 0;
+        continue;
+      }
+      int64_t best = kInf;
+      for (int32_t ei : a.outgoing(static_cast<LocId>(li))) {
+        const int64_t dd =
+            d[static_cast<size_t>(edges[static_cast<size_t>(ei)].dst)];
+        if (dd < best) best = dd;
+      }
+      from[li] = static_cast<dbm::value_t>(best);
+    }
+  }
+  return table;
+}
+
 LUTable analyzeClockBounds(const System& sys) {
   assert(sys.finalized() && "System::finalize() must run before analysis");
   const size_t dim = sys.dbmDimension();

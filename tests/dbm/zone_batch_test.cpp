@@ -1,0 +1,250 @@
+// ZoneBatch (the AoSoA passed-store arena) against the plain Dbm
+// operations it transposes: scans (anySuperset / containsEqual /
+// pruneSubsets) must agree with one-zone-at-a-time inclusion checks,
+// and the batched normalization (upAll / closeAll) with per-zone
+// up()/closure — on both the scalar and the vectorized dispatch path.
+// Also the PR's Dbm special-member fixes: self-assignment and the
+// hash invalidation contract of the batch extraction API (assignRaw).
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dbm/simd.hpp"
+#include "dbm/zone_batch.hpp"
+
+namespace dbm {
+namespace {
+
+Dbm randomZone(std::mt19937_64& rng, uint32_t dim, int box) {
+  std::uniform_int_distribution<int> c(0, box);
+  std::uniform_int_distribution<uint32_t> clk(1, dim - 1);
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_int_distribution<int> nCons(0, 4);
+  for (;;) {
+    Dbm z = Dbm::unconstrained(dim);
+    bool ok = true;
+    const int n = nCons(rng);
+    for (int k = 0; k < n && ok; ++k) {
+      const uint32_t i = clk(rng);
+      if (coin(rng) != 0) {
+        ok = z.constrain(i, 0, boundWeak(c(rng)));
+      } else {
+        ok = z.constrain(0, i, boundWeak(-c(rng)));
+      }
+    }
+    if (ok && !z.isEmpty()) return z;
+  }
+}
+
+/// Reference closure: textbook Floyd–Warshall with saturating bound
+/// addition, independent of the SIMD kernels under test.
+void referenceClose(std::vector<raw_t>& m, uint32_t dim) {
+  for (uint32_t k = 0; k < dim; ++k) {
+    for (uint32_t i = 0; i < dim; ++i) {
+      const raw_t ik = m[i * dim + k];
+      if (ik == kInfinity) continue;
+      for (uint32_t j = 0; j < dim; ++j) {
+        const raw_t kj = m[k * dim + j];
+        if (kj == kInfinity) continue;
+        const raw_t via = boundAdd(ik, kj);
+        if (via < m[i * dim + j]) m[i * dim + j] = via;
+      }
+    }
+  }
+}
+
+class ZoneBatchTest : public ::testing::TestWithParam<simd::Level> {
+ protected:
+  void SetUp() override { simd::forceLevel(GetParam()); }
+  void TearDown() override { simd::forceLevel(simd::detectedLevel()); }
+};
+
+TEST_P(ZoneBatchTest, PushRoundTripsThroughAtAndZoneAt) {
+  std::mt19937_64 rng(7);
+  const uint32_t dim = 4;
+  ZoneBatch batch(dim);
+  std::vector<Dbm> ref;
+  for (int i = 0; i < 21; ++i) {  // 2 full blocks + a partial one
+    ref.push_back(randomZone(rng, dim, 9));
+    batch.push(ref.back());
+  }
+  ASSERT_EQ(batch.size(), ref.size());
+  for (size_t z = 0; z < ref.size(); ++z) {
+    EXPECT_EQ(batch.zoneAt(z), ref[z]) << "zone " << z;
+    for (uint32_t i = 0; i < dim; ++i) {
+      for (uint32_t j = 0; j < dim; ++j) {
+        ASSERT_EQ(batch.at(z, i, j), ref[z].at(i, j));
+      }
+    }
+  }
+}
+
+TEST_P(ZoneBatchTest, ScansAgreeWithPerZoneInclusion) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    std::mt19937_64 rng(seed);
+    const uint32_t dim = 2 + static_cast<uint32_t>(seed % 3);
+    ZoneBatch batch(dim);
+    std::vector<Dbm> ref;
+    const size_t n = 1 + static_cast<size_t>(rng() % 20);
+    for (size_t i = 0; i < n; ++i) {
+      ref.push_back(randomZone(rng, dim, 5));
+      batch.push(ref.back());
+    }
+    for (int q = 0; q < 8; ++q) {
+      // Mix fresh zones with exact copies of stored ones so the equal /
+      // superset / subset branches all trigger.
+      const Dbm query = (q % 3 == 0) ? ref[rng() % ref.size()]
+                                     : randomZone(rng, dim, 5);
+      const bool super = std::any_of(ref.begin(), ref.end(), [&](const Dbm& z) {
+        return z.includes(query);
+      });
+      const bool equal = std::any_of(ref.begin(), ref.end(), [&](const Dbm& z) {
+        return z == query;
+      });
+      EXPECT_EQ(batch.anySuperset(query.rawData()), super)
+          << "seed " << seed << " query " << q;
+      EXPECT_EQ(batch.containsEqual(query.rawData()), equal)
+          << "seed " << seed << " query " << q;
+    }
+  }
+}
+
+TEST_P(ZoneBatchTest, PruneSubsetsMatchesBruteForce) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    std::mt19937_64 rng(seed);
+    const uint32_t dim = 2 + static_cast<uint32_t>(seed % 3);
+    ZoneBatch batch(dim);
+    std::vector<Dbm> ref;
+    const size_t n = 1 + static_cast<size_t>(rng() % 20);
+    for (size_t i = 0; i < n; ++i) {
+      ref.push_back(randomZone(rng, dim, 4));  // small box: subsets common
+      batch.push(ref.back());
+    }
+    const Dbm query = randomZone(rng, dim, 4);
+    std::vector<Dbm> expect;
+    for (const Dbm& z : ref) {
+      if (!query.includes(z)) expect.push_back(z);
+    }
+    const size_t removed = batch.pruneSubsets(query.rawData());
+    EXPECT_EQ(removed, ref.size() - expect.size()) << "seed " << seed;
+    ASSERT_EQ(batch.size(), expect.size()) << "seed " << seed;
+    // Survivors as a multiset — pruning swap-removes, order is free.
+    std::vector<Dbm> got;
+    for (size_t i = 0; i < batch.size(); ++i) got.push_back(batch.zoneAt(i));
+    for (const Dbm& z : expect) {
+      const auto it = std::find(got.begin(), got.end(), z);
+      ASSERT_NE(it, got.end()) << "seed " << seed << ": survivor lost";
+      got.erase(it);
+    }
+    EXPECT_TRUE(got.empty()) << "seed " << seed;
+  }
+}
+
+TEST_P(ZoneBatchTest, SwapRemoveKeepsRemainingZones) {
+  std::mt19937_64 rng(11);
+  const uint32_t dim = 3;
+  ZoneBatch batch(dim);
+  std::vector<Dbm> ref;
+  for (int i = 0; i < 10; ++i) {
+    ref.push_back(randomZone(rng, dim, 9));
+    batch.push(ref.back());
+  }
+  while (!ref.empty()) {
+    const size_t idx = rng() % ref.size();
+    batch.swapRemove(idx);
+    std::swap(ref[idx], ref.back());
+    ref.pop_back();
+    ASSERT_EQ(batch.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(batch.zoneAt(i), ref[i]);
+    }
+  }
+}
+
+TEST_P(ZoneBatchTest, UpAllMatchesPerZoneUp) {
+  std::mt19937_64 rng(23);
+  const uint32_t dim = 4;
+  ZoneBatch batch(dim);
+  std::vector<Dbm> ref;
+  for (int i = 0; i < 13; ++i) {
+    ref.push_back(randomZone(rng, dim, 9));
+    batch.push(ref.back());
+  }
+  batch.upAll();
+  for (size_t i = 0; i < ref.size(); ++i) {
+    ref[i].up();
+    EXPECT_EQ(batch.zoneAt(i), ref[i]) << "zone " << i;
+  }
+}
+
+TEST_P(ZoneBatchTest, CloseAllMatchesReferenceClosure) {
+  // Feed deliberately non-canonical matrices (a canonical zone with one
+  // entry weakened) so the closure has real work in every lane.
+  std::mt19937_64 rng(31);
+  const uint32_t dim = 4;
+  ZoneBatch batch(dim);
+  std::vector<std::vector<raw_t>> raws;
+  for (int z = 0; z < 19; ++z) {
+    const Dbm base = randomZone(rng, dim, 9);
+    std::vector<raw_t> m(base.rawData().begin(), base.rawData().end());
+    const uint32_t i = 1 + static_cast<uint32_t>(rng() % (dim - 1));
+    const uint32_t j = static_cast<uint32_t>(rng() % dim);
+    if (i != j && m[i * dim + j] != kInfinity) {
+      m[i * dim + j] = boundWeak(boundValue(m[i * dim + j]) + 3);
+    }
+    batch.push(std::span<const raw_t>(m));
+    raws.push_back(std::move(m));
+  }
+  batch.closeAll();
+  for (size_t z = 0; z < raws.size(); ++z) {
+    referenceClose(raws[z], dim);
+    ASSERT_FALSE(batch.zoneEmpty(z)) << "zone " << z;
+    for (uint32_t i = 0; i < dim; ++i) {
+      for (uint32_t j = 0; j < dim; ++j) {
+        ASSERT_EQ(batch.at(z, i, j), raws[z][i * dim + j])
+            << "zone " << z << " entry (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dispatch, ZoneBatchTest,
+    ::testing::Values(simd::Level::kScalar, simd::detectedLevel()),
+    [](const ::testing::TestParamInfo<simd::Level>& info) {
+      return simd::levelName(info.param);
+    });
+
+// -- Dbm special members / hash contract --------------------------------
+
+TEST(DbmHash, CopiedZoneMutatedThroughAssignRawDiverges) {
+  Dbm a = Dbm::unconstrained(3);
+  ASSERT_TRUE(a.constrain(1, 0, boundWeak(5)));
+  const size_t ha = a.hash();  // memoize before copying
+  Dbm b(a);
+  EXPECT_EQ(b.hash(), ha);  // identical content may share the hash
+
+  Dbm other = Dbm::unconstrained(3);
+  ASSERT_TRUE(other.constrain(2, 0, boundWeak(1)));
+  b.assignRaw(other.rawData());
+  EXPECT_EQ(b, other);
+  EXPECT_EQ(b.hash(), other.hash()) << "stale memoized hash survived";
+  EXPECT_NE(b.hash(), ha);
+  EXPECT_EQ(a.hash(), ha) << "source zone must be unaffected";
+}
+
+TEST(DbmHash, SelfAssignmentIsANoOp) {
+  Dbm a = Dbm::unconstrained(4);
+  ASSERT_TRUE(a.constrain(1, 2, boundWeak(3)));
+  const Dbm snapshot(a);
+  Dbm* alias = &a;  // defeat -Wself-assign
+  a = *alias;
+  EXPECT_EQ(a, snapshot);
+  a = std::move(*alias);
+  EXPECT_EQ(a, snapshot);
+}
+
+}  // namespace
+}  // namespace dbm

@@ -1,0 +1,213 @@
+// Properties of the best-first heuristic (analyzeMinRemainingTime):
+//
+//  - Admissibility: for random systems with a never-reset makespan
+//    clock, the table's bound at the initial state never exceeds the
+//    true optimal makespan (established independently by bounded
+//    reachability probes — the binary-search oracle).
+//  - Consistency at the table level: from() is the min over outgoing
+//    entry() values, entry() dominates from(), targets sit at zero —
+//    the Bellman fixpoint inequalities h rests on.
+//  - Freshness: a guard only contributes wait time when every incoming
+//    edge resets the guarded clock; the conservative cases pin this.
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/reachability.hpp"
+#include "ta/bounds_analysis.hpp"
+#include "ta/system.hpp"
+
+namespace ta {
+namespace {
+
+struct RandomModel {
+  ta::System sys;
+  ClockId gtime = -1;  ///< never-reset makespan clock
+  std::vector<ProcId> procs;
+  std::vector<LocId> targets;  ///< one terminal location per process
+};
+
+/// A random network of 1-2 forward-chain automata: each hop guards
+/// `x >= c` on a clock usually (not always) reset by the previous hop,
+/// plus occasional forward skip edges. Always feasible — the chain
+/// itself reaches the final location.
+RandomModel buildRandom(std::mt19937_64& rng) {
+  RandomModel m;
+  m.gtime = m.sys.addClock("g");
+  const size_t nProcs = 1 + rng() % 2;
+  for (size_t p = 0; p < nProcs; ++p) {
+    const ClockId x = m.sys.addClock("x" + std::to_string(p));
+    const ProcId pid = m.sys.addAutomaton("R" + std::to_string(p));
+    m.procs.push_back(pid);
+    auto& a = m.sys.automaton(pid);
+    const size_t nLocs = 2 + rng() % 4;
+    std::vector<LocId> locs;
+    for (size_t l = 0; l < nLocs; ++l) {
+      locs.push_back(a.addLocation("l" + std::to_string(l)));
+    }
+    a.setInitial(locs[0]);
+    m.targets.push_back(locs.back());
+    for (size_t l = 0; l + 1 < nLocs; ++l) {
+      auto e = m.sys.edge(pid, locs[l], locs[l + 1])
+                   .when(ccGe(x, static_cast<int32_t>(rng() % 6)));
+      if (rng() % 4 != 0) e.reset(x);  // mostly fresh, sometimes not
+      // Forward skip: a cheaper alternative route the Bellman min must
+      // account for.
+      if (l + 2 < nLocs && rng() % 3 == 0) {
+        m.sys.edge(pid, locs[l], locs[l + 2])
+            .when(ccGe(x, static_cast<int32_t>(rng() % 6)))
+            .reset(x);
+      }
+    }
+  }
+  m.sys.finalize();
+  return m;
+}
+
+engine::Goal goalOf(const RandomModel& m) {
+  engine::Goal g;
+  for (size_t p = 0; p < m.procs.size(); ++p) {
+    g.locations.push_back({m.procs[p], m.targets[p]});
+  }
+  return g;
+}
+
+/// True optimal makespan by linear probing of `gtime <= B` — the same
+/// oracle the binary-search optimizer trusts, minus the bisection.
+int32_t optimalMakespan(const RandomModel& m, int32_t maxBound) {
+  for (int32_t b = 0; b <= maxBound; ++b) {
+    engine::Goal g = goalOf(m);
+    g.clockConstraints.push_back(ccLe(m.gtime, b));
+    engine::Options opts;
+    engine::Reachability checker(m.sys, opts);
+    if (checker.run(g).reachable) return b;
+  }
+  ADD_FAILURE() << "target unreachable within bound " << maxBound;
+  return -1;
+}
+
+std::vector<std::vector<LocId>> targetsOf(const RandomModel& m) {
+  std::vector<std::vector<LocId>> t(m.sys.numAutomata());
+  for (size_t p = 0; p < m.procs.size(); ++p) {
+    t[static_cast<size_t>(m.procs[p])].push_back(m.targets[p]);
+  }
+  return t;
+}
+
+TEST(HeuristicProperty, AdmissibleAtTheInitialState) {
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    std::mt19937_64 rng(seed);
+    const RandomModel m = buildRandom(rng);
+    const RemainingTimeTable rt =
+        analyzeMinRemainingTime(m.sys, targetsOf(m));
+    std::vector<LocId> init;
+    for (size_t p = 0; p < m.sys.numAutomata(); ++p) {
+      init.push_back(m.sys.automaton(static_cast<ProcId>(p)).initial());
+    }
+    const dbm::value_t h = rt.lowerBound(init);
+    ASSERT_LT(h, kUnreachableRemaining) << "seed " << seed;
+    const int32_t opt = optimalMakespan(m, 64);
+    ASSERT_GE(opt, 0) << "seed " << seed;
+    EXPECT_LE(h, opt) << "seed " << seed
+                      << ": heuristic overestimates the optimum";
+  }
+}
+
+TEST(HeuristicProperty, TableIsABellmanFixpoint) {
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    std::mt19937_64 rng(seed);
+    const RandomModel m = buildRandom(rng);
+    const RemainingTimeTable rt =
+        analyzeMinRemainingTime(m.sys, targetsOf(m));
+    for (size_t pi = 0; pi < m.procs.size(); ++pi) {
+      const ProcId p = m.procs[pi];
+      const Automaton& a = m.sys.automaton(p);
+      ASSERT_TRUE(rt.hasTargets(p));
+      EXPECT_EQ(rt.entry(p, m.targets[pi]), 0) << "seed " << seed;
+      EXPECT_EQ(rt.from(p, m.targets[pi]), 0) << "seed " << seed;
+      for (LocId l = 0; l < static_cast<LocId>(a.numLocations()); ++l) {
+        // A state may have dwelt arbitrarily long: from() must not
+        // exceed the fresh-entry estimate...
+        EXPECT_LE(rt.from(p, l), rt.entry(p, l)) << "seed " << seed;
+        // ...and is the min over successors' entry() values — the
+        // consistency inequality of the search ordering.
+        for (const int32_t ei : a.outgoing(l)) {
+          const Edge& e = a.edges()[static_cast<size_t>(ei)];
+          EXPECT_LE(rt.from(p, l), rt.entry(p, e.dst))
+              << "seed " << seed << " proc " << pi << " edge " << ei;
+        }
+      }
+    }
+  }
+}
+
+TEST(HeuristicProperty, GuardOnUnfreshClockContributesNoWait) {
+  // A --(no reset)--> B --(x >= 5)--> C: x may already be large when B
+  // is entered, so the analysis must not charge the 5.
+  ta::System sys;
+  const ClockId x = sys.addClock("x");
+  const ProcId p = sys.addAutomaton("A");
+  auto& a = sys.automaton(p);
+  const LocId la = a.addLocation("a");
+  const LocId lb = a.addLocation("b");
+  const LocId lc = a.addLocation("c");
+  a.setInitial(la);
+  sys.edge(p, la, lb);  // no reset: x stale at b
+  sys.edge(p, lb, lc).when(ccGe(x, 5));
+  sys.finalize();
+  const RemainingTimeTable rt = analyzeMinRemainingTime(sys, {{lc}});
+  EXPECT_EQ(rt.entry(p, lb), 0);
+  EXPECT_EQ(rt.entry(p, la), 0);
+}
+
+TEST(HeuristicProperty, GuardOnFreshClockChargesTheWait) {
+  ta::System sys;
+  const ClockId x = sys.addClock("x");
+  const ProcId p = sys.addAutomaton("A");
+  auto& a = sys.automaton(p);
+  const LocId la = a.addLocation("a");
+  const LocId lb = a.addLocation("b");
+  const LocId lc = a.addLocation("c");
+  a.setInitial(la);
+  sys.edge(p, la, lb).reset(x);
+  sys.edge(p, lb, lc).when(ccGe(x, 5));
+  sys.finalize();
+  const RemainingTimeTable rt = analyzeMinRemainingTime(sys, {{lc}});
+  EXPECT_EQ(rt.entry(p, lb), 5);
+  EXPECT_EQ(rt.entry(p, la), 5);
+  EXPECT_EQ(rt.entry(p, lc), 0);
+  // Initial locations count as fresh entries (the virtual entry resets
+  // everything — all clocks start at 0), so waits chain from the start:
+  ta::System sys2;
+  const ClockId y = sys2.addClock("y");
+  const ProcId q = sys2.addAutomaton("B");
+  auto& b = sys2.automaton(q);
+  const LocId m0 = b.addLocation("m0");
+  const LocId m1 = b.addLocation("m1");
+  b.setInitial(m0);
+  sys2.edge(q, m0, m1).when(ccGe(y, 7));
+  sys2.finalize();
+  const RemainingTimeTable rt2 = analyzeMinRemainingTime(sys2, {{m1}});
+  EXPECT_EQ(rt2.entry(q, m0), 7);
+}
+
+TEST(HeuristicProperty, UnreachableLocationsReportTheSentinel) {
+  ta::System sys;
+  const ProcId p = sys.addAutomaton("A");
+  auto& a = sys.automaton(p);
+  const LocId la = a.addLocation("a");
+  const LocId lb = a.addLocation("b");
+  const LocId trap = a.addLocation("trap");
+  a.setInitial(la);
+  sys.edge(p, la, lb);
+  sys.edge(p, la, trap);  // dead end: no way back to b
+  sys.finalize();
+  const RemainingTimeTable rt = analyzeMinRemainingTime(sys, {{lb}});
+  EXPECT_EQ(rt.entry(p, trap), kUnreachableRemaining);
+  const std::vector<LocId> dead{trap};
+  EXPECT_EQ(rt.lowerBound(dead), kUnreachableRemaining);
+}
+
+}  // namespace
+}  // namespace ta
