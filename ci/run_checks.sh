@@ -13,7 +13,12 @@
 #                 property suites, isolated so a CI trajectory can
 #                 re-run just them (differential engine comparison,
 #                 DBM/minimal-form oracles, plant properties,
-#                 bit-state hashing).
+#                 bit-state hashing, parser mutation/soup fuzzing).
+#   2b. frontend— the .gta compiler pipeline by name: the golden
+#                 diagnostic corpus (including the coverage gate that
+#                 every DiagCode enumerator is exercised by at least
+#                 one corpus file), span/rendering units, the
+#                 print->parse->print fixpoint, and lint soundness.
 #   3. tsan     — fresh -DSANITIZE=thread build, ctest -L parallel:
 #                 every multi-threaded explorer (parallel BFS,
 #                 work-stealing DFS, portfolio) under ThreadSanitizer.
@@ -60,6 +65,15 @@ ctest --test-dir build --output-on-failure -j "$jobs"
 
 echo "== stage 2: fuzz label (randomized suites) =="
 ctest --test-dir build --output-on-failure -L fuzz -j "$jobs"
+
+echo "== stage 2b: frontend golden-diagnostic suite (release) =="
+# Also part of the stage-1 full ctest; re-run by name so a frontend
+# regression is reported as its own stage. GoldenDiag.CoverageAllCodes
+# is the gate that every DiagCode enumerator appears in >= 1 corpus
+# file; the ParserFuzz suites carry the fuzz label and additionally run
+# under ASan+UBSan in stage 4.
+ctest --test-dir build --output-on-failure -j "$jobs" \
+  -R 'GoldenDiag|LexerSpans|DiagnosticSpans|ErrorCap|Rendering|LegacyShim|RoundTrip\.|LintSoundness'
 
 echo "== stage 5a: storage-engine perf gates (release) =="
 # Also part of the stage-1 full ctest; re-run by name so a storage

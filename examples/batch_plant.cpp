@@ -5,11 +5,13 @@
 // Usage: batch_plant [batches] [guides: all|some|none] [search: dfs|bfs|rdfs]
 //                    [seconds] [--trace] [--threads N] [--portfolio]
 //                    [--extrapolation none|global|location|lu]
+//                    [--no-lint] [--Werror]
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "diag_util.hpp"
 #include "engine/trace.hpp"
 #include "plant/plant.hpp"
 
@@ -35,7 +37,9 @@ int main(int argc, char** argv) {
                                : engine::SearchOrder::kDfs;
   }
   if (argc > 4) opts.maxSeconds = std::atof(argv[4]);
+  examples::FrontendFlags frontend;
   for (int i = 5; i < argc; ++i) {
+    if (frontend.consume(argv[i])) continue;
     if (std::string(argv[i]) == "--trace") showTrace = true;
     if (std::string(argv[i]) == "--reverse") opts.dfsReverse = true;
     if (std::string(argv[i]) == "--portfolio") opts.portfolio = true;
@@ -58,6 +62,7 @@ int main(int argc, char** argv) {
   cfg.guides = guides;
   if (const char* gap = std::getenv("CAST_GAP")) cfg.castGap = std::atoi(gap);
   const auto p = plant::buildPlant(cfg);
+  examples::lintHandBuilt(p->sys, frontend, "batch_plant");
   std::cout << "plant: " << p->numAutomata() << " automata, "
             << p->numClocks() << " clocks, " << p->sys.numVars()
             << " variables (" << plant::toString(guides) << ")\n";

@@ -5,6 +5,7 @@
 // Usage: check_model <model-file> [bfs|dfs|rdfs] [--trace] [--threads N]
 //                    [--portfolio] [--extrapolation none|global|location|lu]
 //                    [--stats-json] [--no-intern] [--merge-zones]
+//                    [--no-lint] [--Werror]
 //
 // --threads N parallelizes whichever order is selected (level-
 // synchronous BFS, work-stealing DFS); --portfolio races N independent
@@ -13,11 +14,17 @@
 // --no-intern / --merge-zones toggle the storage engine (discrete-state
 // hash-consing off, exact convex-union zone merging on). --stats-json
 // prints one JSON object per query with the full engine statistics.
+//
+// Frontend diagnostics are cumulative: a malformed model reports every
+// error (file:line:col, with notes) before exiting, and lint warnings
+// from the static-analysis passes print unless --no-lint. --Werror
+// turns those warnings into exit status 3.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "diag_util.hpp"
 #include "engine/reachability.hpp"
 #include "engine/trace.hpp"
 #include "ta/parser.hpp"
@@ -69,26 +76,20 @@ int main(int argc, char** argv) {
     std::cerr << "usage: check_model <model-file> [bfs|dfs|rdfs] [--trace]"
                  " [--threads N] [--portfolio]"
                  " [--extrapolation none|global|location|lu]"
-                 " [--stats-json] [--no-intern] [--merge-zones]\n";
+                 " [--stats-json] [--no-intern] [--merge-zones]"
+                 " [--no-lint] [--Werror]\n";
     return 2;
   }
-  std::ifstream in(argv[1]);
-  if (!in) {
-    std::cerr << "cannot open " << argv[1] << "\n";
-    return 2;
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
+  // Frontend flags are scanned up front: loading happens before the
+  // engine flag loop runs.
+  examples::FrontendFlags frontend;
+  for (int i = 2; i < argc; ++i) frontend.consume(argv[i]);
 
-  std::string err;
-  auto parsed = ta::parseModel(buf.str(), &err);
-  if (!parsed.has_value()) {
-    std::cerr << argv[1] << ": " << err << "\n";
-    return 2;
-  }
-  std::cout << "model: " << parsed->system->numAutomata() << " automata, "
-            << parsed->system->numClocks() << " clocks, "
-            << parsed->system->numVars() << " variables\n";
+  const ta::FrontendResult parsed =
+      examples::loadModelOrExit(argv[1], frontend);
+  std::cout << "model: " << parsed.system->numAutomata() << " automata, "
+            << parsed.system->numClocks() << " clocks, "
+            << parsed.system->numVars() << " variables\n";
 
   engine::Options opts;
   bool showTrace = false;
@@ -113,15 +114,15 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (parsed->queries.empty()) {
+  if (parsed.queries.empty()) {
     std::cout << "no queries in the model file\n";
     return 0;
   }
   int failures = 0;
-  for (size_t q = 0; q < parsed->queries.size(); ++q) {
-    const ta::ParsedQuery& pq = parsed->queries[q];
+  for (size_t q = 0; q < parsed.queries.size(); ++q) {
+    const ta::ParsedQuery& pq = parsed.queries[q];
     engine::Goal goal{pq.locations, pq.predicate, pq.clockConstraints};
-    engine::Reachability checker(*parsed->system, opts);
+    engine::Reachability checker(*parsed.system, opts);
     const engine::Result res = checker.run(goal);
     std::cout << "query " << q + 1 << ": "
               << (res.reachable ? "REACHABLE" : "unreachable") << "  ("
@@ -131,9 +132,10 @@ int main(int argc, char** argv) {
       printStatsJson(std::cout, q + 1, res.reachable, res.stats);
     }
     if (res.reachable && showTrace) {
-      const auto ct = engine::concretize(*parsed->system, res.trace, &err);
+      std::string err;
+      const auto ct = engine::concretize(*parsed.system, res.trace, &err);
       if (ct.has_value()) {
-        std::cout << engine::toString(*parsed->system, *ct);
+        std::cout << engine::toString(*parsed.system, *ct);
       } else {
         std::cout << "  (trace concretization failed: " << err << ")\n";
         ++failures;

@@ -15,6 +15,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "diag_util.hpp"
 #include "engine/trace.hpp"
 #include "plant/plant.hpp"
 #include "rcx/plant_sim.hpp"
@@ -25,11 +26,13 @@
 namespace {
 
 engine::Extrapolation g_extrapolation = engine::Extrapolation::kLocationLUPlus;
+examples::FrontendFlags g_frontend;
 
 bool pipeline(const plant::PlantConfig& cfg, const char* title,
               const simcli::Options& fault) {
   std::cout << "\n--- " << title << " ---\n";
   const auto p = plant::buildPlant(cfg);
+  examples::lintHandBuilt(p->sys, g_frontend, title);
   engine::Options opts;
   opts.order = engine::SearchOrder::kDfs;
   opts.dfsReverse = true;
@@ -74,13 +77,15 @@ int main(int argc, char** argv) {
   simcli::Options fault;
   for (int i = 1; i < argc; ++i) {
     if (simcli::consume(fault, argc, argv, i)) continue;
+    if (g_frontend.consume(argv[i])) continue;
     if (std::strcmp(argv[i], "--extrapolation") == 0 && i + 1 < argc) {
       if (!engine::parseExtrapolation(argv[++i], &g_extrapolation)) {
         std::cerr << "unknown extrapolation mode: " << argv[i] << "\n";
         return 2;
       }
     } else {
-      std::cerr << "usage: fault_hunt [--extrapolation mode]\n  "
+      std::cerr << "usage: fault_hunt [--extrapolation mode] [--no-lint]"
+                   " [--Werror]\n  "
                 << simcli::kUsage << "\n";
       return 2;
     }

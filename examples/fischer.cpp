@@ -13,6 +13,7 @@
 //
 // Usage: fischer [processes] [D] [K] [--threads N] [--dfs|--rdfs]
 //                [--portfolio] [--extrapolation none|global|location|lu]
+//                [--no-lint] [--Werror]
 //
 // The default order is BFS; --dfs / --rdfs switch to the depth-first
 // orders, which --threads N parallelizes with the work-stealing
@@ -25,6 +26,7 @@
 #include <iostream>
 #include <vector>
 
+#include "diag_util.hpp"
 #include "engine/reachability.hpp"
 #include "ta/system.hpp"
 
@@ -71,7 +73,9 @@ int main(int argc, char** argv) {
   bool portfolio = false;
   engine::Extrapolation extrapolation = engine::Extrapolation::kLocationLUPlus;
   std::vector<int> positional;
+  examples::FrontendFlags frontend;
   for (int i = 1; i < argc; ++i) {
+    if (frontend.consume(argv[i])) continue;
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--dfs") == 0) {
@@ -102,6 +106,7 @@ int main(int argc, char** argv) {
             << " extrapolation\n";
 
   Fischer model(n, d, k);
+  examples::lintHandBuilt(model.sys, frontend, "fischer");
 
   // Violation query: any two processes simultaneously critical.
   bool violated = false;

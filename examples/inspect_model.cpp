@@ -3,15 +3,26 @@
 // Figures 7/8/9 (recipe, crane, batch automata).
 //
 // Usage: inspect_model [guides: all|some|none] [process-name-substring]
+//                       [--no-lint] [--Werror]
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "diag_util.hpp"
 #include "plant/plant.hpp"
 
 int main(int argc, char** argv) {
   plant::GuideLevel guides = plant::GuideLevel::kAll;
+  examples::FrontendFlags frontend;
   std::string filter;
+  // Frontend flags may appear anywhere; positionals keep their slots.
+  std::vector<char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (!frontend.consume(argv[i])) pos.push_back(argv[i]);
+  }
+  argc = static_cast<int>(pos.size()) + 1;
+  for (size_t i = 0; i < pos.size(); ++i) argv[i + 1] = pos[i];
   if (argc > 1) {
     const std::string g = argv[1];
     guides = g == "none"   ? plant::GuideLevel::kNone
@@ -24,6 +35,7 @@ int main(int argc, char** argv) {
   cfg.order = {plant::qualityAB(), plant::qualityA()};
   cfg.guides = guides;
   const auto p = plant::buildPlant(cfg);
+  examples::lintHandBuilt(p->sys, frontend, "inspect_model");
 
   std::cout << "=== " << plant::toString(guides) << " ===\n";
   if (filter.empty()) {

@@ -29,6 +29,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "diag_util.hpp"
 #include "plant/plant.hpp"
 #include "synthesis/schedule.hpp"
 
@@ -84,7 +85,9 @@ int main(int argc, char** argv) {
   oo.engine.dfsReverse = true;
   oo.engine.maxSeconds = 60.0;
   const char* optimizerName = "binary";
+  examples::FrontendFlags frontend;
   for (int i = 1; i < argc; ++i) {
+    if (frontend.consume(argv[i])) continue;
     if (std::strcmp(argv[i], "--optimizer") == 0 && i + 1 < argc) {
       optimizerName = argv[++i];
       if (!synthesis::parseOptimizer(optimizerName, &oo.optimizer)) {
@@ -125,6 +128,7 @@ int main(int argc, char** argv) {
   cfg.order = plant::standardOrder(batches);
   cfg.makespanClock = true;
   const auto p = plant::buildPlant(cfg);
+  examples::lintHandBuilt(p->sys, frontend, "optimize_makespan");
   oo.heuristicTargets = heuristicTargets(*p);
 
   const synthesis::OptimizeResult res =

@@ -7,16 +7,20 @@
 // listener that records the signal.
 //
 // Usage: quickstart [--extrapolation none|global|location|lu]
+//                    [--no-lint] [--Werror]
 #include <cstring>
 #include <iostream>
 
+#include "diag_util.hpp"
 #include "engine/reachability.hpp"
 #include "engine/trace.hpp"
 #include "ta/system.hpp"
 
 int main(int argc, char** argv) {
   engine::Options opts;
+  examples::FrontendFlags frontend;
   for (int i = 1; i < argc; ++i) {
+    if (frontend.consume(argv[i])) continue;
     if (std::strcmp(argv[i], "--extrapolation") == 0 && i + 1 < argc) {
       if (!engine::parseExtrapolation(argv[++i], &opts.extrapolation)) {
         std::cerr << "unknown extrapolation mode: " << argv[i] << "\n";
@@ -53,6 +57,7 @@ int main(int argc, char** argv) {
       .assign(count, sys.rd(count) + 1);
 
   sys.finalize();
+  examples::lintHandBuilt(sys, frontend, "quickstart");
   std::cout << sys.dump() << "\n";
 
   // Reachability: can the listener receive with count == 1?

@@ -19,6 +19,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "diag_util.hpp"
 #include "engine/trace.hpp"
 #include "plant/plant.hpp"
 #include "rcx/plant_sim.hpp"
@@ -32,9 +33,11 @@ int main(int argc, char** argv) {
   engine::Extrapolation extrapolation = engine::Extrapolation::kLocationLUPlus;
   simcli::Options fault;
   fault.loss = 0.01;
+  examples::FrontendFlags frontend;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (simcli::consume(fault, argc, argv, i)) continue;
+    if (frontend.consume(argv[i])) continue;
     if (std::strcmp(argv[i], "--extrapolation") == 0 && i + 1 < argc) {
       if (!engine::parseExtrapolation(argv[++i], &extrapolation)) {
         std::cerr << "unknown extrapolation mode: " << argv[i] << "\n";
@@ -57,6 +60,7 @@ int main(int argc, char** argv) {
   plant::PlantConfig cfg;
   cfg.order = plant::standardOrder(batches);
   const auto p = plant::buildPlant(cfg);
+  examples::lintHandBuilt(p->sys, frontend, "synthesize_and_run");
   std::cout << "[1] model: " << p->numAutomata() << " automata, "
             << p->numClocks() << " clocks\n";
 

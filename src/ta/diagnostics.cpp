@@ -1,0 +1,84 @@
+#include "ta/diagnostics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+namespace ta {
+
+namespace {
+
+constexpr std::array kCodeNames = {
+#define TA_DIAG_NAME(name, str) str,
+    TA_DIAG_CODE_TABLE(TA_DIAG_NAME)
+#undef TA_DIAG_NAME
+};
+
+constexpr std::array kAllCodes = {
+#define TA_DIAG_VALUE(name, str) DiagCode::name,
+    TA_DIAG_CODE_TABLE(TA_DIAG_VALUE)
+#undef TA_DIAG_VALUE
+};
+
+}  // namespace
+
+const char* diagCodeName(DiagCode code) {
+  return kCodeNames[static_cast<size_t>(code)];
+}
+
+bool diagCodeFromName(const std::string& name, DiagCode* out) {
+  for (size_t i = 0; i < kCodeNames.size(); ++i) {
+    if (name == kCodeNames[i]) {
+      *out = static_cast<DiagCode>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::span<const DiagCode> allDiagCodes() { return kAllCodes; }
+
+bool isLintCode(DiagCode code) { return diagCodeName(code)[0] == 'L'; }
+
+std::string toString(const Diagnostic& d, const std::string& file) {
+  std::ostringstream os;
+  if (!file.empty()) os << file << ":";
+  if (d.span.line > 0) os << d.span.line << ":" << d.span.col << ":";
+  if (!file.empty() || d.span.line > 0) os << " ";
+  os << (d.severity == Severity::kError ? "error" : "warning") << "["
+     << diagCodeName(d.code) << "]: " << d.message;
+  if (!d.note.empty()) os << "\n  note: " << d.note;
+  return os.str();
+}
+
+std::string renderDiagnostics(const std::vector<Diagnostic>& ds,
+                              const std::string& file) {
+  std::ostringstream os;
+  for (const Diagnostic& d : ds) os << toString(d, file) << "\n";
+  return os.str();
+}
+
+size_t countErrors(const std::vector<Diagnostic>& ds) {
+  return static_cast<size_t>(
+      std::count_if(ds.begin(), ds.end(), [](const Diagnostic& d) {
+        return d.severity == Severity::kError;
+      }));
+}
+
+size_t countWarnings(const std::vector<Diagnostic>& ds) {
+  return static_cast<size_t>(
+      std::count_if(ds.begin(), ds.end(), [](const Diagnostic& d) {
+        return d.severity == Severity::kWarning;
+      }));
+}
+
+void sortBySource(std::vector<Diagnostic>& ds) {
+  std::stable_sort(ds.begin(), ds.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.span.line != b.span.line)
+                       return a.span.line < b.span.line;
+                     return a.span.col < b.span.col;
+                   });
+}
+
+}  // namespace ta

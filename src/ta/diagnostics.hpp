@@ -1,0 +1,108 @@
+// Structured diagnostics for the .gta frontend.
+//
+// Every problem the frontend finds — lexical, syntactic, or from the
+// static-analysis (lint) passes — is a `Diagnostic`: a severity, a
+// stable machine-readable code (P0xx for parse errors, L0xx for
+// lints), the exact source span of the offending token or construct,
+// a human message, and an optional secondary note ("first declared at
+// line 3"). A single frontend run produces *many* diagnostics: the
+// parser recovers at declaration, process-item, and edge-item
+// boundaries instead of bailing on the first error.
+//
+// The code table is an X-macro so the enum, the names, and the
+// all-codes list (used by the golden-corpus coverage gate in
+// tests/ta/golden_diag_test.cpp) can never drift apart.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ta {
+
+/// Half-open source region: 1-based line and column plus a length in
+/// characters. `line == 0` means "no position" (diagnostics on
+/// hand-built models that never came from text).
+struct Span {
+  int line = 0;
+  int col = 0;
+  int len = 0;
+};
+
+enum class Severity : uint8_t { kError, kWarning };
+
+// clang-format off
+#define TA_DIAG_CODE_TABLE(X)                                          \
+  /* --- parse / lex errors --------------------------------------- */ \
+  X(kUnexpectedToken,           "P001")                                \
+  X(kUnexpectedDecl,            "P002")                                \
+  X(kRedefinition,              "P003")                                \
+  X(kUndefinedName,             "P004")                                \
+  X(kBadConstant,               "P005")                                \
+  X(kBadSync,                   "P006")                                \
+  X(kUnterminatedString,        "P007")                                \
+  X(kInvalidCharacter,          "P008")                                \
+  X(kBadClockConstraint,        "P009")                                \
+  X(kNestingTooDeep,            "P010")                                \
+  X(kTooManyErrors,             "P011")                                \
+  X(kEmptyProcess,              "P012")                                \
+  /* --- lint passes (always warnings) ---------------------------- */ \
+  X(kUnusedClock,               "L001")                                \
+  X(kUnusedVar,                 "L002")                                \
+  X(kUnusedChannel,             "L003")                                \
+  X(kUnreachableLocation,       "L004")                                \
+  X(kGuardContradictsInvariant, "L005")                                \
+  X(kNeverEnabledEdge,          "L006")                                \
+  X(kSuspiciousUrgency,         "L007")                                \
+  X(kDuplicateLabel,            "L008")                                \
+  X(kConstantOutOfRange,        "L009")                                \
+  X(kNoQuery,                   "L010")
+// clang-format on
+
+enum class DiagCode : uint8_t {
+#define TA_DIAG_ENUM(name, str) name,
+  TA_DIAG_CODE_TABLE(TA_DIAG_ENUM)
+#undef TA_DIAG_ENUM
+};
+
+/// "P001", "L004", ... — the stable name written in golden-corpus
+/// expectation comments.
+[[nodiscard]] const char* diagCodeName(DiagCode code);
+
+/// Inverse of diagCodeName. Returns false for unknown names.
+[[nodiscard]] bool diagCodeFromName(const std::string& name, DiagCode* out);
+
+/// Every enumerator, in table order — the golden corpus must exercise
+/// all of them.
+[[nodiscard]] std::span<const DiagCode> allDiagCodes();
+
+/// True for the L-series codes emitted by the lint passes.
+[[nodiscard]] bool isLintCode(DiagCode code);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  DiagCode code = DiagCode::kUnexpectedToken;
+  Span span;
+  std::string message;
+  std::string note;  ///< Optional secondary line; empty if absent.
+};
+
+/// "file.gta:3:7: error[P004]: unknown clock 't'" (+ "  note: ..." on a
+/// second line when present). Omits the position for zero spans and the
+/// file prefix when `file` is empty.
+[[nodiscard]] std::string toString(const Diagnostic& d,
+                                   const std::string& file = {});
+
+/// All diagnostics, one per line (notes indented underneath).
+[[nodiscard]] std::string renderDiagnostics(const std::vector<Diagnostic>& ds,
+                                            const std::string& file = {});
+
+[[nodiscard]] size_t countErrors(const std::vector<Diagnostic>& ds);
+[[nodiscard]] size_t countWarnings(const std::vector<Diagnostic>& ds);
+
+/// Stable sort by (line, col) so parser and lint output interleave in
+/// source order.
+void sortBySource(std::vector<Diagnostic>& ds);
+
+}  // namespace ta

@@ -1,0 +1,79 @@
+// Token stream for the .gta model language, with precise source spans.
+//
+// Unlike the pre-diagnostics lexer this one never silently produces a
+// bogus end-of-input token: invalid characters are skipped (one
+// diagnostic per run of them), unterminated strings stop at the end of
+// the line with a diagnostic, and integer literals that overflow the
+// bound range are clamped with a diagnostic. Every token carries the
+// 1-based line:col span of its first character, so parse errors can
+// point at the exact offending token.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ta/diagnostics.hpp"
+
+namespace ta {
+
+enum class Tok : uint8_t {
+  kEnd, kIdent, kInt, kString,
+  kLBrace, kRBrace, kLBracket, kRBracket, kLParen, kRParen,
+  kSemi, kComma, kDot, kArrow, kAssign,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAnd, kOr, kNot, kBang, kQuest, kColon,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  int64_t value = 0;
+  Span span;
+};
+
+/// "';'", "'->'", "end of file", ... — for "expected X before Y"
+/// messages.
+[[nodiscard]] const char* tokName(Tok kind);
+
+/// Describe a concrete token for an error message: "'foo'" for
+/// identifiers, "'42'" for integers, "end of file" for kEnd, the
+/// symbol otherwise.
+[[nodiscard]] std::string describeToken(const Token& t);
+
+class Lexer {
+ public:
+  /// Lexical diagnostics (invalid characters, unterminated strings,
+  /// overflowing literals) are appended to *diags as they are found;
+  /// at most kMaxLexDiags are emitted per run so adversarial input
+  /// cannot flood the bag.
+  Lexer(const std::string& text, std::vector<Diagnostic>* diags);
+
+  [[nodiscard]] const Token& peek() const { return cur_; }
+  Token next() {
+    Token t = cur_;
+    advance();
+    return t;
+  }
+
+  static constexpr int kMaxLexDiags = 32;
+
+ private:
+  void advance();
+  void skipSpaceAndComments();
+  [[nodiscard]] Span here(int len) const;
+  void report(DiagCode code, Span span, std::string message);
+
+  // Owned copy: the lexer must stay valid when constructed from a
+  // temporary (tests and tools lex string literals directly).
+  std::string text_;
+  std::vector<Diagnostic>* diags_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  size_t lineStart_ = 0;  ///< Offset of the first character of line_.
+  int emitted_ = 0;
+  Token cur_;
+};
+
+}  // namespace ta

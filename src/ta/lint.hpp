@@ -1,0 +1,40 @@
+// Static-analysis passes over a parsed (or hand-built) network of
+// timed automata. Lint is *advisory*: it never changes the model, it
+// only appends warning diagnostics. The passes:
+//
+//   L001 unused clock           — never in a guard/invariant/reset/query
+//   L002 unused variable        — never read or written anywhere
+//   L003 unused channel         — no edge syncs on it (or one side only)
+//   L004 unreachable location   — no edge path from the initial location
+//   L005 guard vs invariant     — edge guard ∧ source invariant is empty
+//                                 (checked exactly on a DBM)
+//   L006 never-enabled edge     — clock guard unsatisfiable on its own,
+//                                 or constant-false integer guard
+//   L007 suspicious urgency     — urgent/committed location carrying an
+//                                 invariant, or with no outgoing edge
+//   L008 duplicate label        — the same explicit `label "..."` on
+//                                 two edges of one process
+//   L009 constant out of range  — clock bounds near the DBM overflow
+//                                 edge; constant array index out of
+//                                 bounds
+//   L010 no query               — the model declares no `query` line
+//
+// Spans come from the parser's SourceMap when available; hand-built
+// models get zero spans (the message still names the construct).
+#pragma once
+
+#include <vector>
+
+#include "ta/parser.hpp"
+
+namespace ta {
+
+/// Append lint warnings for `sys` to *out. `sys` may be finalized or
+/// not; the passes use only the construction-time tables.
+void runLints(const System& sys, const std::vector<ParsedQuery>& queries,
+              const SourceMap& map, std::vector<Diagnostic>* out);
+
+/// Convenience for hand-built models: no queries, no source spans.
+void runLints(const System& sys, std::vector<Diagnostic>* out);
+
+}  // namespace ta

@@ -1,202 +1,99 @@
 #include "ta/parser.hpp"
 
-#include <cctype>
 #include <map>
+#include <string>
+#include <utility>
+
+#include "ta/lexer.hpp"
+#include "ta/lint.hpp"
 
 namespace ta {
 
 namespace {
 
-// ---------------------------------------------------------------------
-// Lexer
-// ---------------------------------------------------------------------
+/// Thrown to abort the construct being parsed after a diagnostic has
+/// been emitted; the enclosing loop synchronizes to the next
+/// declaration / process-item / edge-item boundary and keeps going.
+struct Recover {};
 
-enum class Tok : uint8_t {
-  kEnd, kIdent, kInt, kString,
-  kLBrace, kRBrace, kLBracket, kRBracket, kLParen, kRParen,
-  kSemi, kComma, kDot, kArrow, kAssign,
-  kLt, kLe, kGt, kGe, kEq, kNe,
-  kPlus, kMinus, kStar, kSlash, kPercent,
-  kAnd, kOr, kNot, kBang, kQuest, kColon,
-};
+/// Thrown when the error cap is hit; aborts the whole parse.
+struct FatalStop {};
 
-struct Token {
-  Tok kind = Tok::kEnd;
-  std::string text;
-  int64_t value = 0;
-  int line = 1;
-};
+constexpr int kMaxExprDepth = 200;
 
-class Lexer {
- public:
-  explicit Lexer(const std::string& text) : text_(text) { advance(); }
+bool isDeclKeyword(const std::string& s) {
+  return s == "clock" || s == "int" || s == "chan" || s == "broadcast" ||
+         s == "process" || s == "query";
+}
 
-  [[nodiscard]] const Token& peek() const { return cur_; }
-  Token next() {
-    Token t = cur_;
-    advance();
-    return t;
-  }
-  [[nodiscard]] int line() const { return cur_.line; }
-
- private:
-  void advance() {
-    skipSpace();
-    cur_ = Token{};
-    cur_.line = line_;
-    if (pos_ >= text_.size()) return;  // kEnd
-    const char c = text_[pos_];
-    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-      size_t start = pos_;
-      while (pos_ < text_.size() &&
-             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
-              text_[pos_] == '_')) {
-        ++pos_;
-      }
-      cur_.kind = Tok::kIdent;
-      cur_.text = text_.substr(start, pos_ - start);
-      return;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      size_t start = pos_;
-      while (pos_ < text_.size() &&
-             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-        ++pos_;
-      }
-      cur_.kind = Tok::kInt;
-      cur_.value = std::stoll(text_.substr(start, pos_ - start));
-      return;
-    }
-    if (c == '"') {
-      size_t start = ++pos_;
-      while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
-      cur_.kind = Tok::kString;
-      cur_.text = text_.substr(start, pos_ - start);
-      if (pos_ < text_.size()) ++pos_;  // closing quote
-      return;
-    }
-    const auto two = [&](char a, char b, Tok k) {
-      if (c == a && pos_ + 1 < text_.size() && text_[pos_ + 1] == b) {
-        cur_.kind = k;
-        pos_ += 2;
-        return true;
-      }
-      return false;
-    };
-    if (two('-', '>', Tok::kArrow) || two('<', '=', Tok::kLe) ||
-        two('>', '=', Tok::kGe) || two('=', '=', Tok::kEq) ||
-        two('!', '=', Tok::kNe) || two('&', '&', Tok::kAnd) ||
-        two('|', '|', Tok::kOr)) {
-      return;
-    }
-    ++pos_;
-    switch (c) {
-      case '{': cur_.kind = Tok::kLBrace; break;
-      case '}': cur_.kind = Tok::kRBrace; break;
-      case '[': cur_.kind = Tok::kLBracket; break;
-      case ']': cur_.kind = Tok::kRBracket; break;
-      case '(': cur_.kind = Tok::kLParen; break;
-      case ')': cur_.kind = Tok::kRParen; break;
-      case ';': cur_.kind = Tok::kSemi; break;
-      case ',': cur_.kind = Tok::kComma; break;
-      case '.': cur_.kind = Tok::kDot; break;
-      case '=': cur_.kind = Tok::kAssign; break;
-      case '<': cur_.kind = Tok::kLt; break;
-      case '>': cur_.kind = Tok::kGt; break;
-      case '+': cur_.kind = Tok::kPlus; break;
-      case '-': cur_.kind = Tok::kMinus; break;
-      case '*': cur_.kind = Tok::kStar; break;
-      case '/': cur_.kind = Tok::kSlash; break;
-      case '%': cur_.kind = Tok::kPercent; break;
-      case '!': cur_.kind = Tok::kBang; break;
-      case '?': cur_.kind = Tok::kQuest; break;
-      case ':': cur_.kind = Tok::kColon; break;
-      default: cur_.kind = Tok::kEnd; break;  // caller reports error
-    }
-  }
-
-  void skipSpace() {
-    for (;;) {
-      while (pos_ < text_.size() &&
-             std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-        if (text_[pos_] == '\n') ++line_;
-        ++pos_;
-      }
-      if (pos_ + 1 < text_.size() && text_[pos_] == '/' &&
-          text_[pos_ + 1] == '/') {
-        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
-        continue;
-      }
-      break;
-    }
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-  int line_ = 1;
-  Token cur_;
-};
-
-// ---------------------------------------------------------------------
-// Parser
-// ---------------------------------------------------------------------
-
-struct ParseError {
-  int line;
-  std::string message;
-};
+bool isProcessItemKeyword(const std::string& s) {
+  return s == "loc" || s == "init" || s == "edge" || s == "urgent" ||
+         s == "committed";
+}
 
 class Parser {
  public:
-  explicit Parser(const std::string& text) : lex_(text) {
-    result_.system = std::make_unique<System>();
-  }
+  Parser(const std::string& text, const FrontendOptions& opts,
+         FrontendResult* out)
+      : lex_(text, &out->diagnostics), opts_(opts), out_(out) {}
 
-  std::optional<ParseResult> run(std::string* error) {
+  void run() {
     try {
       while (lex_.peek().kind != Tok::kEnd) {
-        const Token t = expect(Tok::kIdent, "declaration");
-        if (t.text == "clock") {
-          parseClockDecl();
-        } else if (t.text == "int") {
-          parseIntDecl();
-        } else if (t.text == "chan") {
-          parseChanDecl(ChanKind::kBinary);
-        } else if (t.text == "broadcast") {
-          expectKeyword("chan");
-          parseChanDecl(ChanKind::kBroadcast);
-        } else if (t.text == "process") {
-          parseProcess();
-        } else if (t.text == "query") {
-          parseQuery();
-        } else {
-          throw ParseError{t.line, "unexpected '" + t.text + "'"};
+        try {
+          parseTopLevel();
+        } catch (const Recover&) {
+          syncTopLevel();
         }
       }
-      sys().finalize();
-      return std::move(result_);
-    } catch (const ParseError& e) {
-      if (error != nullptr) {
-        *error = "line " + std::to_string(e.line) + ": " + e.message;
-      }
-      return std::nullopt;
+    } catch (const FatalStop&) {
+      // Error cap hit; whatever was parsed so far stands.
     }
   }
 
  private:
-  [[nodiscard]] System& sys() { return *result_.system; }
+  [[nodiscard]] System& sys() { return *out_->system; }
+  [[nodiscard]] SourceMap& map() { return out_->sourceMap; }
 
-  Token expect(Tok kind, const char* what) {
-    const Token t = lex_.next();
-    if (t.kind != kind) {
-      throw ParseError{t.line, std::string("expected ") + what};
+  // -- Diagnostics --------------------------------------------------------
+
+  void error(Span span, DiagCode code, std::string message,
+             std::string note = {}) {
+    if (errors_ >= opts_.maxErrors) {
+      out_->diagnostics.push_back(
+          {Severity::kError, DiagCode::kTooManyErrors, span,
+           "too many errors (" + std::to_string(errors_) + "); giving up",
+           {}});
+      throw FatalStop{};
     }
-    return t;
+    ++errors_;
+    out_->diagnostics.push_back({Severity::kError, code, span,
+                                 std::move(message), std::move(note)});
   }
 
-  void expectKeyword(const std::string& kw) {
-    const Token t = expect(Tok::kIdent, kw.c_str());
-    if (t.text != kw) throw ParseError{t.line, "expected '" + kw + "'"};
+  // -- Token helpers ------------------------------------------------------
+
+  /// Consume a token of the given kind. On mismatch: report the
+  /// *offending* token's exact span, leave it unconsumed (the sync
+  /// routines decide what to skip), and unwind to the nearest recovery
+  /// point.
+  Token expect(Tok kind, const char* what) {
+    if (lex_.peek().kind != kind) {
+      error(lex_.peek().span, DiagCode::kUnexpectedToken,
+            std::string("expected ") + what + " before " +
+                describeToken(lex_.peek()));
+      throw Recover{};
+    }
+    return lex_.next();
+  }
+
+  Token expectKeyword(const std::string& kw) {
+    const Token t = expect(Tok::kIdent, ("'" + kw + "'").c_str());
+    if (t.text != kw) {
+      error(t.span, DiagCode::kUnexpectedToken, "expected '" + kw + "'");
+      throw Recover{};
+    }
+    return t;
   }
 
   bool accept(Tok kind) {
@@ -207,20 +104,123 @@ class Parser {
     return false;
   }
 
-  // -- Declarations -----------------------------------------------------
+  // -- Synchronization ----------------------------------------------------
 
-  void checkFresh(const std::string& name, int line) {
-    if (clocks_.count(name) != 0 || vars_.count(name) != 0 ||
-        chans_.count(name) != 0 || procs_.count(name) != 0) {
-      throw ParseError{line, "'" + name + "' already declared"};
+  /// Skip to the next top-level declaration keyword, past a ';', or to
+  /// end of input. Braces opened while skipping are balanced so a
+  /// malformed process header swallows its whole body instead of
+  /// spraying "unexpected X" errors over every line of it.
+  void syncTopLevel() {
+    int depth = 0;
+    for (;;) {
+      const Token& t = lex_.peek();
+      if (t.kind == Tok::kEnd) return;
+      if (depth == 0) {
+        if (t.kind == Tok::kSemi) {
+          lex_.next();
+          return;
+        }
+        if (t.kind == Tok::kIdent && isDeclKeyword(t.text)) return;
+      }
+      if (t.kind == Tok::kLBrace) ++depth;
+      if (t.kind == Tok::kRBrace && depth > 0) --depth;
+      lex_.next();
     }
+  }
+
+  /// Skip to the next `loc` / `init` / `edge` / `urgent` / `committed`,
+  /// past a ';', or to the process's closing '}'. Balances nested
+  /// braces (a malformed edge header swallows the edge body).
+  void syncProcessItem() {
+    int depth = 0;
+    for (;;) {
+      const Token& t = lex_.peek();
+      if (t.kind == Tok::kEnd) return;
+      if (depth == 0) {
+        if (t.kind == Tok::kRBrace) return;
+        if (t.kind == Tok::kSemi) {
+          lex_.next();
+          return;
+        }
+        if (t.kind == Tok::kIdent && isProcessItemKeyword(t.text)) return;
+      }
+      if (t.kind == Tok::kLBrace) ++depth;
+      if (t.kind == Tok::kRBrace && depth > 0) --depth;
+      lex_.next();
+    }
+  }
+
+  /// Skip to the next ';' (consumed), the next edge-item keyword, or
+  /// the edge's closing '}'.
+  void syncEdgeItem() {
+    for (;;) {
+      const Token& t = lex_.peek();
+      if (t.kind == Tok::kEnd || t.kind == Tok::kRBrace) return;
+      if (t.kind == Tok::kSemi) {
+        lex_.next();
+        return;
+      }
+      if (t.kind == Tok::kIdent &&
+          (t.text == "guard" || t.text == "sync" || t.text == "reset" ||
+           t.text == "assign" || t.text == "label")) {
+        return;
+      }
+      lex_.next();
+    }
+  }
+
+  // -- Declarations -------------------------------------------------------
+
+  void parseTopLevel() {
+    if (lex_.peek().kind != Tok::kIdent) {
+      error(lex_.peek().span, DiagCode::kUnexpectedDecl,
+            "expected a declaration (clock, int, chan, broadcast, process "
+            "or query) before " +
+                describeToken(lex_.peek()));
+      throw Recover{};
+    }
+    const Token t = lex_.next();
+    if (t.text == "clock") {
+      parseClockDecl();
+    } else if (t.text == "int") {
+      parseIntDecl();
+    } else if (t.text == "chan") {
+      parseChanDecl(ChanKind::kBinary);
+    } else if (t.text == "broadcast") {
+      expectKeyword("chan");
+      parseChanDecl(ChanKind::kBroadcast);
+    } else if (t.text == "process") {
+      parseProcess();
+    } else if (t.text == "query") {
+      parseQuery(t.span);
+    } else {
+      error(t.span, DiagCode::kUnexpectedDecl,
+            "unexpected '" + t.text + "'",
+            "expected clock, int, chan, broadcast, process or query");
+      throw Recover{};
+    }
+  }
+
+  /// Report a redefinition (with a note pointing at the first site) and
+  /// return false; true when the name is fresh.
+  bool checkFresh(const Token& n) {
+    const auto it = declSites_.find(n.text);
+    if (it != declSites_.end()) {
+      error(n.span, DiagCode::kRedefinition,
+            "'" + n.text + "' already declared",
+            "first declared at line " + std::to_string(it->second.line));
+      return false;
+    }
+    declSites_[n.text] = n.span;
+    return true;
   }
 
   void parseClockDecl() {
     do {
       const Token n = expect(Tok::kIdent, "clock name");
-      checkFresh(n.text, n.line);
+      if (!checkFresh(n)) continue;
       clocks_[n.text] = sys().addClock(n.text);
+      map().clockDecls.push_back(n.span);
     } while (accept(Tok::kComma));
     expect(Tok::kSemi, "';'");
   }
@@ -228,11 +228,15 @@ class Parser {
   void parseIntDecl() {
     do {
       const Token n = expect(Tok::kIdent, "variable name");
-      checkFresh(n.text, n.line);
+      const bool fresh = checkFresh(n);
       int32_t size = 1;
       if (accept(Tok::kLBracket)) {
-        size = static_cast<int32_t>(expect(Tok::kInt, "array size").value);
-        if (size <= 0) throw ParseError{n.line, "array size must be > 0"};
+        const Token st = expect(Tok::kInt, "array size");
+        size = static_cast<int32_t>(st.value);
+        if (size <= 0) {
+          error(st.span, DiagCode::kBadConstant, "array size must be > 0");
+          size = 1;
+        }
         expect(Tok::kRBracket, "']'");
       }
       int32_t init = 0;
@@ -241,9 +245,11 @@ class Parser {
         init = static_cast<int32_t>(expect(Tok::kInt, "initializer").value);
         if (neg) init = -init;
       }
+      if (!fresh) continue;
       const VarId base = size == 1 ? sys().addVar(n.text, init)
                                    : sys().addArray(n.text, size, init);
       vars_[n.text] = {base, size};
+      for (int32_t k = 0; k < size; ++k) map().varDecls.push_back(n.span);
     } while (accept(Tok::kComma));
     expect(Tok::kSemi, "';'");
   }
@@ -251,8 +257,9 @@ class Parser {
   void parseChanDecl(ChanKind kind) {
     do {
       const Token n = expect(Tok::kIdent, "channel name");
-      checkFresh(n.text, n.line);
+      if (!checkFresh(n)) continue;
       chans_[n.text] = sys().addChannel(n.text, kind);
+      map().chanDecls.push_back(n.span);
     } while (accept(Tok::kComma));
     expect(Tok::kSemi, "';'");
   }
@@ -261,62 +268,106 @@ class Parser {
 
   void parseProcess() {
     const Token n = expect(Tok::kIdent, "process name");
-    checkFresh(n.text, n.line);
+    checkFresh(n);
     const ProcId p = sys().addAutomaton(n.text);
     procs_[n.text] = p;
     auto& locs = procLocs_[n.text];
+    map().locDecls.emplace_back();
+    map().edgeDecls.emplace_back();
     expect(Tok::kLBrace, "'{'");
     bool haveInit = false;
     while (!accept(Tok::kRBrace)) {
-      const Token t = expect(Tok::kIdent, "process item");
-      bool urgent = false, committed = false;
-      std::string kw = t.text;
-      if (kw == "urgent" || kw == "committed") {
-        urgent = kw == "urgent";
-        committed = kw == "committed";
-        expectKeyword("loc");
-        kw = "loc";
+      if (lex_.peek().kind == Tok::kEnd) {
+        error(lex_.peek().span, DiagCode::kUnexpectedToken,
+              "missing '}' closing process '" + n.text + "'");
+        break;
       }
-      if (kw == "loc") {
-        const Token ln = expect(Tok::kIdent, "location name");
-        if (locs.count(ln.text) != 0) {
-          throw ParseError{ln.line, "location '" + ln.text + "' redeclared"};
-        }
-        const LocId l =
-            sys().automaton(p).addLocation(ln.text, urgent, committed);
-        locs[ln.text] = l;
-        if (accept(Tok::kLBrace)) {
-          expectKeyword("inv");
-          do {
-            sys().automaton(p).addInvariant(l, parseClockAtomPair().first);
-            if (auto second = parseClockAtomPair_second()) {
-              sys().automaton(p).addInvariant(l, *second);
-            }
-          } while (accept(Tok::kAnd));
-          expect(Tok::kSemi, "';'");
-          expect(Tok::kRBrace, "'}'");
-        }
-        accept(Tok::kSemi);
-      } else if (kw == "init") {
-        const Token ln = expect(Tok::kIdent, "location name");
-        const auto it = locs.find(ln.text);
-        if (it == locs.end()) {
-          throw ParseError{ln.line,
-                           "init location '" + ln.text + "' not declared"};
-        }
-        sys().automaton(p).setInitial(it->second);
-        haveInit = true;
-        expect(Tok::kSemi, "';'");
-      } else if (kw == "edge") {
-        parseEdge(p, locs);
-      } else {
-        throw ParseError{t.line, "unexpected '" + kw + "' in process"};
+      try {
+        parseProcessItem(p, locs, &haveInit);
+      } catch (const Recover&) {
+        syncProcessItem();
       }
     }
     if (!haveInit && !locs.empty()) {
       // Default: first declared location (already location 0).
       sys().automaton(p).setInitial(0);
     }
+    if (sys().automaton(p).numLocations() == 0) {
+      error(n.span, DiagCode::kEmptyProcess,
+            "process '" + n.text + "' has no locations");
+    }
+  }
+
+  void parseProcessItem(ProcId p, std::map<std::string, LocId>& locs,
+                        bool* haveInit) {
+    const Token t = expect(Tok::kIdent, "'loc', 'init' or 'edge'");
+    bool urgent = false;
+    bool committed = false;
+    std::string kw = t.text;
+    if (kw == "urgent" || kw == "committed") {
+      urgent = kw == "urgent";
+      committed = kw == "committed";
+      expectKeyword("loc");
+      kw = "loc";
+    }
+    if (kw == "loc") {
+      parseLoc(p, locs, urgent, committed);
+    } else if (kw == "init") {
+      const Token ln = expect(Tok::kIdent, "location name");
+      const auto it = locs.find(ln.text);
+      if (it == locs.end()) {
+        error(ln.span, DiagCode::kUndefinedName,
+              "init location '" + ln.text + "' not declared");
+      } else {
+        sys().automaton(p).setInitial(it->second);
+        *haveInit = true;
+      }
+      expect(Tok::kSemi, "';'");
+    } else if (kw == "edge") {
+      parseEdge(p, locs);
+    } else {
+      error(t.span, DiagCode::kUnexpectedToken,
+            "unexpected '" + kw + "' in process");
+      throw Recover{};
+    }
+  }
+
+  void parseLoc(ProcId p, std::map<std::string, LocId>& locs, bool urgent,
+                bool committed) {
+    const Token ln = expect(Tok::kIdent, "location name");
+    LocId l;
+    const auto it = locs.find(ln.text);
+    if (it != locs.end()) {
+      error(ln.span, DiagCode::kRedefinition,
+            "location '" + ln.text + "' redeclared");
+      l = it->second;
+    } else {
+      l = sys().automaton(p).addLocation(ln.text, urgent, committed);
+      locs[ln.text] = l;
+      map().locDecls.back().push_back(ln.span);
+    }
+    if (accept(Tok::kLBrace)) {
+      // Recover locally so a bad invariant doesn't desynchronize the
+      // brace structure (the '}' below would otherwise be mistaken for
+      // the process's closing brace).
+      try {
+        expectKeyword("inv");
+        do {
+          const ClockAtom atom = parseClockAtom();
+          if (atom.valid) {
+            sys().automaton(p).addInvariant(l, atom.first);
+            if (atom.hasSecond) {
+              sys().automaton(p).addInvariant(l, atom.second);
+            }
+          }
+        } while (accept(Tok::kAnd));
+        expect(Tok::kSemi, "';'");
+      } catch (const Recover&) {
+        syncEdgeItem();
+      }
+      expect(Tok::kRBrace, "'}'");
+    }
+    accept(Tok::kSemi);
   }
 
   void parseEdge(ProcId p, const std::map<std::string, LocId>& locs) {
@@ -325,142 +376,211 @@ class Parser {
     const Token to = expect(Tok::kIdent, "target location");
     const auto fi = locs.find(from.text);
     const auto ti = locs.find(to.text);
+    bool valid = true;
     if (fi == locs.end()) {
-      throw ParseError{from.line, "unknown location '" + from.text + "'"};
+      error(from.span, DiagCode::kUndefinedName,
+            "unknown location '" + from.text + "'");
+      valid = false;
     }
     if (ti == locs.end()) {
-      throw ParseError{to.line, "unknown location '" + to.text + "'"};
+      error(to.span, DiagCode::kUndefinedName,
+            "unknown location '" + to.text + "'");
+      valid = false;
     }
-    EdgeBuilder eb = sys().edge(p, fi->second, ti->second);
+    // On an unresolvable endpoint the body still parses (for its own
+    // diagnostics) into a discarded edge.
+    Edge discard;
+    EdgeBuilder eb = valid ? sys().edge(p, fi->second, ti->second)
+                           : EdgeBuilder(sys(), discard);
+    if (valid) map().edgeDecls.back().push_back(from.span);
     expect(Tok::kLBrace, "'{'");
     while (!accept(Tok::kRBrace)) {
-      const Token t = expect(Tok::kIdent, "edge item");
-      if (t.text == "guard") {
-        do {
-          parseGuardAtom(eb);
-        } while (accept(Tok::kAnd));
-      } else if (t.text == "sync") {
-        const Token cn = expect(Tok::kIdent, "channel name");
-        const auto ci = chans_.find(cn.text);
-        if (ci == chans_.end()) {
-          throw ParseError{cn.line, "unknown channel '" + cn.text + "'"};
-        }
-        if (accept(Tok::kBang)) {
-          eb.send(ci->second);
-        } else if (accept(Tok::kQuest)) {
-          eb.receive(ci->second);
-        } else {
-          throw ParseError{cn.line, "expected '!' or '?' after channel"};
-        }
-      } else if (t.text == "reset") {
-        do {
-          const Token cn = expect(Tok::kIdent, "clock name");
-          const auto ci = clocks_.find(cn.text);
-          if (ci == clocks_.end()) {
-            throw ParseError{cn.line, "unknown clock '" + cn.text + "'"};
-          }
-          dbm::value_t v = 0;
-          if (accept(Tok::kAssign)) {
-            v = static_cast<dbm::value_t>(
-                expect(Tok::kInt, "reset value").value);
-          }
-          eb.reset(ci->second, v);
-        } while (accept(Tok::kComma));
-      } else if (t.text == "assign") {
-        do {
-          const Token vn = expect(Tok::kIdent, "variable name");
-          const auto vi = vars_.find(vn.text);
-          if (vi == vars_.end()) {
-            throw ParseError{vn.line, "unknown variable '" + vn.text + "'"};
-          }
-          ExprRef index = kNoExpr;
-          if (accept(Tok::kLBracket)) {
-            index = parseExpr();
-            expect(Tok::kRBracket, "']'");
-          }
-          expect(Tok::kAssign, "'='");
-          const ExprRef rhs = parseExpr();
-          if (index == kNoExpr) {
-            eb.assign(vi->second.first, Ex(sys().pool(), rhs));
-          } else {
-            eb.assignCell(vi->second.first, Ex(sys().pool(), index),
-                          vi->second.second, Ex(sys().pool(), rhs));
-          }
-        } while (accept(Tok::kComma));
-      } else if (t.text == "label") {
-        eb.label(expect(Tok::kString, "label string").text);
-      } else {
-        throw ParseError{t.line, "unexpected '" + t.text + "' in edge"};
+      if (lex_.peek().kind == Tok::kEnd) {
+        error(lex_.peek().span, DiagCode::kUnexpectedToken,
+              "missing '}' closing edge '" + from.text + " -> " + to.text +
+                  "'");
+        throw Recover{};
       }
-      expect(Tok::kSemi, "';'");
+      try {
+        parseEdgeItem(p, eb, valid);
+      } catch (const Recover&) {
+        syncEdgeItem();
+      }
     }
   }
 
-  // -- Guards / queries -----------------------------------------------------
+  void parseEdgeItem(ProcId p, EdgeBuilder& eb, bool valid) {
+    const Token t =
+        expect(Tok::kIdent, "'guard', 'sync', 'reset', 'assign' or 'label'");
+    if (t.text == "guard") {
+      do {
+        parseGuardAtom(eb);
+      } while (accept(Tok::kAnd));
+    } else if (t.text == "sync") {
+      const Token cn = expect(Tok::kIdent, "channel name");
+      const auto ci = chans_.find(cn.text);
+      if (ci == chans_.end()) {
+        error(cn.span, DiagCode::kUndefinedName,
+              "unknown channel '" + cn.text + "'");
+        // Still consume the direction marker so the ';' check lines up.
+        if (!accept(Tok::kBang)) accept(Tok::kQuest);
+      } else if (accept(Tok::kBang)) {
+        eb.send(ci->second);
+      } else if (accept(Tok::kQuest)) {
+        eb.receive(ci->second);
+      } else {
+        error(lex_.peek().span, DiagCode::kBadSync,
+              "expected '!' or '?' after channel '" + cn.text + "'");
+        throw Recover{};
+      }
+    } else if (t.text == "reset") {
+      do {
+        const Token cn = expect(Tok::kIdent, "clock name");
+        const auto ci = clocks_.find(cn.text);
+        dbm::value_t v = 0;
+        if (accept(Tok::kAssign)) {
+          v = static_cast<dbm::value_t>(
+              expect(Tok::kInt, "reset value").value);
+        }
+        if (ci == clocks_.end()) {
+          error(cn.span, DiagCode::kUndefinedName,
+                "unknown clock '" + cn.text + "'");
+        } else {
+          eb.reset(ci->second, v);
+        }
+      } while (accept(Tok::kComma));
+    } else if (t.text == "assign") {
+      do {
+        const Token vn = expect(Tok::kIdent, "variable name");
+        const auto vi = vars_.find(vn.text);
+        if (vi == vars_.end()) {
+          error(vn.span, DiagCode::kUndefinedName,
+                "unknown variable '" + vn.text + "'");
+        }
+        ExprRef index = kNoExpr;
+        if (accept(Tok::kLBracket)) {
+          index = parseExpr();
+          expect(Tok::kRBracket, "']'");
+        }
+        expect(Tok::kAssign, "'='");
+        const ExprRef rhs = parseExpr();
+        if (vi == vars_.end()) continue;  // diagnosed; discard
+        if (index == kNoExpr) {
+          eb.assign(vi->second.first, Ex(sys().pool(), rhs));
+        } else {
+          eb.assignCell(vi->second.first, Ex(sys().pool(), index),
+                        vi->second.second, Ex(sys().pool(), rhs));
+        }
+      } while (accept(Tok::kComma));
+    } else if (t.text == "label") {
+      const Token ls = expect(Tok::kString, "label string");
+      eb.label(ls.text);
+      if (valid) map().labels.push_back({p, ls.text, ls.span});
+    } else {
+      error(t.span, DiagCode::kUnexpectedToken,
+            "unexpected '" + t.text + "' in edge");
+      throw Recover{};
+    }
+    expect(Tok::kSemi, "';'");
+  }
+
+  // -- Guards / clock atoms -----------------------------------------------
 
   [[nodiscard]] bool nextIsClockAtom() {
     const Token& t = lex_.peek();
     return t.kind == Tok::kIdent && clocks_.count(t.text) != 0;
   }
 
-  /// Parse one clock atom. `x == c` yields two constraints; the second
-  /// is stashed for parseClockAtomPair_second().
-  std::pair<ClockConstraint, bool> parseClockAtomPair() {
+  struct ClockAtom {
+    ClockConstraint first;
+    ClockConstraint second;
+    bool hasSecond = false;
+    bool valid = false;
+  };
+
+  /// Parse one clock atom (`x <= 5`, `x - y < 2`, `x == 7`). `x == c`
+  /// yields two constraints. Returns valid=false (with diagnostics
+  /// already emitted) when a name fails to resolve.
+  ClockAtom parseClockAtom() {
+    ClockAtom out;
     const Token cn = expect(Tok::kIdent, "clock name");
     const auto ci = clocks_.find(cn.text);
+    bool resolved = true;
     if (ci == clocks_.end()) {
-      throw ParseError{cn.line, "unknown clock '" + cn.text + "'"};
+      error(cn.span, DiagCode::kUndefinedName,
+            "unknown clock '" + cn.text + "'");
+      resolved = false;
     }
-    const ClockId x = ci->second;
+    const ClockId x = resolved ? ci->second : 0;
     ClockId y = 0;
     if (accept(Tok::kMinus)) {
       const Token cn2 = expect(Tok::kIdent, "clock name");
       const auto ci2 = clocks_.find(cn2.text);
       if (ci2 == clocks_.end()) {
-        throw ParseError{cn2.line, "unknown clock '" + cn2.text + "'"};
+        error(cn2.span, DiagCode::kUndefinedName,
+              "unknown clock '" + cn2.text + "'");
+        resolved = false;
+      } else {
+        y = ci2->second;
       }
-      y = ci2->second;
     }
     const Token op = lex_.next();
     const bool neg = accept(Tok::kMinus);
     const Token val = expect(Tok::kInt, "integer bound");
     auto c = static_cast<dbm::value_t>(val.value);
     if (neg) c = -c;
-    pendingSecond_.reset();
+    out.valid = resolved;
     switch (op.kind) {
-      case Tok::kLe: return {{x, y, dbm::boundWeak(c)}, true};
-      case Tok::kLt: return {{x, y, dbm::boundStrict(c)}, true};
-      case Tok::kGe: return {{y, x, dbm::boundWeak(-c)}, true};
-      case Tok::kGt: return {{y, x, dbm::boundStrict(-c)}, true};
+      case Tok::kLe: out.first = {x, y, dbm::boundWeak(c)}; return out;
+      case Tok::kLt: out.first = {x, y, dbm::boundStrict(c)}; return out;
+      case Tok::kGe: out.first = {y, x, dbm::boundWeak(-c)}; return out;
+      case Tok::kGt: out.first = {y, x, dbm::boundStrict(-c)}; return out;
       case Tok::kEq:
-        pendingSecond_ = ClockConstraint{y, x, dbm::boundWeak(-c)};
-        return {{x, y, dbm::boundWeak(c)}, true};
+        out.first = {x, y, dbm::boundWeak(c)};
+        out.second = {y, x, dbm::boundWeak(-c)};
+        out.hasSecond = true;
+        return out;
       default:
-        throw ParseError{op.line, "expected a comparison after clock"};
+        error(op.span, DiagCode::kBadClockConstraint,
+              "expected a comparison after clock '" + cn.text + "'");
+        throw Recover{};
     }
-  }
-
-  std::optional<ClockConstraint> parseClockAtomPair_second() {
-    auto s = pendingSecond_;
-    pendingSecond_.reset();
-    return s;
   }
 
   /// One guard conjunct: a clock atom or an integer expression (no
   /// top-level && — use parentheses).
   void parseGuardAtom(EdgeBuilder& eb) {
     if (nextIsClockAtom()) {
-      const auto [cc, ok] = parseClockAtomPair();
-      (void)ok;
-      eb.when(cc);
-      if (const auto second = parseClockAtomPair_second()) eb.when(*second);
+      const ClockAtom atom = parseClockAtom();
+      if (atom.valid) {
+        eb.when(atom.first);
+        if (atom.hasSecond) eb.when(atom.second);
+      }
       return;
     }
     eb.guard(Ex(sys().pool(), parseOrNoAnd()));
   }
 
-  // Expression grammar (precedence climbing).
-  ExprRef parseExpr() { return parseTernary(); }
+  // -- Expression grammar (precedence climbing) ---------------------------
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : p_(p) {
+      if (++p_.depth_ > kMaxExprDepth) {
+        p_.error(p_.lex_.peek().span, DiagCode::kNestingTooDeep,
+                 "expression nests too deeply (limit " +
+                     std::to_string(kMaxExprDepth) + ")");
+        --p_.depth_;
+        throw Recover{};
+      }
+    }
+    ~DepthGuard() { --p_.depth_; }
+    Parser& p_;
+  };
+
+  ExprRef parseExpr() {
+    DepthGuard guard(*this);
+    return parseTernary();
+  }
 
   ExprRef parseTernary() {
     const ExprRef cond = parseOr();
@@ -481,6 +601,7 @@ class Parser {
 
   /// Or-level that refuses to eat a top-level && (guard separator).
   ExprRef parseOrNoAnd() {
+    DepthGuard guard(*this);
     ExprRef e = parseCmp();
     while (accept(Tok::kOr)) {
       e = sys().pool().binary(Op::kOr, e, parseCmp());
@@ -542,6 +663,7 @@ class Parser {
   }
 
   ExprRef parseUnary() {
+    DepthGuard guard(*this);
     if (accept(Tok::kMinus)) {
       return sys().pool().unary(Op::kNeg, parseUnary());
     }
@@ -566,7 +688,15 @@ class Parser {
       if (t.text == "false") return sys().pool().constant(0);
       const auto vi = vars_.find(t.text);
       if (vi == vars_.end()) {
-        throw ParseError{t.line, "unknown variable '" + t.text + "'"};
+        error(t.span, DiagCode::kUndefinedName,
+              "unknown variable '" + t.text + "'");
+        // Recover with a constant so expression parsing continues; the
+        // model is already marked broken by the diagnostic.
+        if (accept(Tok::kLBracket)) {
+          (void)parseExpr();
+          expect(Tok::kRBracket, "']'");
+        }
+        return sys().pool().constant(0);
       }
       if (accept(Tok::kLBracket)) {
         const ExprRef idx = parseExpr();
@@ -576,12 +706,14 @@ class Parser {
       }
       return sys().pool().var(vi->second.first);
     }
-    throw ParseError{t.line, "expected an expression"};
+    error(t.span, DiagCode::kUnexpectedToken,
+          "expected an expression before " + describeToken(t));
+    throw Recover{};
   }
 
-  // -- Queries ----------------------------------------------------------
+  // -- Queries ------------------------------------------------------------
 
-  void parseQuery() {
+  void parseQuery(Span kwSpan) {
     expectKeyword("reach");
     ParsedQuery q;
     ExprRef pred = kNoExpr;
@@ -595,16 +727,16 @@ class Parser {
         const auto& locs = procLocs_[pn.text];
         const auto li = locs.find(ln.text);
         if (li == locs.end()) {
-          throw ParseError{ln.line, "unknown location '" + pn.text + "." +
-                                        ln.text + "'"};
+          error(ln.span, DiagCode::kUndefinedName,
+                "unknown location '" + pn.text + "." + ln.text + "'");
+        } else {
+          q.locations.push_back({procs_[pn.text], li->second});
         }
-        q.locations.push_back({procs_[pn.text], li->second});
       } else if (nextIsClockAtom()) {
-        const auto [cc, ok] = parseClockAtomPair();
-        (void)ok;
-        q.clockConstraints.push_back(cc);
-        if (const auto second = parseClockAtomPair_second()) {
-          q.clockConstraints.push_back(*second);
+        const ClockAtom atom = parseClockAtom();
+        if (atom.valid) {
+          q.clockConstraints.push_back(atom.first);
+          if (atom.hasSecond) q.clockConstraints.push_back(atom.second);
         }
       } else {
         const ExprRef atom = parseOrNoAnd();
@@ -614,24 +746,58 @@ class Parser {
     } while (accept(Tok::kAnd));
     expect(Tok::kSemi, "';'");
     q.predicate = pred;
-    result_.queries.push_back(std::move(q));
+    out_->queries.push_back(std::move(q));
+    map().queryDecls.push_back(kwSpan);
   }
 
   Lexer lex_;
-  ParseResult result_;
+  const FrontendOptions& opts_;
+  FrontendResult* out_;
+  int errors_ = 0;
+  int depth_ = 0;
+  std::map<std::string, Span> declSites_;
   std::map<std::string, ClockId> clocks_;
   std::map<std::string, std::pair<VarId, int32_t>> vars_;  // base, size
   std::map<std::string, ChanId> chans_;
   std::map<std::string, ProcId> procs_;
   std::map<std::string, std::map<std::string, LocId>> procLocs_;
-  std::optional<ClockConstraint> pendingSecond_;
 };
 
 }  // namespace
 
+FrontendResult parseModelEx(const std::string& text,
+                            const FrontendOptions& opts) {
+  FrontendResult result;
+  result.system = std::make_unique<System>();
+  Parser(text, opts, &result).run();
+  result.ok = countErrors(result.diagnostics) == 0;
+  if (result.ok) {
+    result.system->finalize();
+    if (opts.lint) {
+      runLints(*result.system, result.queries, result.sourceMap,
+               &result.diagnostics);
+    }
+  }
+  sortBySource(result.diagnostics);
+  return result;
+}
+
 std::optional<ParseResult> parseModel(const std::string& text,
                                       std::string* error) {
-  return Parser(text).run(error);
+  FrontendOptions opts;
+  opts.lint = false;
+  FrontendResult r = parseModelEx(text, opts);
+  if (!r.ok) {
+    if (error != nullptr) {
+      for (const Diagnostic& d : r.diagnostics) {
+        if (d.severity != Severity::kError) continue;
+        *error = "line " + std::to_string(d.span.line) + ": " + d.message;
+        break;
+      }
+    }
+    return std::nullopt;
+  }
+  return ParseResult{std::move(r.system), std::move(r.queries)};
 }
 
 }  // namespace ta

@@ -1,7 +1,7 @@
-// A small textual model format and parser, so networks of timed
-// automata can be written and checked without C++ (UPPAAL models are
-// XML + a C-like expression language; this is the equivalent idea in a
-// compact form):
+// A small textual model format and its compiler-grade frontend, so
+// networks of timed automata can be written and checked without C++
+// (UPPAAL models are XML + a C-like expression language; this is the
+// equivalent idea in a compact form):
 //
 //   // one-line comments
 //   clock x, y;
@@ -11,9 +11,9 @@
 //   broadcast chan all;
 //
 //   process Worker {
-//     init warmup;
 //     loc warmup { inv x <= 5; }
 //     loc done;
+//     init warmup;
 //     urgent loc hold;
 //     committed loc now;
 //     edge warmup -> done {
@@ -31,12 +31,23 @@
 // names resolve to clocks) and integer expressions, conjoined at the
 // top level exactly as in UPPAAL.  `query reach` lines compile into
 // engine::Goal-compatible results.
+//
+// The frontend is a pipeline: a lexer producing tokens with line:col
+// spans (ta/lexer.hpp), a recovering recursive-descent parser that
+// synchronizes at declaration / process-item / edge-item boundaries
+// and emits *multiple* structured diagnostics per run
+// (ta/diagnostics.hpp), and a static-analysis pass suite over the
+// parsed model (ta/lint.hpp). `parseModelEx` is the full pipeline;
+// `parseModel` is the legacy single-error wrapper kept for existing
+// call sites.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "ta/diagnostics.hpp"
 #include "ta/system.hpp"
 
 namespace ta {
@@ -54,8 +65,63 @@ struct ParseResult {
   std::vector<ParsedQuery> queries;
 };
 
-/// Parse a model text. On error returns nullopt and fills *error with
-/// "line N: message".  The returned system is finalized.
+/// Source spans for the named entities of a parsed model — the side
+/// table the lint passes use to anchor their warnings. All vectors are
+/// indexed by the corresponding id; they may be empty (hand-built
+/// models), in which case lints fall back to zero spans.
+struct SourceMap {
+  std::vector<Span> clockDecls;               ///< [ClockId - 1]
+  std::vector<Span> varDecls;                 ///< [VarId] (cells share)
+  std::vector<Span> chanDecls;                ///< [ChanId]
+  std::vector<std::vector<Span>> locDecls;    ///< [proc][loc]
+  std::vector<std::vector<Span>> edgeDecls;   ///< [proc][edge]
+  struct ExplicitLabel {
+    ProcId proc = 0;
+    std::string text;
+    Span span;
+  };
+  /// `label "..."` statements as written (sync-derived default labels
+  /// are not listed) — input to the duplicate-label lint.
+  std::vector<ExplicitLabel> labels;
+  std::vector<Span> queryDecls;  ///< [query index]
+};
+
+struct FrontendOptions {
+  /// Run the static-analysis passes after a clean parse. Lint findings
+  /// are warnings; they never change the parsed model.
+  bool lint = true;
+  /// Stop after this many parse errors (a kTooManyErrors diagnostic
+  /// marks the cut).
+  int maxErrors = 16;
+};
+
+struct FrontendResult {
+  /// Never null. Finalized and engine-ready only when `ok`.
+  std::unique_ptr<System> system;
+  std::vector<ParsedQuery> queries;
+  /// All diagnostics in source order (parse errors and lint warnings
+  /// interleaved by position).
+  std::vector<Diagnostic> diagnostics;
+  SourceMap sourceMap;
+  /// True iff no error-severity diagnostic was emitted. Warnings do
+  /// not affect ok.
+  bool ok = false;
+
+  [[nodiscard]] size_t errorCount() const { return countErrors(diagnostics); }
+  [[nodiscard]] size_t warningCount() const {
+    return countWarnings(diagnostics);
+  }
+};
+
+/// The full frontend pipeline: lex, parse with recovery, and (when the
+/// parse is clean) finalize + lint.
+[[nodiscard]] FrontendResult parseModelEx(const std::string& text,
+                                          const FrontendOptions& opts = {});
+
+/// Legacy single-error API: parse a model text. On error returns
+/// nullopt and fills *error with "line N: message" (the first error
+/// diagnostic). The returned system is finalized. Thin wrapper over
+/// parseModelEx with lint disabled.
 [[nodiscard]] std::optional<ParseResult> parseModel(const std::string& text,
                                                     std::string* error);
 

@@ -213,6 +213,13 @@ class System {
   [[nodiscard]] const std::vector<std::string>& varNames() const noexcept {
     return varNames_;
   }
+  /// Declared arrays as (base cell id, size) pairs — cells occupy the
+  /// consecutive VarId range [base, base + size). Used by the lint
+  /// passes (usage grouping) and the .gta printer (declarations).
+  [[nodiscard]] const std::vector<std::pair<VarId, int32_t>>& arrays()
+      const noexcept {
+    return arraySizes_;
+  }
   [[nodiscard]] const std::string& channelName(ChanId c) const {
     return chanNames_[static_cast<size_t>(c)];
   }

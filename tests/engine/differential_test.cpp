@@ -11,121 +11,15 @@
 // Config 0 — sequential BFS under kGlobalM — is the
 // oracle: all configurations must agree with it on reachability, and
 // every positive answer must concretize into a validated timed trace.
-#include <random>
-
 #include <gtest/gtest.h>
 
 #include "engine/reachability.hpp"
 #include "engine/trace.hpp"
+#include "random_model.hpp"
 #include "ta/system.hpp"
 
 namespace engine {
 namespace {
-
-struct RandomModel {
-  std::unique_ptr<ta::System> sys;
-  std::vector<ta::ProcId> procs;
-  Goal goal;
-
-  /// A random network: 2 automata, 3-4 locations each (possibly urgent
-  /// or committed), one clock per automaton, two shared variables, a
-  /// binary and a broadcast channel, random guards/invariants/resets/
-  /// assignments with small constants.
-  explicit RandomModel(uint64_t seed) {
-    std::mt19937_64 rng(seed);
-    std::uniform_int_distribution<int> small(0, 4);
-    std::uniform_int_distribution<int> coin(0, 1);
-    std::uniform_int_distribution<int> d8(0, 7);
-
-    sys = std::make_unique<ta::System>();
-    const ta::VarId v = sys->addVar("v", 0);
-    const ta::VarId w = sys->addVar("w", 0);
-    const ta::ChanId chan = sys->addChannel("c");
-    const ta::ChanId bcast = sys->addChannel("b", ta::ChanKind::kBroadcast);
-    std::vector<ta::ClockId> clocks;
-    std::vector<std::vector<ta::LocId>> locs;
-
-    for (int a = 0; a < 2; ++a) {
-      clocks.push_back(sys->addClock("x" + std::to_string(a)));
-      const ta::ProcId p = sys->addAutomaton("P" + std::to_string(a));
-      procs.push_back(p);
-      auto& aut = sys->automaton(p);
-      std::vector<ta::LocId> ls;
-      const int nLocs = 3 + coin(rng);
-      for (int l = 0; l < nLocs; ++l) {
-        // The initial location stays plain; later ones are occasionally
-        // urgent or (rarer) committed.
-        const bool urgent = l > 0 && d8(rng) == 0;
-        const bool committed = l > 0 && !urgent && d8(rng) == 1;
-        ls.push_back(
-            aut.addLocation("l" + std::to_string(l), urgent, committed));
-        if (coin(rng) != 0) {
-          aut.addInvariant(ls.back(), ta::ccLe(clocks[static_cast<size_t>(a)],
-                                               small(rng) + 1));
-        }
-      }
-      locs.push_back(ls);
-      // 4-5 random edges.
-      const int nEdges = 4 + coin(rng);
-      std::uniform_int_distribution<int> pick(0,
-                                              static_cast<int>(ls.size()) - 1);
-      for (int e = 0; e < nEdges; ++e) {
-        auto eb = sys->edge(p, ls[static_cast<size_t>(pick(rng))],
-                            ls[static_cast<size_t>(pick(rng))]);
-        // Channel role first: broadcast receivers must not carry clock
-        // guards (receiver sets are computed from discrete state only).
-        bool broadcastReceive = false;
-        if (e < 2 && coin(rng) != 0) {
-          if (coin(rng) != 0) {
-            if (a == 0) {
-              eb.send(chan);
-            } else {
-              eb.receive(chan);
-            }
-          } else if (a == 0) {
-            eb.send(bcast);
-          } else {
-            eb.receive(bcast);
-            broadcastReceive = true;
-          }
-        }
-        if (!broadcastReceive && coin(rng) != 0) {
-          // Mix strict and weak bounds: extrapolation strictness
-          // handling (the Extra+_LU "(-U, <)" entries) must not change
-          // verdicts.
-          const ta::ClockId ck = clocks[static_cast<size_t>(a)];
-          switch (d8(rng) & 3) {
-            case 0: eb.when(ta::ccGe(ck, small(rng))); break;
-            case 1: eb.when(ta::ccGt(ck, small(rng))); break;
-            case 2: eb.when(ta::ccLe(ck, small(rng) + 1)); break;
-            default: eb.when(ta::ccLt(ck, small(rng) + 2)); break;
-          }
-        }
-        if (coin(rng) != 0) {
-          // Occasionally reset to a nonzero value: the LU analysis must
-          // floor the destination bounds at the reset value.
-          const dbm::value_t rv = d8(rng) == 0 ? small(rng) : 0;
-          eb.reset(clocks[static_cast<size_t>(a)], rv);
-        }
-        if (coin(rng) != 0) {
-          eb.guard(sys->rd(v) < 3).assign(v, sys->rd(v) + 1);
-        }
-        // Second variable: richer assignment forms, kept bounded so the
-        // discrete state space stays finite.
-        switch (d8(rng)) {
-          case 0: eb.guard(sys->rd(w) < 3).assign(w, sys->rd(w) + 1); break;
-          case 1: eb.assign(w, 0); break;
-          case 2: eb.guard(sys->rd(w) > 0).assign(w, sys->rd(w) - 1); break;
-          case 3: eb.assign(w, sys->rd(v)); break;
-          default: break;
-        }
-      }
-    }
-    sys->finalize();
-    // Goal: both automata in their last locations.
-    goal.locations = {{procs[0], locs[0].back()}, {procs[1], locs[1].back()}};
-  }
-};
 
 Options config(int kind) {
   Options o;

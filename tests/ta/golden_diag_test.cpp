@@ -1,0 +1,236 @@
+// Golden-diagnostic harness over the tests/ta/diag corpus.
+//
+// Each corpus file is a .gta model annotated with inline expectation
+// comments at the end of the offending line:
+//
+//   edge a -> nowhere { }   //~ ERROR[P004] unknown location 'nowhere'
+//   clock spare;            //~ WARN[L001] never used
+//
+// The trailing substring must appear in the diagnostic message; the
+// expectation matches only a diagnostic of the same code on the same
+// line. `//~ ERROR[P001]@17 text` anchors to an absolute line instead
+// (for diagnostics reported at end-of-input, past the comment's line).
+//
+// Matching is bidirectional: an expected diagnostic that is not
+// emitted is a failure, and an emitted diagnostic that is not expected
+// is a failure. Files are discovered at runtime, so dropping a new
+// .gta into the corpus directory adds it to the suite with no build
+// step.
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ta/parser.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Expectation {
+  int line = 0;
+  ta::Severity severity = ta::Severity::kError;
+  ta::DiagCode code = ta::DiagCode::kUnexpectedToken;
+  std::string substring;
+  bool matched = false;
+};
+
+std::string readFile(const fs::path& p) {
+  std::ifstream in(p);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Parse all `//~ ERROR[CODE] text` / `//~ WARN[CODE] text` markers.
+/// Returns false (with *error set) on a malformed marker — a corpus
+/// authoring bug, reported as a test failure.
+bool parseExpectations(const std::string& text,
+                       std::vector<Expectation>* out, std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    size_t pos = 0;
+    while ((pos = line.find("//~", pos)) != std::string::npos) {
+      size_t p = pos + 3;
+      while (p < line.size() && line[p] == ' ') ++p;
+      Expectation e;
+      e.line = lineNo;
+      if (line.compare(p, 6, "ERROR[") == 0) {
+        e.severity = ta::Severity::kError;
+        p += 6;
+      } else if (line.compare(p, 5, "WARN[") == 0) {
+        e.severity = ta::Severity::kWarning;
+        p += 5;
+      } else {
+        *error = "line " + std::to_string(lineNo) +
+                 ": malformed expectation (want ERROR[..] or WARN[..])";
+        return false;
+      }
+      const size_t close = line.find(']', p);
+      if (close == std::string::npos) {
+        *error = "line " + std::to_string(lineNo) + ": missing ']'";
+        return false;
+      }
+      ta::DiagCode code;
+      if (!ta::diagCodeFromName(line.substr(p, close - p), &code)) {
+        *error = "line " + std::to_string(lineNo) + ": unknown code '" +
+                 line.substr(p, close - p) + "'";
+        return false;
+      }
+      e.code = code;
+      p = close + 1;
+      if (p < line.size() && line[p] == '@') {
+        ++p;
+        size_t end = p;
+        while (end < line.size() && std::isdigit(line[end]) != 0) ++end;
+        e.line = std::stoi(line.substr(p, end - p));
+        p = end;
+      }
+      while (p < line.size() && line[p] == ' ') ++p;
+      // Substring runs to the next marker (several expectations may
+      // share a line) or end of line.
+      size_t stop = line.find("//~", p);
+      if (stop == std::string::npos) stop = line.size();
+      size_t len = stop - p;
+      while (len > 0 && line[p + len - 1] == ' ') --len;
+      e.substring = line.substr(p, len);
+      out->push_back(e);
+      pos = stop;
+    }
+  }
+  return true;
+}
+
+/// Run one corpus file through the frontend and match diagnostics
+/// against expectations in both directions. Returns human-readable
+/// failure descriptions; empty means the file passes.
+std::vector<std::string> runGoldenFile(const fs::path& path) {
+  std::vector<std::string> failures;
+  const std::string text = readFile(path);
+  std::vector<Expectation> expected;
+  std::string err;
+  if (!parseExpectations(text, &expected, &err)) {
+    failures.push_back("bad expectation: " + err);
+    return failures;
+  }
+
+  const ta::FrontendResult r = ta::parseModelEx(text);
+  for (const ta::Diagnostic& d : r.diagnostics) {
+    bool matched = false;
+    for (Expectation& e : expected) {
+      if (e.matched || e.line != d.span.line || e.code != d.code ||
+          e.severity != d.severity) {
+        continue;
+      }
+      if (!e.substring.empty() &&
+          d.message.find(e.substring) == std::string::npos) {
+        continue;
+      }
+      e.matched = true;
+      matched = true;
+      break;
+    }
+    if (!matched) {
+      failures.push_back("unexpected diagnostic: " + ta::toString(d));
+    }
+  }
+  for (const Expectation& e : expected) {
+    if (e.matched) continue;
+    failures.push_back(
+        "expected " +
+        std::string(e.severity == ta::Severity::kError ? "ERROR[" : "WARN[") +
+        ta::diagCodeName(e.code) + "] at line " + std::to_string(e.line) +
+        " ('" + e.substring + "') was not emitted");
+  }
+  return failures;
+}
+
+std::vector<fs::path> corpusFiles() {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(DIAG_CORPUS_DIR)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".gta") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(GoldenDiag, CorpusIsPresent) {
+  // The acceptance bar: a corpus broad enough to exercise every lint
+  // pass and every parse-recovery path.
+  EXPECT_GE(corpusFiles().size(), 25u);
+}
+
+TEST(GoldenDiag, Corpus) {
+  const auto files = corpusFiles();
+  ASSERT_FALSE(files.empty());
+  for (const fs::path& f : files) {
+    const auto failures = runGoldenFile(f);
+    for (const std::string& msg : failures) {
+      ADD_FAILURE() << f.filename().string() << ": " << msg;
+    }
+  }
+}
+
+// Every diagnostic code the frontend can emit must be exercised by at
+// least one corpus file — adding a DiagCode without a golden test is a
+// build-red event, not a silent gap.
+TEST(GoldenDiag, CoverageAllCodes) {
+  std::set<ta::DiagCode> seen;
+  for (const fs::path& f : corpusFiles()) {
+    std::vector<Expectation> expected;
+    std::string err;
+    ASSERT_TRUE(parseExpectations(readFile(f), &expected, &err))
+        << f.filename().string() << ": " << err;
+    for (const Expectation& e : expected) seen.insert(e.code);
+  }
+  for (const ta::DiagCode code : ta::allDiagCodes()) {
+    EXPECT_TRUE(seen.count(code) == 1)
+        << "no corpus file exercises " << ta::diagCodeName(code);
+  }
+}
+
+// The runner itself must fail in both directions: an expectation that
+// never fires, and an emitted diagnostic nobody expected. The files in
+// diag/broken/ are deliberately wrong in exactly one direction each.
+TEST(GoldenDiag, BrokenExpectationFailsBothWays) {
+  const fs::path broken = fs::path(DIAG_CORPUS_DIR) / "broken";
+
+  const auto missing = runGoldenFile(broken / "missing_expected.gta");
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_NE(missing[0].find("was not emitted"), std::string::npos)
+      << missing[0];
+
+  const auto unexpected = runGoldenFile(broken / "unexpected_emitted.gta");
+  ASSERT_EQ(unexpected.size(), 1u);
+  EXPECT_NE(unexpected[0].find("unexpected diagnostic"), std::string::npos)
+      << unexpected[0];
+}
+
+// A clean model produces no diagnostics at all.
+TEST(GoldenDiag, CleanModelIsSilent) {
+  const ta::FrontendResult r = ta::parseModelEx(
+      "clock x;\n"
+      "process P {\n"
+      "  loc a { inv x <= 3; }\n"
+      "  loc b;\n"
+      "  init a;\n"
+      "  edge a -> b { guard x >= 1; reset x; }\n"
+      "}\n"
+      "query reach P.b;\n");
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.diagnostics.empty())
+      << ta::renderDiagnostics(r.diagnostics);
+}
+
+}  // namespace
