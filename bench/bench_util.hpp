@@ -1,13 +1,19 @@
 // Shared helpers for the reproduction benchmarks.
 #pragma once
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "engine/reachability.hpp"
 #include "plant/plant.hpp"
@@ -38,10 +44,57 @@ struct CellResult {
   return fs::current_path(ec);
 }
 
+/// Short revision of the checkout the benchmark actually ran in,
+/// resolved at runtime from `git rev-parse` — a compile-time or
+/// hand-maintained revision silently goes stale the moment the report
+/// is regenerated on a different commit. Returns "unknown" outside a
+/// git checkout (or when git itself is unavailable).
+[[nodiscard]] inline std::string gitRev() {
+  std::string rev;
+#if defined(__unix__) || defined(__APPLE__)
+  const std::string cmd =
+      "git -C '" + repoRoot().string() + "' rev-parse --short HEAD 2>/dev/null";
+  if (FILE* p = ::popen(cmd.c_str(), "r")) {
+    char buf[64] = {};
+    if (std::fgets(buf, sizeof buf, p) != nullptr) rev = buf;
+    ::pclose(p);
+  }
+#endif
+  while (!rev.empty() && std::isspace(static_cast<unsigned char>(rev.back()))) {
+    rev.pop_back();
+  }
+  for (const char c : rev) {
+    if (std::isxdigit(static_cast<unsigned char>(c)) == 0) return "unknown";
+  }
+  return rev.empty() ? "unknown" : rev;
+}
+
+[[nodiscard]] inline std::string hostName() {
+#if defined(__unix__) || defined(__APPLE__)
+  char buf[256] = {};
+  if (::gethostname(buf, sizeof buf - 1) == 0 && buf[0] != '\0') return buf;
+#endif
+  return "unknown";
+}
+
+[[nodiscard]] inline std::string utcTimestamp() {
+  std::time_t now = std::time(nullptr);
+  std::tm tm{};
+#if defined(__unix__) || defined(__APPLE__)
+  gmtime_r(&now, &tm);
+#else
+  tm = *std::gmtime(&now);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
 /// Accumulates benchmark rows and writes them as BENCH_<name>.json at
 /// the repo root — the machine-readable record the bench trajectory
 /// compares across PRs. One row per workload; the schema is fixed:
-/// workload / wall_ms / peak_bytes / stored_states.
+/// a provenance header (git_rev resolved at runtime, hostname, UTC
+/// timestamp) plus workload / wall_ms / peak_bytes / stored_states.
 class Report {
  public:
   explicit Report(std::string name) : name_(std::move(name)) {}
@@ -56,7 +109,9 @@ class Report {
     const std::filesystem::path out = repoRoot() / ("BENCH_" + name_ + ".json");
     std::ofstream f(out);
     if (!f) return;
-    f << "{\n  \"bench\": \"" << name_ << "\",\n  \"results\": [\n";
+    f << "{\n  \"bench\": \"" << name_ << "\",\n  \"git_rev\": \"" << gitRev()
+      << "\",\n  \"hostname\": \"" << hostName() << "\",\n  \"timestamp\": \""
+      << utcTimestamp() << "\",\n  \"results\": [\n";
     for (size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
       f << "    {\"workload\": \"" << r.workload << "\", \"wall_ms\": "

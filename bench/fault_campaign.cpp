@@ -185,6 +185,9 @@ void writeJson(const std::vector<Cell>& cells, int batches, int trials,
   std::ofstream f(out);
   if (!f) return;
   f << "{\n  \"bench\": \"fault_campaign\",\n"
+    << "  \"git_rev\": \"" << benchutil::gitRev() << "\",\n"
+    << "  \"hostname\": \"" << benchutil::hostName() << "\",\n"
+    << "  \"timestamp\": \"" << benchutil::utcTimestamp() << "\",\n"
     << "  \"batches\": " << batches << ",\n"
     << "  \"trials_per_cell\": " << trials << ",\n"
     << "  \"base_seed\": " << seed << ",\n"

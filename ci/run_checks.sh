@@ -37,7 +37,10 @@
 #                 gate (match-or-beat binary search in <= 0.8x its
 #                 wall time), plus the store unit suites and the
 #                 priced-zone / best-first suites re-run under the
-#                 ASan and TSan builds from stages 3-4.
+#                 ASan and TSan builds from stages 3-4, and the
+#                 pre-exploration optimizer gate (identical opt-0/opt-2
+#                 verdicts, >= 10% statesExplored cut somewhere) with
+#                 its pass suite under ASan.
 #   6. robust   — the fault-injection stage: the Monte-Carlo campaign
 #                 smoke gate (100% success on a nominal channel, >= 95%
 #                 at 5% i.i.d. loss, seed-reproducible trials), the RCX
@@ -88,6 +91,14 @@ echo "== stage 5b: SIMD roofline + best-first optimizer gates (release) =="
 ctest --test-dir build --output-on-failure \
   -R 'dbm_micro_simd_smoke|bestfirst_opt_smoke'
 
+echo "== stage 5e: pre-exploration optimizer gate (release) =="
+# Also part of the stage-1 full ctest; re-run by name so an optimizer
+# regression is reported as its own stage. The gate requires identical
+# verdicts at opt-level 0 and 2 on every workload and a >= 10%
+# statesExplored reduction on at least one (the instrumented-Fischer
+# dead-store workload).
+ctest --test-dir build --output-on-failure -R 'ir_opt_smoke'
+
 echo "== stage 6a: fault-campaign robustness gate (release) =="
 # Also part of the stage-1 full ctest; re-run by name so a robustness
 # regression is reported as its own stage.
@@ -111,7 +122,12 @@ echo "== stage 4: AddressSanitizer + UBSan (fuzz label + analysis suites) =="
 cmake -B build-asan -S . -DSANITIZE=address >/dev/null
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -L fuzz -j "$jobs"
-ctest --test-dir build-asan --output-on-failure -R 'BoundsAnalysis' -j "$jobs"
+# The optimizer pass suite by name: IR lowering, the pass pipeline's
+# expression-pool rewrites, and the digitized-oracle explorations are
+# pointer-heavy and belong under memory/UB checking. (The differential
+# suite's opt-level configs already run under TSan in stage 3.)
+ctest --test-dir build-asan --output-on-failure -R 'BoundsAnalysis|OptPasses' \
+  -j "$jobs"
 
 echo "== stage 5c: storage engine under the sanitizer builds =="
 # The interner's lock-free reads and the flat store's probe loops under

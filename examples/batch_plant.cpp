@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   if (argc > 4) opts.maxSeconds = std::atof(argv[4]);
   examples::FrontendFlags frontend;
   for (int i = 5; i < argc; ++i) {
-    if (frontend.consume(argv[i])) continue;
+    if (frontend.consume(argc, argv, i)) continue;
     if (std::string(argv[i]) == "--trace") showTrace = true;
     if (std::string(argv[i]) == "--reverse") opts.dfsReverse = true;
     if (std::string(argv[i]) == "--portfolio") opts.portfolio = true;
@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
   if (const char* s = std::getenv("SEED")) opts.seed = std::atoi(s);
   if (const char* m = std::getenv("MAX_MB")) opts.maxMemoryBytes = std::atoll(m) * 1024 * 1024;
   if (std::getenv("COMPACT")) opts.compactPassed = true;
+  opts.optLevel = frontend.optLevel;
 
   plant::PlantConfig cfg;
   cfg.order = plant::standardOrder(batches);

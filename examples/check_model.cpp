@@ -5,15 +5,19 @@
 // Usage: check_model <model-file> [bfs|dfs|rdfs] [--trace] [--threads N]
 //                    [--portfolio] [--extrapolation none|global|location|lu]
 //                    [--stats-json] [--no-intern] [--merge-zones]
-//                    [--no-lint] [--Werror]
+//                    [--opt-level N] [--no-lint] [--Werror]
 //
 // --threads N parallelizes whichever order is selected (level-
 // synchronous BFS, work-stealing DFS); --portfolio races N independent
 // seeded DFS workers instead. --extrapolation selects the
 // zone-abstraction operator (default: per-location Extra+_LU).
 // --no-intern / --merge-zones toggle the storage engine (discrete-state
-// hash-consing off, exact convex-union zone merging on). --stats-json
-// prints one JSON object per query with the full engine statistics.
+// hash-consing off, exact convex-union zone merging on). --opt-level
+// selects the pre-exploration optimizer level (0 explores the model
+// exactly as built; default 2 runs the full pass pipeline); when the
+// pipeline did anything, a one-line summary of its work is printed per
+// query. --stats-json prints one JSON object per query with the full
+// engine statistics, including the per-pass optimizer counters.
 //
 // Frontend diagnostics are cumulative: a malformed model reports every
 // error (file:line:col, with notes) before exiting, and lint warnings
@@ -34,7 +38,7 @@ namespace {
 /// The full Stats block as a single-line JSON object (stable keys, so
 /// scripts can diff runs across configurations).
 void printStatsJson(std::ostream& os, size_t query, bool reachable,
-                    const engine::Stats& s) {
+                    const engine::Stats& s, int opt) {
   os << "{\"query\": " << query << ", \"reachable\": "
      << (reachable ? "true" : "false")
      << ", \"statesExplored\": " << s.statesExplored
@@ -62,11 +66,40 @@ void printStatsJson(std::ostream& os, size_t query, bool reachable,
      << ", \"chunkSteals\": " << s.chunkSteals
      << ", \"frameSteals\": " << s.frameSteals
      << ", \"cancelledWorkers\": " << s.cancelledWorkers
+     << ", \"optLevel\": " << opt
+     << ", \"foldedExprs\": " << s.foldedExprs
+     << ", \"removedLocations\": " << s.removedLocations
+     << ", \"removedEdges\": " << s.removedEdges
+     << ", \"simplifiedConstraints\": " << s.simplifiedConstraints
+     << ", \"elidedVars\": " << s.elidedVars
+     << ", \"unifiedClocks\": " << s.unifiedClocks
+     << ", \"composedProcesses\": " << s.composedProcesses
+     << ", \"optSeconds\": " << s.optSeconds
      << ", \"perThreadExplored\": [";
   for (size_t i = 0; i < s.perThreadExplored.size(); ++i) {
     os << (i ? ", " : "") << s.perThreadExplored[i];
   }
   os << "]}\n";
+}
+
+/// One line of optimizer provenance — only the passes that did work
+/// ("optimizer: folded 12 exprs, removed 3 locations, unified 2
+/// clocks"); empty when the pipeline found nothing to do.
+std::string passSummary(const engine::Stats& s) {
+  std::ostringstream out;
+  const auto item = [&out](size_t n, const char* verb, const char* noun) {
+    if (n == 0) return;
+    out << (out.tellp() > 0 ? ", " : "") << verb << ' ' << n << ' ' << noun
+        << (n == 1 ? "" : "s");
+  };
+  item(s.foldedExprs, "folded", "expr");
+  item(s.removedLocations, "removed", "location");
+  item(s.removedEdges, "removed", "edge");
+  item(s.simplifiedConstraints, "simplified", "constraint");
+  item(s.elidedVars, "elided", "var");
+  item(s.unifiedClocks, "unified", "clock");
+  item(s.composedProcesses, "composed", "process pair");
+  return out.str();
 }
 
 }  // namespace
@@ -77,13 +110,13 @@ int main(int argc, char** argv) {
                  " [--threads N] [--portfolio]"
                  " [--extrapolation none|global|location|lu]"
                  " [--stats-json] [--no-intern] [--merge-zones]"
-                 " [--no-lint] [--Werror]\n";
+                 " [--opt-level N] [--no-lint] [--Werror]\n";
     return 2;
   }
   // Frontend flags are scanned up front: loading happens before the
   // engine flag loop runs.
   examples::FrontendFlags frontend;
-  for (int i = 2; i < argc; ++i) frontend.consume(argv[i]);
+  for (int i = 2; i < argc; ++i) frontend.consume(argc, argv, i);
 
   const ta::FrontendResult parsed =
       examples::loadModelOrExit(argv[1], frontend);
@@ -92,6 +125,7 @@ int main(int argc, char** argv) {
             << parsed.system->numVars() << " variables\n";
 
   engine::Options opts;
+  opts.optLevel = frontend.optLevel;
   bool showTrace = false;
   bool statsJson = false;
   for (int i = 2; i < argc; ++i) {
@@ -128,8 +162,12 @@ int main(int argc, char** argv) {
               << (res.reachable ? "REACHABLE" : "unreachable") << "  ("
               << res.stats.statesExplored << " states, " << res.stats.seconds
               << " s)\n";
+    if (const std::string opt = passSummary(res.stats); !opt.empty()) {
+      std::cout << "  optimizer: " << opt << "\n";
+    }
     if (statsJson) {
-      printStatsJson(std::cout, q + 1, res.reachable, res.stats);
+      printStatsJson(std::cout, q + 1, res.reachable, res.stats,
+                     opts.optLevel);
     }
     if (res.reachable && showTrace) {
       std::string err;

@@ -1,8 +1,12 @@
 // Shared diagnostic plumbing for the example binaries.
 //
-// Every example accepts two frontend flags:
-//   --no-lint   skip the static-analysis passes (parse errors only)
-//   --Werror    treat lint warnings as fatal (exit status 3)
+// Every example accepts three shared flags:
+//   --no-lint       skip the static-analysis passes (parse errors only)
+//   --Werror        treat lint warnings as fatal (exit status 3)
+//   --opt-level N   pre-exploration optimizer level (0/1/2, default 2;
+//                   also accepted as --opt-level=N), forwarded into
+//                   engine::Options.optLevel by every engine-running
+//                   example
 //
 // Models loaded from .gta files go through loadModelOrExit(), which
 // prints *all* frontend diagnostics (multiple errors per run, each
@@ -26,9 +30,13 @@ namespace examples {
 struct FrontendFlags {
   bool lint = true;
   bool werror = false;
+  /// Mirrors engine::Options.optLevel (0 = explore the model exactly
+  /// as built; 2 = full pass pipeline).
+  int optLevel = 2;
 
-  /// Consume "--no-lint" / "--Werror"; returns true when `arg` was one
-  /// of ours (the caller's flag loop should `continue`).
+  /// Consume "--no-lint" / "--Werror" / "--opt-level=N"; returns true
+  /// when `arg` was one of ours (the caller's flag loop should
+  /// `continue`).
   bool consume(const std::string& arg) {
     if (arg == "--no-lint") {
       lint = false;
@@ -38,7 +46,22 @@ struct FrontendFlags {
       werror = true;
       return true;
     }
+    if (arg.rfind("--opt-level=", 0) == 0) {
+      optLevel = std::atoi(arg.c_str() + 12);
+      return true;
+    }
     return false;
+  }
+
+  /// Index-advancing variant that additionally accepts the two-token
+  /// "--opt-level N" form.
+  bool consume(int argc, char** argv, int& i) {
+    const std::string arg = argv[i];
+    if (arg == "--opt-level" && i + 1 < argc) {
+      optLevel = std::atoi(argv[++i]);
+      return true;
+    }
+    return consume(arg);
   }
 };
 

@@ -38,6 +38,7 @@ bool pipeline(const plant::PlantConfig& cfg, const char* title,
   opts.dfsReverse = true;
   opts.maxSeconds = 120.0;
   opts.extrapolation = g_extrapolation;
+  opts.optLevel = g_frontend.optLevel;
   engine::Reachability checker(p->sys, opts);
   const engine::Result res = checker.run(p->goal);
   if (!res.reachable) {
@@ -77,7 +78,7 @@ int main(int argc, char** argv) {
   simcli::Options fault;
   for (int i = 1; i < argc; ++i) {
     if (simcli::consume(fault, argc, argv, i)) continue;
-    if (g_frontend.consume(argv[i])) continue;
+    if (g_frontend.consume(argc, argv, i)) continue;
     if (std::strcmp(argv[i], "--extrapolation") == 0 && i + 1 < argc) {
       if (!engine::parseExtrapolation(argv[++i], &g_extrapolation)) {
         std::cerr << "unknown extrapolation mode: " << argv[i] << "\n";

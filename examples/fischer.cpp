@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
   std::vector<int> positional;
   examples::FrontendFlags frontend;
   for (int i = 1; i < argc; ++i) {
-    if (frontend.consume(argv[i])) continue;
+    if (frontend.consume(argc, argv, i)) continue;
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--dfs") == 0) {
@@ -121,6 +121,7 @@ int main(int argc, char** argv) {
       opts.order = order;
       opts.portfolio = portfolio;
       opts.extrapolation = extrapolation;
+      opts.optLevel = frontend.optLevel;
       engine::Reachability checker(model.sys, opts);
       const engine::Result res = checker.run(bad);
       if (res.reachable) {

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   // Frontend flags may appear anywhere; positionals keep their slots.
   std::vector<char*> pos;
   for (int i = 1; i < argc; ++i) {
-    if (!frontend.consume(argv[i])) pos.push_back(argv[i]);
+    if (!frontend.consume(argc, argv, i)) pos.push_back(argv[i]);
   }
   argc = static_cast<int>(pos.size()) + 1;
   for (size_t i = 0; i < pos.size(); ++i) argv[i + 1] = pos[i];

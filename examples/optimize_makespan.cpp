@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
   const char* optimizerName = "binary";
   examples::FrontendFlags frontend;
   for (int i = 1; i < argc; ++i) {
-    if (frontend.consume(argv[i])) continue;
+    if (frontend.consume(argc, argv, i)) continue;
     if (std::strcmp(argv[i], "--optimizer") == 0 && i + 1 < argc) {
       optimizerName = argv[++i];
       if (!synthesis::parseOptimizer(optimizerName, &oo.optimizer)) {
@@ -123,6 +123,7 @@ int main(int argc, char** argv) {
       batches = std::atoi(argv[i]);
     }
   }
+  oo.engine.optLevel = frontend.optLevel;
 
   plant::PlantConfig cfg;
   cfg.order = plant::standardOrder(batches);

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   engine::Options opts;
   examples::FrontendFlags frontend;
   for (int i = 1; i < argc; ++i) {
-    if (frontend.consume(argv[i])) continue;
+    if (frontend.consume(argc, argv, i)) continue;
     if (std::strcmp(argv[i], "--extrapolation") == 0 && i + 1 < argc) {
       if (!engine::parseExtrapolation(argv[++i], &opts.extrapolation)) {
         std::cerr << "unknown extrapolation mode: " << argv[i] << "\n";
@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
       }
     }
   }
+  opts.optLevel = frontend.optLevel;
 
   ta::System sys;
 

@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (simcli::consume(fault, argc, argv, i)) continue;
-    if (frontend.consume(argv[i])) continue;
+    if (frontend.consume(argc, argv, i)) continue;
     if (std::strcmp(argv[i], "--extrapolation") == 0 && i + 1 < argc) {
       if (!engine::parseExtrapolation(argv[++i], &extrapolation)) {
         std::cerr << "unknown extrapolation mode: " << argv[i] << "\n";
@@ -70,6 +70,7 @@ int main(int argc, char** argv) {
   opts.dfsReverse = true;
   opts.maxSeconds = 120.0;
   opts.extrapolation = extrapolation;
+  opts.optLevel = frontend.optLevel;
   engine::Reachability checker(p->sys, opts);
   const engine::Result res = checker.run(p->goal);
   if (!res.reachable) {

@@ -9,6 +9,7 @@
 #include "dbm/priced.hpp"
 #include "dbm/simd.hpp"
 #include "engine/interner.hpp"
+#include "engine/opt_bridge.hpp"
 #include "engine/successors.hpp"
 
 namespace engine {
@@ -73,10 +74,64 @@ void BestFirst::setHeuristicTargets(
 BestFirstResult BestFirst::run(const Goal& goal) {
   using Clock = std::chrono::steady_clock;
   const auto t0 = Clock::now();
+
+  // Pre-exploration optimization: delegate to an inner search over the
+  // optimized system (see Reachability::run for the scheme). Heuristic
+  // targets are pinned so the remaining-time analysis keeps its
+  // anchors; composition is vetoed under soft guides, whose penalties
+  // match per-edge labels that fusion would concatenate.
+  double optSeconds = 0.0;
+  if (opts_.optLevel > 0) {
+    std::vector<std::pair<ta::ProcId, ta::LocId>> targetPins;
+    if (targetsSet_) {
+      for (size_t p = 0; p < targets_.size(); ++p) {
+        for (const ta::LocId l : targets_[p]) {
+          targetPins.push_back({static_cast<ta::ProcId>(p), l});
+        }
+      }
+    }
+    ta::OptimizedModel model = opt_bridge::optimizeForGoal(
+        sys_, goal, opts_.optLevel,
+        /*allowCompose=*/opts_.softGuides.empty(), targetPins);
+    if (model.changed()) {
+      Options inner = opts_;
+      inner.optLevel = 0;
+      BestFirst engine(model.system(), inner, model.mapClock(costClock_));
+      if (targetsSet_) {
+        std::vector<std::vector<ta::LocId>> mapped(
+            model.system().numAutomata());
+        for (size_t p = 0; p < targets_.size(); ++p) {
+          for (const ta::LocId l : targets_[p]) {
+            mapped[static_cast<size_t>(
+                       model.mapProc(static_cast<ta::ProcId>(p)))]
+                .push_back(model.mapLoc(static_cast<ta::ProcId>(p), l));
+          }
+        }
+        engine.setHeuristicTargets(std::move(mapped));
+      }
+      if (incumbent0_ >= 0) engine.setInitialIncumbent(incumbent0_);
+      if (incumbentCb_) {
+        engine.onIncumbent([this, &model](int64_t cost,
+                                          const SymbolicTrace& trace) {
+          incumbentCb_(cost, opt_bridge::backMapTrace(sys_, model, trace));
+        });
+      }
+      BestFirstResult res =
+          engine.run(opt_bridge::mapGoal(sys_, goal, model));
+      opt_bridge::mergePassStats(res.stats, model.stats());
+      if (res.reachable) {
+        res.trace = opt_bridge::backMapTrace(sys_, model, res.trace);
+      }
+      return res;
+    }
+    optSeconds = model.stats().seconds;
+  }
+
   const size_t simdOps0 = dbm::simd::vectorOps();
   const size_t scalarOps0 = dbm::simd::scalarOps();
 
   BestFirstResult res;
+  res.stats.optSeconds = optSeconds;
 
   SuccessorGenerator gen(sys_, opts_);
   gen.observeGoalConstraints(goal.clockConstraints);

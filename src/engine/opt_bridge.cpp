@@ -1,0 +1,156 @@
+#include "engine/opt_bridge.hpp"
+
+#include <cstdint>
+
+namespace engine::opt_bridge {
+
+namespace {
+
+bool conjoinInvariants(const ta::System& sys,
+                       const std::vector<ta::LocId>& locs, dbm::Dbm& z) {
+  for (size_t p = 0; p < locs.size(); ++p) {
+    const ta::Location& l =
+        sys.automaton(static_cast<ta::ProcId>(p)).location(locs[p]);
+    for (const ta::ClockConstraint& cc : l.invariant) {
+      if (!z.constrain(static_cast<uint32_t>(cc.i),
+                       static_cast<uint32_t>(cc.j), cc.bound)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool locsForbidDelay(const ta::System& sys,
+                     const std::vector<ta::LocId>& locs) {
+  for (size_t p = 0; p < locs.size(); ++p) {
+    const ta::Location& l =
+        sys.automaton(static_cast<ta::ProcId>(p)).location(locs[p]);
+    if (l.urgent || l.committed) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ta::OptimizedModel optimizeForGoal(
+    const ta::System& sys, const Goal& goal, int optLevel, bool allowCompose,
+    const std::vector<std::pair<ta::ProcId, ta::LocId>>&
+        extraPinnedLocations) {
+  ta::PassConfig cfg = ta::PassConfig::forLevel(optLevel);
+  if (!allowCompose) cfg.compose = false;
+
+  ta::OptPins pins;
+  pins.locations = goal.locations;
+  pins.locations.insert(pins.locations.end(), extraPinnedLocations.begin(),
+                        extraPinnedLocations.end());
+  pins.clockConstraints = goal.clockConstraints;
+  pins.deadlockGoal = goal.deadlock;
+  if (goal.predicate != ta::kNoExpr) {
+    std::vector<uint8_t> read(sys.numVars(), 0);
+    ta::collectExprReads(sys.pool(), goal.predicate, read);
+    for (ta::VarId v = 0; v < static_cast<ta::VarId>(read.size()); ++v) {
+      if (read[static_cast<size_t>(v)] != 0) pins.vars.push_back(v);
+    }
+  }
+  return ta::optimizeModel(sys, pins, cfg);
+}
+
+Goal mapGoal(const ta::System& orig, const Goal& goal,
+             ta::OptimizedModel& model) {
+  Goal g;
+  g.deadlock = goal.deadlock;
+  g.locations.reserve(goal.locations.size());
+  for (const auto& [p, l] : goal.locations) {
+    g.locations.push_back({model.mapProc(p), model.mapLoc(p, l)});
+  }
+  g.predicate = model.mapExpr(orig.pool(), goal.predicate);
+  g.clockConstraints.reserve(goal.clockConstraints.size());
+  for (const ta::ClockConstraint& cc : goal.clockConstraints) {
+    g.clockConstraints.push_back(model.mapConstraint(cc));
+  }
+  return g;
+}
+
+SymbolicTrace backMapTrace(const ta::System& orig,
+                           const ta::OptimizedModel& model,
+                           const SymbolicTrace& opt) {
+  SymbolicTrace out;
+  if (opt.steps.empty()) return out;
+  const uint32_t dim = orig.dbmDimension();
+
+  DiscreteState cur;
+  cur.vars = orig.initialVars();
+  cur.locs.reserve(orig.numAutomata());
+  for (size_t p = 0; p < orig.numAutomata(); ++p) {
+    cur.locs.push_back(orig.automaton(static_cast<ta::ProcId>(p)).initial());
+  }
+  dbm::Dbm prev = dbm::Dbm::zero(dim);
+  (void)conjoinInvariants(orig, cur.locs, prev);
+  out.steps.push_back(TraceStep{Transition{}, SymbolicState{cur, prev}});
+
+  for (size_t k = 1; k < opt.steps.size(); ++k) {
+    // Expand each optimized part through its origins: a fused private
+    // handshake becomes its original sender + receiver pair.
+    Transition via;
+    for (const TransitionPart& part : opt.steps[k].via.parts) {
+      for (const ta::IrOrigin& o : model.originOf(part.proc, part.edge)) {
+        via.parts.push_back({o.proc, o.edge});
+      }
+    }
+
+    // Exact forward zone, in the style of the concretizer's forward
+    // pass: delay (unless forbidden) under the previous invariants,
+    // the fired guards, then resets and the target invariants.
+    dbm::Dbm z = prev;
+    if (!locsForbidDelay(orig, cur.locs)) {
+      z.up();
+      (void)conjoinInvariants(orig, cur.locs, z);
+    }
+    for (const TransitionPart& part : via.parts) {
+      const ta::Edge& e =
+          orig.automaton(part.proc).edges()[static_cast<size_t>(part.edge)];
+      for (const ta::ClockConstraint& cc : e.clockGuard) {
+        (void)z.constrain(static_cast<uint32_t>(cc.i),
+                          static_cast<uint32_t>(cc.j), cc.bound);
+      }
+    }
+    // Effects in the engine's (and validator's) order — per part:
+    // assignments observing earlier ones, resets, location move.
+    for (const TransitionPart& part : via.parts) {
+      const ta::Edge& e =
+          orig.automaton(part.proc).edges()[static_cast<size_t>(part.edge)];
+      for (const ta::Assign& as : e.assigns) {
+        const int64_t rhs = orig.pool().eval(as.rhs, cur.vars);
+        int64_t idx = 0;
+        if (as.index != ta::kNoExpr) {
+          idx = orig.pool().eval(as.index, cur.vars);
+          if (idx < 0 || idx >= as.arraySize) continue;
+        }
+        cur.vars[static_cast<size_t>(as.base + idx)] =
+            static_cast<int32_t>(rhs);
+      }
+      for (const ta::ClockReset& r : e.resets) {
+        z.reset(static_cast<uint32_t>(r.clock), r.value);
+      }
+      cur.locs[static_cast<size_t>(part.proc)] = e.dst;
+    }
+    (void)conjoinInvariants(orig, cur.locs, z);
+    out.steps.push_back(TraceStep{std::move(via), SymbolicState{cur, z}});
+    prev = std::move(z);
+  }
+  return out;
+}
+
+void mergePassStats(Stats& st, const ta::PassStats& ps) {
+  st.foldedExprs += ps.foldedExprs;
+  st.removedLocations += ps.removedLocations;
+  st.removedEdges += ps.removedEdges;
+  st.simplifiedConstraints += ps.simplifiedConstraints;
+  st.elidedVars += ps.elidedVars;
+  st.unifiedClocks += ps.unifiedClocks;
+  st.composedProcesses += ps.composedProcesses;
+  st.optSeconds += ps.seconds;
+}
+
+}  // namespace engine::opt_bridge

@@ -156,6 +156,15 @@ struct Options {
   /// search heuristic.
   bool dfsReverse = false;
 
+  /// Pre-exploration model optimization (ta/ir.hpp pass pipeline).
+  /// 0 = explore the model exactly as built; 1 = constant folding,
+  /// dead-location/edge elimination, guard simplification; 2 = all of
+  /// the above plus dead-store elision, clock unification, and pairwise
+  /// composition. Verdicts and witness traces are unchanged at every
+  /// level (traces are mapped back onto the original model); only
+  /// search effort differs.
+  int optLevel = 2;
+
   // -- Cut-offs: a run exceeding any of these aborts with the matching
   //    CutoffReason, reproducing Table 1's "-" entries. 0 = unlimited.
   size_t maxMemoryBytes = 0;

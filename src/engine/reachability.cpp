@@ -8,6 +8,7 @@
 
 #include "dbm/pool.hpp"
 #include "engine/interner.hpp"
+#include "engine/opt_bridge.hpp"
 #include "engine/passed_store.hpp"
 
 namespace engine {
@@ -71,6 +72,29 @@ Reachability::Reachability(const ta::System& sys, Options opts)
 Reachability::~Reachability() = default;
 
 Result Reachability::run(const Goal& goal) {
+  // Pre-exploration optimization (lazy — the pins depend on the goal).
+  // When the pipeline changed anything, delegate the search to an inner
+  // engine over the optimized system and map the goal forward and the
+  // witness trace back; the inner engine runs at optLevel 0, so the
+  // optimizer runs exactly once per run().
+  double optSeconds = 0.0;
+  if (opts_.optLevel > 0) {
+    ta::OptimizedModel model =
+        opt_bridge::optimizeForGoal(sys_, goal, opts_.optLevel);
+    if (model.changed()) {
+      Options inner = opts_;
+      inner.optLevel = 0;
+      Reachability engine(model.system(), inner);
+      Result res = engine.run(opt_bridge::mapGoal(sys_, goal, model));
+      opt_bridge::mergePassStats(res.stats, model.stats());
+      if (res.reachable) {
+        res.trace = opt_bridge::backMapTrace(sys_, model, res.trace);
+      }
+      return res;
+    }
+    optSeconds = model.stats().seconds;
+  }
+
   // Clocks the goal observes must survive the reductions.
   gen_.observeGoalConstraints(goal.clockConstraints);
   // Fresh discrete-state arena per run: every engine (and every
@@ -98,6 +122,8 @@ Result Reachability::run(const Goal& goal) {
   res.stats.statesInterned = interner_->size();
   res.stats.internHits = interner_->hits();
   res.stats.internBytes = interner_->bytes();
+  // The pipeline ran but found nothing to rewrite; record its cost.
+  res.stats.optSeconds = optSeconds;
   return res;
 }
 

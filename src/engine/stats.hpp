@@ -52,6 +52,17 @@ struct Stats {
   /// last entry is the optimum when the run proved it.
   std::vector<int64_t> incumbentCosts;
 
+  // -- Pre-exploration optimizer (ta/ir.hpp; zero at optLevel 0 or when
+  //    the pipeline found nothing to do) --------------------------------
+  size_t foldedExprs = 0;            ///< constant-folding rewrites
+  size_t removedLocations = 0;       ///< unreachable locations eliminated
+  size_t removedEdges = 0;           ///< never-enabled/dangling edges cut
+  size_t simplifiedConstraints = 0;  ///< invariant-implied guard conjuncts
+  size_t elidedVars = 0;             ///< variables whose stores were elided
+  size_t unifiedClocks = 0;          ///< clocks merged into a representative
+  size_t composedProcesses = 0;      ///< automata pairs fused into products
+  double optSeconds = 0.0;           ///< wall time spent in the optimizer
+
   // -- DBM kernel dispatch (process-wide deltas around the run) ---------
   size_t simdKernelOps = 0;    ///< DBM-level ops served by a vector path
   size_t scalarKernelOps = 0;  ///< ops served by the scalar fallback

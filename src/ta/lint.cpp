@@ -4,9 +4,11 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dbm/dbm.hpp"
+#include "ta/opt_passes.hpp"
 
 namespace ta {
 
@@ -195,22 +197,16 @@ class Linter {
   // -- L004 ---------------------------------------------------------------
 
   void reachability() {
+    // Same analysis the optimizer's dead-location pass runs: L004 warns
+    // exactly where passRemoveDeadLocations would cut.
     for (size_t p = 0; p < sys_.numAutomata(); ++p) {
       const Automaton& a = sys_.automaton(static_cast<ProcId>(p));
       if (a.numLocations() == 0) continue;
-      std::vector<bool> seen(a.numLocations(), false);
-      std::vector<LocId> work{a.initial()};
-      seen[static_cast<size_t>(a.initial())] = true;
-      while (!work.empty()) {
-        const LocId l = work.back();
-        work.pop_back();
-        for (const Edge& e : a.edges()) {
-          if (e.src == l && !seen[static_cast<size_t>(e.dst)]) {
-            seen[static_cast<size_t>(e.dst)] = true;
-            work.push_back(e.dst);
-          }
-        }
-      }
+      std::vector<std::pair<LocId, LocId>> pairs;
+      pairs.reserve(a.edges().size());
+      for (const Edge& e : a.edges()) pairs.push_back({e.src, e.dst});
+      const std::vector<bool> seen =
+          reachableLocations(a.numLocations(), a.initial(), pairs);
       for (size_t l = 0; l < a.numLocations(); ++l) {
         if (!seen[l]) {
           warn(DiagCode::kUnreachableLocation, at2(map_.locDecls, p, l),
@@ -224,23 +220,10 @@ class Linter {
 
   // -- L005 / L006 --------------------------------------------------------
 
-  /// True when the expression contains no variable reference, i.e. is a
-  /// compile-time constant.
-  bool isConstExpr(ExprRef e) const {
-    if (e == kNoExpr) return true;
-    const ExprNode& n = sys_.pool().node(e);
-    switch (n.op) {
-      case Op::kConst: return true;
-      case Op::kVar: return false;
-      case Op::kNeg:
-      case Op::kNot: return isConstExpr(n.a);
-      case Op::kIte:
-        return isConstExpr(n.a) && isConstExpr(n.b) && isConstExpr(n.c);
-      default: return isConstExpr(n.a) && isConstExpr(n.b);
-    }
-  }
-
   void edgeSatisfiability() {
+    // Shared with passRemoveNeverEnabledEdges: the classification below
+    // is the one the optimizer removes on, so detector and remover
+    // cannot diverge.
     const uint32_t dim = sys_.dbmDimension();
     for (size_t p = 0; p < sys_.numAutomata(); ++p) {
       const Automaton& a = sys_.automaton(static_cast<ProcId>(p));
@@ -250,42 +233,25 @@ class Linter {
         const std::string where = "edge '" + a.location(e.src).name + " -> " +
                                   a.location(e.dst).name + "' in process '" +
                                   a.name() + "'";
-
-        if (e.guard != kNoExpr && isConstExpr(e.guard)) {
-          bool ok = true;
-          const int64_t v = sys_.pool().eval(e.guard, {}, &ok);
-          if (ok && v == 0) {
+        switch (classifyEdgeViability(sys_.pool(), e.guard, e.clockGuard,
+                                      a.location(e.src).invariant, dim)) {
+          case EdgeViability::kViable:
+            break;
+          case EdgeViability::kConstFalseGuard:
             warn(DiagCode::kNeverEnabledEdge, span,
                  where + " is never enabled: its guard is constant false");
-            continue;
-          }
-        }
-        if (e.clockGuard.empty()) continue;
-
-        dbm::Dbm zone = dbm::Dbm::unconstrained(dim);
-        bool guardSat = true;
-        for (const ClockConstraint& cc : e.clockGuard) {
-          guardSat = zone.constrain(static_cast<uint32_t>(cc.i),
-                                    static_cast<uint32_t>(cc.j), cc.bound) &&
-                     guardSat;
-        }
-        if (!guardSat) {
-          warn(DiagCode::kNeverEnabledEdge, span,
-               where + " is never enabled: its clock guard is unsatisfiable");
-          continue;
-        }
-        bool withInv = true;
-        for (const ClockConstraint& cc : a.location(e.src).invariant) {
-          withInv = zone.constrain(static_cast<uint32_t>(cc.i),
-                                   static_cast<uint32_t>(cc.j), cc.bound) &&
-                    withInv;
-        }
-        if (!withInv) {
-          warn(DiagCode::kGuardContradictsInvariant, span,
-               "guard on " + where + " contradicts the invariant of '" +
-                   a.location(e.src).name + "'",
-               "the conjunction of the guard and the source invariant is "
-               "empty, so the edge can never fire");
+            break;
+          case EdgeViability::kClockGuardUnsat:
+            warn(DiagCode::kNeverEnabledEdge, span,
+                 where + " is never enabled: its clock guard is unsatisfiable");
+            break;
+          case EdgeViability::kGuardContradictsInvariant:
+            warn(DiagCode::kGuardContradictsInvariant, span,
+                 "guard on " + where + " contradicts the invariant of '" +
+                     a.location(e.src).name + "'",
+                 "the conjunction of the guard and the source invariant is "
+                 "empty, so the edge can never fire");
+            break;
         }
       }
     }

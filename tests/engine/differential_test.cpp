@@ -26,10 +26,14 @@ Options config(int kind) {
   o.maxSeconds = 20.0;
   switch (kind) {
     // Config 0 is the oracle every other configuration must agree
-    // with: sequential BFS under the classic global-max abstraction.
+    // with: sequential BFS under the classic global-max abstraction,
+    // exploring the model exactly as built (optimizer off). Every
+    // other configuration inherits optLevel 2, so the whole matrix
+    // doubles as an optimized-vs-unoptimized differential.
     case 0:
       o.order = SearchOrder::kBfs;
       o.extrapolation = Extrapolation::kGlobalM;
+      o.optLevel = 0;
       break;
     case 1: o.order = SearchOrder::kDfs; break;
     case 2:
@@ -138,16 +142,45 @@ Options config(int kind) {
       o.internStates = false;
       o.mergeZones = true;
       break;
-    default:  // reduced-form store with merging, interning off
+    case 26:  // reduced-form store with merging, interning off
       o.compactPassed = true;
       o.mergeZones = true;
       o.internStates = false;
+      break;
+    // -- Optimizer matrix: every engine family at optLevel 0 (model
+    //    explored exactly as built) against the default optLevel 2 of
+    //    configs 1-26, plus the intermediate level 1 pipeline.
+    case 27:  // sequential BFS, LU+ default, optimizer off
+      o.optLevel = 0;
+      break;
+    case 28:  // sequential DFS, optimizer off
+      o.order = SearchOrder::kDfs;
+      o.optLevel = 0;
+      break;
+    case 29:  // parallel BFS, optimizer off
+      o.threads = 2;
+      o.shardBits = 2;
+      o.optLevel = 0;
+      break;
+    case 30:  // work-stealing DFS, optimizer off
+      o.order = SearchOrder::kDfs;
+      o.threads = 2;
+      o.optLevel = 0;
+      break;
+    case 31:  // portfolio race, optimizer off
+      o.order = SearchOrder::kDfs;
+      o.portfolio = true;
+      o.threads = 2;
+      o.optLevel = 0;
+      break;
+    default:  // folding + dead-code + guard simplification only
+      o.optLevel = 1;
       break;
   }
   return o;
 }
 
-constexpr int kNumConfigs = 27;
+constexpr int kNumConfigs = 33;
 
 class Differential : public ::testing::TestWithParam<uint64_t> {};
 
