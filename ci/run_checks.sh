@@ -47,6 +47,16 @@
 #                 VM / adversarial-channel / plant-sim suites under the
 #                 ASan build, and the parallel campaign runner under
 #                 the TSan build.
+#   7. replan   — the closed-loop rescheduling stage: the replan
+#                 campaign smoke gate (snapshot -> lift -> budgeted
+#                 repair search must beat hardened codegen alone on the
+#                 burst-loss and crash-restart cells, reproducibly per
+#                 seed), a provenance check on the emitted
+#                 BENCH_replan_campaign.json (git_rev / hostname /
+#                 timestamp must be present and non-empty), and the
+#                 snapshot / state-lifting / resume-round-trip suites
+#                 plus the nonzero-clock-init engine suite under the
+#                 ASan build.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -104,8 +114,22 @@ echo "== stage 6a: fault-campaign robustness gate (release) =="
 # regression is reported as its own stage.
 ctest --test-dir build --output-on-failure -R 'fault_campaign_smoke'
 
+echo "== stage 7a: closed-loop replanning gate (release) =="
+# Also part of the stage-1 full ctest; re-run by name so a replanning
+# regression is reported as its own stage. The gate writes
+# BENCH_replan_campaign.json at the repo root; CI trajectories diff the
+# outcome fields across runs, so the file must say where it came from.
+ctest --test-dir build --output-on-failure -R 'replan_campaign_smoke'
+for field in git_rev hostname timestamp; do
+  if ! grep -Eq "\"${field}\": \"[^\"]+\"" BENCH_replan_campaign.json; then
+    echo "BENCH_replan_campaign.json: provenance field '${field}'" \
+         "missing or empty" >&2
+    exit 1
+  fi
+done
+
 if [[ "$fast" == 1 ]]; then
-  echo "== stages 3-6c: sanitizers skipped (--fast) =="
+  echo "== stages 3-7b: sanitizers skipped (--fast) =="
   exit 0
 fi
 
@@ -163,5 +187,14 @@ echo "== stage 6c: parallel campaign runner under TSan =="
 # The campaign fans trials out over a std::thread pool; the smoke grid
 # under ThreadSanitizer certifies the worker/result handoff.
 ./build-tsan/bench/fault_campaign --smoke --trials 12
+
+echo "== stage 7b: replanning suites under ASan/UBSan =="
+# Snapshot capture/classification, the concrete -> symbolic state lift,
+# the crash-restart resume round trips, and the nonzero-clock-init
+# engine semantics the lift depends on, all under memory/UB checking.
+# (The Lift\. anchor keeps the RCX Lifecycle suite out of this stage.)
+ctest --test-dir build-asan --output-on-failure \
+  -R 'SnapshotCapture|SnapshotClassify|Lift\.|RelaxedConfig|ResumeRoundTrip|InitialClocks' \
+  -j "$jobs"
 
 echo "all checks passed"

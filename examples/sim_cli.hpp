@@ -27,6 +27,11 @@ struct Options {
   int trials = 1;
   bool statsJson = false;
   bool hardened = false;
+  /// Resend discipline of the hardened retry segment. Defaults to
+  /// kAuto: eager under high configured i.i.d. loss (every resend is an
+  /// independent trial — waiting longer only stretches the schedule),
+  /// backoff otherwise.
+  synthesis::ResendPolicy resend = synthesis::ResendPolicy::kAuto;
 
   [[nodiscard]] rcx::FaultPlan plan() const {
     rcx::FaultPlan f = rcx::FaultPlan::iidLoss(loss);
@@ -55,7 +60,11 @@ struct Options {
   [[nodiscard]] int64_t slackTicks() const { return anyFault() ? 8000 : 3000; }
 
   [[nodiscard]] synthesis::CodegenOptions codegen(int32_t tpu) const {
-    if (hardened) return synthesis::CodegenOptions::hardened(tpu, slackTicks());
+    if (hardened) {
+      return synthesis::CodegenOptions::hardened(
+          tpu, slackTicks(),
+          synthesis::CodegenOptions::resolveResend(resend, loss));
+    }
     synthesis::CodegenOptions cg;
     cg.ticksPerTimeUnit = tpu;
     return cg;
@@ -64,7 +73,8 @@ struct Options {
 
 inline const char* kUsage =
     "[--loss p] [--burst p] [--jitter ticks] [--drift ppm] [--crash p]\n"
-    "  [--dup p] [--seed s] [--trials n] [--hardened] [--stats-json]";
+    "  [--dup p] [--seed s] [--trials n] [--hardened]\n"
+    "  [--resend eager|backoff|auto] [--stats-json]";
 
 /// Consume argv[i] (and a value argument when the flag takes one).
 /// Returns false when the flag is not one of ours.
@@ -94,6 +104,18 @@ inline bool consume(Options& o, int argc, char** argv, int& i) {
     o.trials = static_cast<int>(v);
   } else if (a == "--hardened") {
     o.hardened = true;
+  } else if (a == "--resend") {
+    // Fail loudly: returning false here would hand the already-consumed
+    // value token back to the caller's positional parsing.
+    if (i + 1 >= argc) {
+      std::cerr << "--resend needs a value: eager|backoff|auto\n";
+      std::exit(2);
+    }
+    if (!synthesis::parseResendPolicy(argv[++i], &o.resend)) {
+      std::cerr << "unknown resend policy: " << argv[i]
+                << " (want eager|backoff|auto)\n";
+      std::exit(2);
+    }
   } else if (a == "--stats-json") {
     o.statsJson = true;
   } else {

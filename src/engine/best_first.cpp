@@ -262,7 +262,10 @@ BestFirstResult BestFirst::run(const Goal& goal) {
   {
     SymbolicState s0 = gen.initial();
     dbm::Dbm z0 = std::move(s0.zone);
-    if (applyIncumbent(z0, 0)) {
+    // z0 can be empty when a lifted initial state (setClockInit)
+    // violates an invariant; the queue then starts empty and the run
+    // reports unreachable.
+    if (!z0.isEmpty() && applyIncumbent(z0, 0)) {
       tryInsert(s0.d, std::move(z0), 0, Node::kNoParent, Transition{});
     }
   }

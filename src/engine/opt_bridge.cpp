@@ -37,6 +37,12 @@ ta::OptimizedModel optimizeForGoal(
     const ta::System& sys, const Goal& goal, int optLevel, bool allowCompose,
     const std::vector<std::pair<ta::ProcId, ta::LocId>>&
         extraPinnedLocations) {
+  // Lifted mid-run starts (System::setClockInit) are exempt from the
+  // pass pipeline: dead-location elimination and clock unification
+  // reason from the zero-origin initial state, which no longer exists.
+  // Returning the unchanged model keeps every engine on the original
+  // system, exactly as at optLevel 0.
+  if (sys.hasNonzeroClockInit()) return {};
   ta::PassConfig cfg = ta::PassConfig::forLevel(optLevel);
   if (!allowCompose) cfg.compose = false;
 

@@ -113,6 +113,11 @@ Result Reachability::runParallelBfs(const Goal& goal) {
   };
 
   SymbolicState init = gen_.initial();
+  if (init.zone.isEmpty()) {
+    // A lifted initial state (System::setClockInit) violated an
+    // invariant: nothing is reachable.
+    return finish(Cutoff::kNone, true);
+  }
   if (!goal.deadlock && goal.matches(sys_, init)) {
     arena.push_back(
         {interner.intern(init.d), std::move(init.zone), Transition{}, -1});

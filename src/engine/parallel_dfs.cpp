@@ -190,6 +190,11 @@ Result Reachability::runParallelDfs(const Goal& goal) {
   };
 
   SymbolicState init = gen_.initial();
+  if (init.zone.isEmpty()) {
+    // A lifted initial state (System::setClockInit) violated an
+    // invariant: nothing is reachable.
+    return finish(Cutoff::kNone, true);
+  }
   if (!goal.deadlock && goal.matches(sys_, init)) {
     locals[0].arena.push_back(DfsNode{interner.intern(init.d),
                                       std::move(init.zone), Transition{},

@@ -174,6 +174,11 @@ Result Reachability::runBfs(const Goal& goal) {
   };
 
   SymbolicState init = gen_.initial();
+  if (init.zone.isEmpty()) {
+    // A lifted initial state (System::setClockInit) violated an
+    // invariant: nothing is reachable.
+    return finish(Cutoff::kNone, true);
+  }
   if (!goal.deadlock && goal.matches(sys_, init)) {
     arena.push_back(
         {interner.intern(init.d), std::move(init.zone), Transition{}, -1});
@@ -343,6 +348,11 @@ Result Reachability::dfsCore(const Goal& goal, const Options& opts,
   };
 
   SymbolicState init = gen_.initial();
+  if (init.zone.isEmpty()) {
+    // A lifted initial state (System::setClockInit) violated an
+    // invariant: nothing is reachable.
+    return finish(Cutoff::kNone, true);
+  }
   if (!goal.deadlock && goal.matches(sys_, init)) {
     stack.push_back(Frame{interner.intern(init.d), std::move(init.zone),
                           Transition{}, {}, 0, 0});

@@ -16,6 +16,9 @@ Simulator::Simulator(const ta::System& sys)
       gen_(sys, opts_),
       vars_(sys.initialVars()),
       clocks_(sys.dbmDimension(), 0) {
+  for (uint32_t c = 1; c < sys.dbmDimension(); ++c) {
+    clocks_[c] = sys.initialClock(static_cast<ta::ClockId>(c));
+  }
   locs_.reserve(sys.numAutomata());
   for (size_t p = 0; p < sys.numAutomata(); ++p) {
     locs_.push_back(sys.automaton(static_cast<ta::ProcId>(p)).initial());

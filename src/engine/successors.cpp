@@ -138,15 +138,30 @@ bool SuccessorGenerator::normalize(SymbolicState& s) const {
 }
 
 SymbolicState SuccessorGenerator::initial() const {
-  SymbolicState s{DiscreteState{}, dbm::Dbm::zero(sys_.dbmDimension())};
+  const uint32_t dim = sys_.dbmDimension();
+  SymbolicState s{DiscreteState{}, dbm::Dbm::zero(dim)};
+  if (sys_.hasNonzeroClockInit()) {
+    // Lifted mid-run start (System::setClockInit): the point valuation
+    // with each clock at its configured value instead of the origin.
+    s.zone = dbm::Dbm::unconstrained(dim);
+    for (uint32_t c = 1; c < dim; ++c) {
+      const dbm::value_t v = sys_.initialClock(static_cast<ta::ClockId>(c));
+      s.zone.constrainUpper(c, v, /*strict=*/false);
+      s.zone.constrainLower(c, v, /*strict=*/false);
+    }
+  }
   s.d.locs.reserve(sys_.numAutomata());
   for (size_t p = 0; p < sys_.numAutomata(); ++p) {
     s.d.locs.push_back(sys_.automaton(static_cast<ta::ProcId>(p)).initial());
   }
   s.d.vars = sys_.initialVars();
   const bool ok = applyInvariants(s) && normalize(s);
-  assert(ok && "initial state violates invariants");
-  (void)ok;
+  // A zero-origin start always satisfies the invariants (models are
+  // built that way); a lifted one may not — the caller sees the empty
+  // zone and reports the goal unreachable.
+  assert((ok || sys_.hasNonzeroClockInit()) &&
+         "initial state violates invariants");
+  if (!ok) s.zone.setEmpty();
   return s;
 }
 

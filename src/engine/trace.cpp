@@ -19,6 +19,9 @@ struct Replay {
 
   explicit Replay(const ta::System& s)
       : sys(s), vars(s.initialVars()), clocks(s.dbmDimension(), 0) {
+    for (uint32_t c = 1; c < s.dbmDimension(); ++c) {
+      clocks[c] = s.initialClock(static_cast<ta::ClockId>(c));
+    }
     locs.reserve(s.numAutomata());
     for (size_t p = 0; p < s.numAutomata(); ++p) {
       locs.push_back(s.automaton(static_cast<ta::ProcId>(p)).initial());
@@ -322,6 +325,17 @@ std::optional<ConcreteTrace> concretize(const ta::System& sys,
   post.reserve(n);
   {
     dbm::Dbm z0 = dbm::Dbm::zero(dim);
+    if (sys.hasNonzeroClockInit()) {
+      // Lifted mid-run start (System::setClockInit): the anchor point
+      // is the configured valuation, not the origin — otherwise the
+      // backward pass charges the initial offset as extra delay.
+      z0 = dbm::Dbm::unconstrained(dim);
+      for (uint32_t c = 1; c < dim; ++c) {
+        const dbm::value_t v = sys.initialClock(static_cast<ta::ClockId>(c));
+        z0.constrainUpper(c, v, /*strict=*/false);
+        z0.constrainLower(c, v, /*strict=*/false);
+      }
+    }
     if (!conjoinInvariants(sys, trace.steps[0].state.d.locs, z0)) {
       return fail("initial state violates invariants");
     }

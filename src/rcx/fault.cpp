@@ -85,9 +85,10 @@ std::vector<Delivery> FaultChannel::offer(bool towardCentral) {
 }
 
 double FaultChannel::driftFactor(const std::string& unit) {
-  if (plan_.driftPpm <= 0.0) return 1.0;
+  // Preset factors (replan splice) win even when the plan draws none.
   const auto it = drift_.find(unit);
   if (it != drift_.end()) return it->second;
+  if (plan_.driftPpm <= 0.0) return 1.0;
   const double ppm = std::uniform_real_distribution<double>(
       -plan_.driftPpm, plan_.driftPpm)(driftRng_);
   const double f = 1.0 + ppm / 1e6;

@@ -114,6 +114,30 @@ class FaultChannel {
   [[nodiscard]] bool isDown(const std::string& unit,
                             int64_t tick) const;
 
+  // -- Splice support (replanning) -------------------------------------
+  // A repair segment runs on a fresh channel (derived seed) but must
+  // keep the physical state the aborted segment left behind: a unit's
+  // clock does not change speed and a crashed unit stays silent across
+  // the splice.
+
+  /// Preset per-unit drift factors (from a PlantSnapshot); units not
+  /// listed draw fresh factors on first use as usual.
+  void presetDrift(const std::map<std::string, double>& factors) {
+    for (const auto& [unit, f] : factors) drift_[unit] = f;
+  }
+  /// Preset crash downtime (absolute revival ticks) surviving a splice.
+  void presetDownUntil(const std::map<std::string, int64_t>& down) {
+    for (const auto& [unit, until] : down) downUntil_[unit] = until;
+  }
+  [[nodiscard]] const std::map<std::string, double>& driftMap()
+      const noexcept {
+    return drift_;
+  }
+  [[nodiscard]] const std::map<std::string, int64_t>& downUntilMap()
+      const noexcept {
+    return downUntil_;
+  }
+
   // -- Introspection (tests + campaign reporting) ----------------------
   [[nodiscard]] int64_t lossesCommand() const noexcept { return lossCmd_; }
   [[nodiscard]] int64_t lossesAck() const noexcept { return lossAck_; }

@@ -1,5 +1,6 @@
 #include "rcx/physics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 
@@ -168,12 +169,17 @@ void PlantPhysics::command(const std::string& unit, const std::string& cmd,
         }
         mach.on = true;
         mach.load = b;
+        mach.onTick = tick;
+        l.treatStart = tick;
       } else {
         if (!mach.on || mach.load != b)
           return fail(tick, "machine " + std::to_string(m) +
                                 " turned off but not treating " + unit);
         mach.on = false;
         mach.load = -1;
+        ++l.treatmentsDone;
+        l.lastMachine = m;
+        l.treatStart = -1;
       }
       return;
     }
@@ -284,6 +290,7 @@ void PlantPhysics::command(const std::string& unit, const std::string& cmd,
       }
       casting_ = b;
       castComplete_ = false;
+      castStart_ = tick;
       castDone_ = tick + drifted(unit, cfg_.tcast * tpu_);
       l.where = Load::Where::kInCaster;
       return;
@@ -305,6 +312,7 @@ void PlantPhysics::command(const std::string& unit, const std::string& cmd,
       l.where = Load::Where::kGround;
       l.groundK = plant::kOverCastOut;
       casting_ = -1;
+      ++castsDone_;
       return;
     }
     return fail(tick, "Caster: unknown command " + cmd);
@@ -384,6 +392,130 @@ void PlantPhysics::finish(int64_t tick) {
       fail(tick, "machine " + std::to_string(m + 1) + " left running");
     }
   }
+}
+
+bool PlantPhysics::quiescent() const noexcept {
+  for (const Load& l : loads_) {
+    if (l.where == Load::Where::kTrackMoving ||
+        l.where == Load::Where::kLifting ||
+        l.where == Load::Where::kLowering) {
+      return false;
+    }
+  }
+  for (const Crane& c : cranes_) {
+    if (c.moving || c.lifting || c.lowering) return false;
+  }
+  return true;
+}
+
+void PlantPhysics::capture(PlantSnapshot* out) const {
+  out->loads.clear();
+  out->loads.reserve(loads_.size());
+  for (const Load& l : loads_) {
+    LoadSnapshot s;
+    switch (l.where) {
+      case Load::Where::kNone: s.place = LoadSnapshot::Place::kNotPoured; break;
+      case Load::Where::kTrack:
+      // Non-quiescent fallbacks (the capture deadline expired with an
+      // action still running): the source slot / pad still holds the
+      // ladle, so the conservative standing place is sound.
+      case Load::Where::kTrackMoving:
+        s.place = LoadSnapshot::Place::kTrack;
+        s.track = l.track;
+        s.slot = l.slot;
+        break;
+      case Load::Where::kGround:
+      case Load::Where::kLifting:
+      case Load::Where::kLowering:
+        s.place = LoadSnapshot::Place::kGround;
+        s.groundK = l.groundK;
+        break;
+      case Load::Where::kOnCrane:
+        s.place = LoadSnapshot::Place::kOnCrane;
+        s.crane = l.crane;
+        break;
+      case Load::Where::kInCaster: s.place = LoadSnapshot::Place::kInCaster; break;
+      case Load::Where::kExited: s.place = LoadSnapshot::Place::kExited; break;
+    }
+    s.pourTick = l.pourTick;
+    s.treatmentsDone = l.treatmentsDone;
+    s.lastMachine = l.lastMachine;
+    out->loads.push_back(s);
+  }
+  for (int m = 0; m < 5; ++m) {
+    if (machines_[m].on && machines_[m].load >= 0) {
+      LoadSnapshot& s = out->loads[static_cast<size_t>(machines_[m].load)];
+      s.treatingMachine = m + 1;
+      s.treatStartTick = machines_[m].onTick;
+    }
+  }
+  for (int c = 0; c < plant::kNumCranes; ++c) {
+    out->cranes[c].pos = static_cast<int32_t>(cranes_[c].basePos / 1000);
+    out->cranes[c].carrying = cranes_[c].carrying;
+  }
+  out->caster.castingBatch = casting_;
+  out->caster.castComplete = castComplete_;
+  out->caster.castStartTick = castStart_;
+  out->caster.lastCastEndTick = lastCastEnd_;
+  out->caster.castsDone = castsDone_;
+  out->quiescent = quiescent();
+}
+
+void PlantPhysics::restore(const PlantSnapshot& snap) {
+  for (int m = 0; m < 5; ++m) machines_[m] = Machine{};
+  const size_t n =
+      std::min(loads_.size(), static_cast<size_t>(snap.numBatches()));
+  for (size_t b = 0; b < n; ++b) {
+    const LoadSnapshot& s = snap.loads[b];
+    Load l;
+    switch (s.place) {
+      case LoadSnapshot::Place::kNotPoured: l.where = Load::Where::kNone; break;
+      case LoadSnapshot::Place::kTrack:
+        l.where = Load::Where::kTrack;
+        l.track = s.track;
+        l.slot = s.slot;
+        break;
+      case LoadSnapshot::Place::kGround:
+        l.where = Load::Where::kGround;
+        l.groundK = s.groundK;
+        break;
+      case LoadSnapshot::Place::kOnCrane:
+        l.where = Load::Where::kOnCrane;
+        l.crane = s.crane;
+        break;
+      case LoadSnapshot::Place::kInCaster: l.where = Load::Where::kInCaster; break;
+      case LoadSnapshot::Place::kExited: l.where = Load::Where::kExited; break;
+    }
+    l.pourTick = s.pourTick;
+    l.treatmentsDone = s.treatmentsDone;
+    l.lastMachine = s.lastMachine;
+    l.treatStart = s.treatingMachine > 0 ? s.treatStartTick : -1;
+    loads_[b] = l;
+    if (s.treatingMachine >= 1 && s.treatingMachine <= 5) {
+      Machine& m = machines_[s.treatingMachine - 1];
+      m.on = true;
+      m.load = static_cast<int32_t>(b);
+      m.onTick = s.treatStartTick;
+    }
+  }
+  for (int c = 0; c < plant::kNumCranes; ++c) {
+    Crane cr;
+    cr.basePos = static_cast<int64_t>(snap.cranes[c].pos) * 1000;
+    cr.carrying = snap.cranes[c].carrying;
+    cranes_[c] = cr;
+  }
+  casting_ = snap.caster.castingBatch;
+  castComplete_ = snap.caster.castComplete;
+  castStart_ = snap.caster.castStartTick;
+  lastCastEnd_ = snap.caster.lastCastEndTick;
+  castsDone_ = snap.caster.castsDone;
+  // The in-flight cast completes at the drifted absolute tick it always
+  // would have (the resumed channel presets the caster's drift factor).
+  castDone_ = castComplete_ || casting_ < 0
+                  ? snap.caster.lastCastEndTick
+                  : castStart_ + drifted("Caster", cfg_.tcast * tpu_);
+  if (castComplete_) castDone_ = std::max<int64_t>(castDone_, castStart_);
+  collisionReported_ = false;
 }
 
 int64_t PlantPhysics::exitedCount() const noexcept {

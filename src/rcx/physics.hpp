@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "plant/config.hpp"
+#include "rcx/snapshot.hpp"
 
 namespace rcx {
 
@@ -58,6 +59,25 @@ class PlantPhysics {
   [[nodiscard]] int64_t exitedCount() const noexcept;
   [[nodiscard]] bool allExited() const noexcept;
 
+  // -- Snapshot / resume (replanning support) ------------------------
+
+  /// No transient action in progress: every ladle stands on a slot or
+  /// pad, hangs from a stationary crane, or sits in the caster.
+  /// Casting and machine treatments may be running — they are
+  /// interruptible states the model can express.
+  [[nodiscard]] bool quiescent() const noexcept;
+
+  /// Fill the physical-plant portion of a snapshot (loads, cranes,
+  /// caster). Call only when quiescent(); channel/controller fields
+  /// are the simulator's to fill.
+  void capture(PlantSnapshot* out) const;
+
+  /// Adopt the physical state of a snapshot, replacing the initial
+  /// all-at-the-converter state. Timing baselines (pour ticks, cast
+  /// start) are absolute ticks and stay valid because resumed
+  /// simulations continue the absolute tick count.
+  void restore(const PlantSnapshot& snap);
+
   // -- Introspection for tests ---------------------------------------
   [[nodiscard]] int64_t cranePosMilli(int c) const;
   [[nodiscard]] bool loadExited(int b) const;
@@ -82,6 +102,10 @@ class PlantPhysics {
     int32_t crane = -1;
     int64_t actionDone = 0;
     int64_t pourTick = -1;
+    // Treatment bookkeeping for state lifting (replan/lift.cpp).
+    int32_t treatmentsDone = 0;
+    int32_t lastMachine = 0;     ///< id of last completed treatment (0: none)
+    int64_t treatStart = -1;     ///< tick the running treatment started
   };
 
   struct Crane {
@@ -98,6 +122,7 @@ class PlantPhysics {
   struct Machine {
     bool on = false;
     int32_t load = -1;
+    int64_t onTick = 0;
   };
 
   void fail(int64_t tick, std::string what) {
@@ -128,7 +153,9 @@ class PlantPhysics {
   int32_t casting_ = -1;       ///< batch currently in the caster
   bool castComplete_ = false;  ///< casting done, awaiting eject
   int64_t castDone_ = 0;
+  int64_t castStart_ = -1;
   int64_t lastCastEnd_ = -1;
+  int32_t castsDone_ = 0;
   bool collisionReported_ = false;
   std::function<double(const std::string&)> drift_;
   std::vector<SimError> errors_;

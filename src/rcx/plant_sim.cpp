@@ -28,6 +28,13 @@ SimResult runProgram(const synthesis::RcxProgram& program,
   FaultChannel chan(plan, opts.seed);
   physics.setDriftProvider(
       [&chan](const std::string& unit) { return chan.driftFactor(unit); });
+  if (opts.resume != nullptr) {
+    // Splice: keep unit clock speeds and crash downtimes across the
+    // segment boundary, then adopt the snapshotted plant state.
+    chan.presetDrift(opts.resume->unitDrift);
+    chan.presetDownUntil(opts.resume->downUntil);
+    physics.restore(*opts.resume);
+  }
 
   // The units the crash process can take down: every distinct command
   // target of the program.
@@ -43,7 +50,8 @@ SimResult runProgram(const synthesis::RcxProgram& program,
   int32_t centralMsgBuffer = 0;
   // Per-unit dedup: the last message id a unit executed. Resent
   // commands (lost acks) and channel-duplicated copies must not
-  // re-execute.
+  // re-execute. Repair programs number their commands afresh and the
+  // splice drops stale traffic, so a resumed segment starts clean.
   std::map<std::string, int32_t> lastExecuted;
 
   VmHost host;
@@ -60,8 +68,14 @@ SimResult runProgram(const synthesis::RcxProgram& program,
   host.clearMessage = [&] { centralMsgBuffer = 0; };
 
   RcxVm vm(program, host, opts.instrTicks);
+  if (opts.resume != nullptr) vm.startAt(opts.startTick);
 
-  int64_t tick = 0;
+  // Fatal-deviation detection state.
+  DeviationKind fatal = DeviationKind::kNone;
+  std::string fatalDetail;
+  size_t errorsSeen = 0;
+
+  int64_t tick = opts.resume != nullptr ? opts.startTick : 0;
   for (; tick < opts.maxTicks; ++tick) {
     // Crash processes first: a unit that dies at this tick loses its
     // pending traffic (commands still in the air toward it, acks it
@@ -111,7 +125,90 @@ SimResult runProgram(const synthesis::RcxProgram& program,
       }
     }
     physics.step(tick);
+    if (opts.snapshotOnFatal) {
+      if (vm.halted()) {
+        fatal = DeviationKind::kWatchdogHalt;
+        fatalDetail = "watchdog exhausted waiting for an acknowledgement";
+        break;
+      }
+      if (physics.errors().size() > errorsSeen) {
+        fatal = DeviationKind::kPhysicsError;
+        fatalDetail = physics.errors()[errorsSeen].what;
+        break;
+      }
+    }
     if (vm.finished() && air.empty()) break;
+  }
+
+  const auto fillChannelStats = [&] {
+    res.commandsLost = chan.lossesCommand();
+    res.acksLost = chan.lossesAck();
+    res.duplicatesInjected = chan.duplicates();
+    res.reordered = chan.reorders();
+    res.crashes = chan.crashes();
+    // Burst losses are not attributed per direction by the channel;
+    // fold them into the command counter so totals still add up.
+    res.commandsLost += chan.burstLosses();
+    res.unitDrift = chan.driftMap();
+    res.lastExecuted = lastExecuted;
+    for (const InFlight& m : air) {
+      InFlightMsg msg;
+      msg.deliverAt = m.deliverAt;
+      msg.msgId = m.msgId;
+      msg.towardCentral = m.towardCentral;
+      if (const synthesis::RcxCommand* c = program.commandById(m.msgId);
+          c != nullptr && !m.towardCentral) {
+        msg.unit = c->unit;
+        msg.command = c->command;
+      }
+      res.inFlight.push_back(msg);
+    }
+  };
+
+  if (isFatal(fatal)) {
+    // Abort the program, quiesce the plant (complete every transient
+    // move/hoist; casting may continue), and capture the concrete
+    // state for the replanner. New physics errors during quiescence
+    // are part of the same deviation, not fresh ones.
+    const int64_t deviationTick = tick;
+    const int64_t deadline =
+        tick +
+        (static_cast<int64_t>(std::max({cfg.bmove, cfg.cmove, cfg.cupdown})) *
+             2 +
+         1) *
+            ticksPerTimeUnit +
+        opts.slackTicks;
+    while (!physics.quiescent() && tick < deadline) {
+      ++tick;
+      physics.step(tick);
+    }
+    PlantSnapshot snap;
+    physics.capture(&snap);
+    snap.kind = fatal;
+    snap.reason = fatalDetail.empty() && !physics.errors().empty()
+                      ? physics.errors().front().what
+                      : fatalDetail;
+    snap.deviationTick = deviationTick;
+    snap.tick = tick;
+    snap.ticksPerTimeUnit = ticksPerTimeUnit;
+    snap.lastExecuted = lastExecuted;
+    fillChannelStats();
+    snap.unitDrift = res.unitDrift;
+    for (const auto& [unit, until] : chan.downUntilMap()) {
+      if (until > tick) snap.downUntil[unit] = until;
+    }
+    snap.inFlight = res.inFlight;
+
+    res.deviation = fatal;
+    res.deviationDetail = snap.reason;
+    res.snapshot = std::move(snap);
+    res.watchdogHalted = vm.halted();
+    res.programCompleted = false;
+    res.allExited = physics.allExited();
+    res.exited = physics.exitedCount();
+    res.errors = physics.errors();
+    res.ticks = tick;
+    return res;
   }
 
   // Let outstanding physical actions (final lowering etc.) finish.
@@ -127,16 +224,18 @@ SimResult runProgram(const synthesis::RcxProgram& program,
   res.exited = physics.exitedCount();
   res.errors = physics.errors();
   res.ticks = tick;
-  // Channel-side statistics (the i.i.d. and burst losses both count as
-  // "lost" for the direction they were travelling).
-  res.commandsLost = chan.lossesCommand();
-  res.acksLost = chan.lossesAck();
-  res.duplicatesInjected = chan.duplicates();
-  res.reordered = chan.reorders();
-  res.crashes = chan.crashes();
-  // Burst losses are not attributed per direction by the channel; fold
-  // them into the command counter so totals still add up.
-  res.commandsLost += chan.burstLosses();
+  fillChannelStats();
+  if (res.watchdogHalted) {
+    res.deviation = DeviationKind::kWatchdogHalt;
+    res.deviationDetail = "watchdog exhausted waiting for an acknowledgement";
+  } else if (!res.errors.empty()) {
+    res.deviation = DeviationKind::kPhysicsError;
+    res.deviationDetail = res.errors.front().what;
+  } else if (res.commandsLost + res.acksLost + res.duplicatesInjected +
+                 res.reordered + res.crashes + res.crashDropped >
+             0) {
+    res.deviation = DeviationKind::kRecoverable;
+  }
   return res;
 }
 

@@ -14,12 +14,15 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "plant/config.hpp"
 #include "rcx/fault.hpp"
 #include "rcx/physics.hpp"
+#include "rcx/snapshot.hpp"
 #include "synthesis/rcx_codegen.hpp"
 
 namespace rcx {
@@ -43,6 +46,18 @@ struct SimOptions {
   /// small deviations.
   int64_t slackTicks = 600;
   int64_t maxTicks = 200'000'000;
+
+  // -- Replanning support (see replan/controller.hpp) ------------------
+
+  /// Classify fatal deviations (watchdog halt, physics error) and end
+  /// the run with a quiesced PlantSnapshot in SimResult::snapshot
+  /// instead of limping on to the drain phase.
+  bool snapshotOnFatal = false;
+  /// Resume mid-run from a snapshot: the physics adopts its state, the
+  /// channel presets its drift factors and crash downtimes, and the
+  /// tick count continues from `startTick` (absolute).
+  const PlantSnapshot* resume = nullptr;
+  int64_t startTick = 0;
 
   /// The fault plan actually applied: `faults` with the legacy i.i.d.
   /// knob folded into both directions.
@@ -72,6 +87,22 @@ struct SimResult {
   int64_t reordered = 0;        ///< messages delayed past their successors
   int64_t crashes = 0;          ///< local-controller crash events
   int64_t crashDropped = 0;     ///< messages dropped at/to a crashed unit
+
+  // -- Deviation classification + concrete end-state ------------------
+  /// kNone: clean; kRecoverable: faults manifested but the hardened
+  /// layer absorbed them; kWatchdogHalt / kPhysicsError: fatal (the
+  /// run stopped early; `snapshot` is set when snapshotOnFatal was on).
+  DeviationKind deviation = DeviationKind::kNone;
+  std::string deviationDetail;
+  std::optional<PlantSnapshot> snapshot;
+
+  /// Per-unit drifted-clock factors the channel drew this run.
+  std::map<std::string, double> unitDrift;
+  /// Per-unit dedup state (last executed message id).
+  std::map<std::string, int32_t> lastExecuted;
+  /// Messages still in the air when the run ended (normally empty:
+  /// the main loop drains the ether before finishing).
+  std::vector<InFlightMsg> inFlight;
 
   [[nodiscard]] bool ok() const {
     return programCompleted && allExited && errors.empty();

@@ -1,0 +1,119 @@
+// Concrete plant state captured at a fatal deviation — the interface
+// between the execution layer (rcx/plant_sim) and the replanning
+// subsystem (replan/).
+//
+// The simulator quiesces the plant first (lets every in-progress track
+// move and hoist finish; casting may continue), so a snapshot only ever
+// shows ladles standing on a slot or pad, hanging from a stationary
+// crane, or inside the caster. That discreteness is what makes the
+// state-lifting in replan/lift.cpp exact: every snapshot place is one
+// model location, and only the clock valuation needs rounding.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "plant/config.hpp"
+
+namespace rcx {
+
+/// How a simulated run deviated from the synthesized schedule.
+enum class DeviationKind : uint8_t {
+  kNone = 0,        ///< clean run, no fault manifested
+  kRecoverable,     ///< faults occurred but the hardened layer absorbed them
+  kWatchdogHalt,    ///< the program's watchdog gave up on a silent unit
+  kPhysicsError,    ///< a physical/timing invariant was violated
+};
+
+[[nodiscard]] inline const char* deviationName(DeviationKind k) {
+  switch (k) {
+    case DeviationKind::kNone: return "none";
+    case DeviationKind::kRecoverable: return "recoverable";
+    case DeviationKind::kWatchdogHalt: return "watchdog-halt";
+    case DeviationKind::kPhysicsError: return "physics-error";
+  }
+  return "?";
+}
+
+/// True for the kinds that end a run and produce a snapshot.
+[[nodiscard]] inline bool isFatal(DeviationKind k) {
+  return k == DeviationKind::kWatchdogHalt ||
+         k == DeviationKind::kPhysicsError;
+}
+
+struct LoadSnapshot {
+  enum class Place : uint8_t {
+    kNotPoured,
+    kTrack,     ///< standing on track `track`, slot `slot`
+    kGround,    ///< on the crane-served pad under overhead position groundK
+    kOnCrane,   ///< hanging from stationary crane `crane`
+    kInCaster,
+    kExited,
+  };
+  Place place = Place::kNotPoured;
+  int32_t track = 0, slot = 0;  ///< valid for kTrack
+  int32_t groundK = 0;          ///< valid for kGround
+  int32_t crane = -1;           ///< valid for kOnCrane
+  int64_t pourTick = -1;        ///< absolute tick of the pour (-1: not poured)
+  int32_t treatmentsDone = 0;   ///< completed machine treatments
+  int32_t lastMachine = 0;      ///< machine id of the last completed one (0: none)
+  int32_t treatingMachine = 0;  ///< machine currently running on this load (0: none)
+  int64_t treatStartTick = -1;  ///< absolute tick that treatment started
+};
+
+struct CraneSnapshot {
+  int32_t pos = 0;        ///< overhead position index (quiesced: on-slot)
+  int32_t carrying = -1;  ///< batch index hanging from the hook, -1 = empty
+};
+
+struct CasterSnapshot {
+  int32_t castingBatch = -1;    ///< batch inside the caster, -1 = empty
+  bool castComplete = false;    ///< casting finished, ladle awaiting eject
+  int64_t castStartTick = -1;
+  int64_t lastCastEndTick = -1;
+  int32_t castsDone = 0;        ///< ladles ejected so far
+};
+
+/// A message still in the air when the run was aborted. Spliced repair
+/// segments discard these (the repair program opens a fresh session and
+/// units ignore stale ids); they are recorded so tests and the bench
+/// can account for every message.
+struct InFlightMsg {
+  int64_t deliverAt = 0;
+  int32_t msgId = 0;
+  bool towardCentral = false;  ///< ack (unit -> central) vs command
+  std::string unit;            ///< resolved command target ("" for acks)
+  std::string command;
+};
+
+struct PlantSnapshot {
+  DeviationKind kind = DeviationKind::kNone;
+  std::string reason;          ///< first fatal symptom, human-readable
+  int64_t deviationTick = 0;   ///< tick the fatal deviation was detected
+  int64_t tick = 0;            ///< tick of capture (after quiescence)
+  int32_t ticksPerTimeUnit = 0;
+  bool quiescent = false;      ///< transient actions all completed in time
+
+  std::vector<LoadSnapshot> loads;  ///< indexed by batch
+  CraneSnapshot cranes[plant::kNumCranes];
+  CasterSnapshot caster;
+
+  /// Per-unit drifted-clock factors already drawn by the channel; a
+  /// resumed segment presets these so a unit's clock does not change
+  /// speed across the splice.
+  std::map<std::string, double> unitDrift;
+  /// Units still crashed at capture time -> absolute tick they revive.
+  std::map<std::string, int64_t> downUntil;
+  /// Per-unit dedup state (last executed message id) of the aborted
+  /// program. Informational: repair programs number commands afresh.
+  std::map<std::string, int32_t> lastExecuted;
+  std::vector<InFlightMsg> inFlight;
+
+  [[nodiscard]] int32_t numBatches() const {
+    return static_cast<int32_t>(loads.size());
+  }
+};
+
+}  // namespace rcx

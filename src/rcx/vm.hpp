@@ -41,6 +41,13 @@ class RcxVm {
   /// Tick at which the VM next wants to run (it may be waiting).
   [[nodiscard]] int64_t nextWakeTick() const noexcept { return wake_; }
 
+  /// Rebase the VM's wait clock so the program's time 0 is `tick`.
+  /// A spliced repair program is numbered relative to its own segment
+  /// start; without the rebase, run(now) at a large absolute `now`
+  /// would burn through every Wait (and the watchdog's poll budget) in
+  /// a single call.
+  void startAt(int64_t tick) noexcept { wake_ = tick; }
+
   /// Execute instructions until the VM blocks on a Wait that ends
   /// after `now`, or the program ends.  `now` is the current tick.
   void run(int64_t now);

@@ -1,0 +1,86 @@
+#include "replan/controller.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace replan {
+
+RunReport runWithReplanning(const plant::PlantConfig& cfg,
+                            const synthesis::Schedule& schedule,
+                            const ControllerOptions& opts) {
+  RunReport rep;
+  synthesis::RcxProgram prog = synthesis::synthesize(schedule, opts.codegen);
+  plant::PlantConfig segCfg = cfg;
+  rcx::PlantSnapshot snap;
+  bool resumed = false;
+
+  for (int seg = 0;; ++seg) {
+    rcx::SimOptions so = opts.sim;
+    so.snapshotOnFatal = true;
+    if (resumed) {
+      so.resume = &snap;
+      so.startTick = snap.tick + opts.replanChargeTicks;
+      // Fresh, reproducible fault streams per segment (drift and crash
+      // downtimes carry over via the snapshot presets, not the seed).
+      so.seed = opts.sim.seed +
+                0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(seg);
+    }
+    rcx::SimResult res =
+        rcx::runProgram(prog, segCfg, opts.ticksPerTimeUnit, so);
+
+    SegmentInfo info;
+    info.deviation = res.deviation;
+    info.detail = res.deviationDetail;
+
+    if (!res.snapshot.has_value()) {
+      // Clean (or merely recoverable) segment: the run is over.
+      rep.segments.push_back(std::move(info));
+      rep.finalResult = std::move(res);
+      rep.success = rep.finalResult.ok();
+      return rep;
+    }
+
+    if (rep.replans >= opts.maxReplans) {
+      rep.segments.push_back(std::move(info));
+      rep.finalResult = std::move(res);
+      rep.safeStopped = true;
+      rep.safeStopReason = "replan budget exhausted (" +
+                           std::to_string(opts.maxReplans) + " replans)";
+      return rep;
+    }
+
+    snap = std::move(*res.snapshot);
+    info.replanned = true;
+    info.capturedTick = snap.tick;
+    info.inFlightDropped = snap.inFlight.size();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const synthesis::ResumeOutcome out =
+        synthesis::resumeFrom(snap, cfg, opts.resume);
+    info.replanSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    info.ladderLevel = out.ladderLevel;
+    rep.replanLatencySeconds.push_back(info.replanSeconds);
+    rep.segments.push_back(std::move(info));
+
+    if (!out.feasible) {
+      rep.finalResult = std::move(res);
+      rep.safeStopped = true;
+      rep.safeStopReason =
+          "degradation ladder exhausted: " +
+          std::string(rcx::deviationName(snap.kind)) +
+          (snap.reason.empty() ? "" : " (" + snap.reason + ")");
+      return rep;
+    }
+
+    ++rep.replans;
+    rep.maxLadderLevel = std::max(rep.maxLadderLevel, out.ladderLevel);
+    segCfg = out.repairCfg;
+    prog = synthesis::synthesize(out.schedule, opts.codegen);
+    resumed = true;
+  }
+}
+
+}  // namespace replan

@@ -1,0 +1,80 @@
+// Closed-loop execution: run a synthesized program against the
+// simulated plant, and when a fatal deviation ends a segment, replan
+// from the captured snapshot and splice the repair schedule back in.
+//
+// One "segment" = one program execution (rcx::runProgram) with fatal
+// classification on. A clean segment ends the run; a fatal one yields a
+// quiesced PlantSnapshot, which synthesis::resumeFrom turns into a
+// repair schedule (or a safe stop, at the bottom of the degradation
+// ladder). Each repair segment gets:
+//   - a fresh program (commands numbered from 1; per-unit dedup state
+//     resets, stale in-flight traffic is discarded at the splice),
+//   - the snapshot's drift factors and crash downtimes preset on a
+//     fresh channel with a per-segment derived seed,
+//   - an absolute start tick = capture tick + replanChargeTicks, so the
+//     replanning latency charged to the plant is a fixed, deterministic
+//     cost rather than host wall time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "plant/config.hpp"
+#include "rcx/plant_sim.hpp"
+#include "replan/resume.hpp"
+#include "synthesis/rcx_codegen.hpp"
+
+namespace replan {
+
+struct ControllerOptions {
+  /// Channel / fault configuration applied to every segment (the seed
+  /// is re-derived per segment so repair traffic draws a fresh but
+  /// reproducible stream).
+  rcx::SimOptions sim;
+  /// Codegen profile for the initial program AND every repair program.
+  synthesis::CodegenOptions codegen;
+  int32_t ticksPerTimeUnit = 100;
+  /// Replans allowed before giving up (a plant that keeps deviating is
+  /// not going to be saved by a fourth schedule).
+  int maxReplans = 3;
+  /// Deterministic simulated cost of one replan, in ticks: the repair
+  /// segment starts this much after the capture tick. Casting that is
+  /// already running continues through it.
+  int64_t replanChargeTicks = 2000;
+  synthesis::ResumeOptions resume;
+};
+
+struct SegmentInfo {
+  rcx::DeviationKind deviation = rcx::DeviationKind::kNone;
+  std::string detail;
+  bool replanned = false;  ///< this segment ended in a splice
+  int ladderLevel = -1;    ///< resumeFrom ladder level (when replanned)
+  double replanSeconds = 0.0;  ///< wall-clock replan latency
+  int64_t capturedTick = 0;
+  size_t inFlightDropped = 0;  ///< stale messages discarded at the splice
+};
+
+struct RunReport {
+  /// The final segment completed its program with every ladle out and
+  /// no physical error (under that segment's repair configuration).
+  bool success = false;
+  bool safeStopped = false;  ///< ladder exhausted or replan budget spent
+  std::string safeStopReason;
+  int replans = 0;
+  /// Highest ladder level any repair used (-1: never replanned). A 1
+  /// means at least one segment ran under relaxed deadlines — success
+  /// with degraded quality guarantees.
+  int maxLadderLevel = -1;
+  std::vector<SegmentInfo> segments;
+  std::vector<double> replanLatencySeconds;
+  rcx::SimResult finalResult;  ///< result of the last segment run
+};
+
+/// Execute `schedule` with closed-loop replanning. `cfg` is the
+/// original (strict) plant configuration; repair segments may run under
+/// the relaxed configuration resumeFrom selects.
+[[nodiscard]] RunReport runWithReplanning(const plant::PlantConfig& cfg,
+                                          const synthesis::Schedule& schedule,
+                                          const ControllerOptions& opts);
+
+}  // namespace replan

@@ -1,0 +1,528 @@
+#include "replan/lift.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "dbm/bound.hpp"
+
+namespace replan {
+
+namespace {
+
+using plant::kMachines;
+using plant::machineOn;
+using rcx::LoadSnapshot;
+using Place = rcx::LoadSnapshot::Place;
+
+std::string num(int32_t v) { return std::to_string(v); }
+
+/// Round ticks up to whole model time units (deadline clocks: the model
+/// must never believe less time passed than actually did).
+int64_t unitsUp(int64_t ticks, int64_t tpu) {
+  if (ticks <= 0) return 0;
+  return (ticks + tpu - 1) / tpu;
+}
+
+/// Round down (progress clocks: never credit unfinished work).
+int64_t unitsDown(int64_t ticks, int64_t tpu) {
+  return ticks <= 0 ? 0 : ticks / tpu;
+}
+
+/// The successor machine the guided model deterministically assigns
+/// (mirrors Builder::stageMachine: same track preferred).
+int32_t stageMachine(const plant::Quality& q, size_t i, int32_t track) {
+  const int32_t same = machineOn(track, q[i].type);
+  if (same > 0) return same;
+  return machineOn(3 - track, q[i].type);
+}
+
+class Lifter {
+ public:
+  Lifter(const rcx::PlantSnapshot& snap, const plant::PlantConfig& cfg,
+         LiftMode mode)
+      : snap_(snap), cfg_(cfg), mode_(mode) {}
+
+  Lifted run() {
+    Lifted out;
+    out.plant = plant::buildPlant(cfg_);
+    p_ = out.plant.get();
+    sys_ = &p_->sys;
+    clockVals_.assign(sys_->numClocks() + 1, 0);
+
+    if (snap_.numBatches() != cfg_.numBatches()) {
+      fail("snapshot has " + num(snap_.numBatches()) + " batches, config " +
+           num(cfg_.numBatches()));
+      out.report = report_;
+      return out;
+    }
+    if (snap_.ticksPerTimeUnit <= 0) {
+      fail("snapshot carries no tick resolution");
+      out.report = report_;
+      return out;
+    }
+    tpu_ = snap_.ticksPerTimeUnit;
+    if (!snap_.quiescent) {
+      // Defensive captures (quiescence deadline expired) still map to
+      // *some* location, but the rounding guarantees are void.
+      note("snapshot not quiescent: lift is best-effort");
+    }
+
+    deriveNext();
+    liftLoads();
+    liftCranes();
+    liftCaster();
+    liftMonitor();
+    liftVars();
+    applyClocks();
+
+    out.report = report_;
+    return out;
+  }
+
+ private:
+  // ---- bookkeeping ------------------------------------------------- //
+
+  void note(std::string s) { report_.notes.push_back(std::move(s)); }
+  void fail(std::string s) {
+    report_.feasible = false;
+    report_.notes.push_back(std::move(s));
+  }
+
+  void setLoc(ta::ProcId proc, const std::string& name) {
+    auto& a = sys_->automaton(proc);
+    const ta::LocId l = a.findLocation(name);
+    if (l < 0) {
+      fail("automaton " + a.name() + " has no location '" + name + "'");
+      return;
+    }
+    a.setInitial(l);
+  }
+
+  void setClock(const std::string& name, int64_t v) {
+    for (uint32_t c = 1; c <= sys_->numClocks(); ++c) {
+      if (sys_->clockName(static_cast<ta::ClockId>(c)) == name) {
+        clockVals_[c] = std::clamp<int64_t>(v, 0, dbm::kMaxValue);
+        return;
+      }
+    }
+    fail("model has no clock '" + name + "'");
+  }
+
+  void setVar(const std::string& name, int32_t v) {
+    const auto& names = sys_->varNames();
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) {
+        sys_->setVarInit(static_cast<ta::VarId>(i), v);
+        return;
+      }
+    }
+    // Guide variables only exist at their guide level; silently absent
+    // is fine (the unguided model simply has fewer constraints).
+  }
+
+  void setCell(const std::string& base, int32_t k, int32_t v) {
+    setVar(base + "[" + num(k) + "]", v);
+  }
+
+  // ---- derived facts ----------------------------------------------- //
+
+  [[nodiscard]] int32_t stagesOf(int32_t b) const {
+    return static_cast<int32_t>(cfg_.order[static_cast<size_t>(b)].size());
+  }
+
+  /// Ladle already ejected from (or currently inside) the caster.
+  [[nodiscard]] bool enteredCaster(int32_t b) const {
+    return b < snap_.caster.castsDone || b == snap_.caster.castingBatch;
+  }
+
+  /// Reconstruct the guided `next` variable: where the model would send
+  /// batch b from this concrete state (the guide assignments in the
+  /// builder are all deterministic, so this is a function of the
+  /// snapshot, not a search choice).
+  void deriveNext() {
+    const int32_t n = snap_.numBatches();
+    next_.assign(static_cast<size_t>(n), plant::kNextNone);
+    for (int32_t b = 0; b < n; ++b) {
+      const LoadSnapshot& L = snap_.loads[static_cast<size_t>(b)];
+      int32_t& nx = next_[static_cast<size_t>(b)];
+      if (L.place == Place::kNotPoured) {
+        nx = plant::kNextNone;
+        continue;
+      }
+      if (b < snap_.caster.castsDone) {
+        nx = plant::kNextStore;  // ejected (possibly already exited)
+        continue;
+      }
+      if (b == snap_.caster.castingBatch) {
+        nx = plant::kNextCast;  // set at the final MachineOff, kept at incast
+        continue;
+      }
+      if (L.treatingMachine > 0) {
+        nx = L.treatingMachine;  // machine ids coincide with kNextM<i>
+        continue;
+      }
+      const int32_t i = L.treatmentsDone;
+      const plant::Quality& q = cfg_.order[static_cast<size_t>(b)];
+      if (i >= stagesOf(b)) {
+        nx = plant::kNextCast;
+        continue;
+      }
+      int32_t track;
+      if (i > 0 && L.lastMachine >= 1 && L.lastMachine <= 5) {
+        track = kMachines[L.lastMachine - 1].track;
+      } else if (L.place == Place::kTrack) {
+        track = L.track;
+      } else {
+        track = 1;  // defensive; an untreated ladle stands on its pour track
+        note("batch " + num(b) + ": untreated ladle off-track, assuming "
+             "track 1 routing");
+      }
+      const int32_t m = stageMachine(q, static_cast<size_t>(i), track);
+      if (m < 0) {
+        fail("batch " + num(b) + ": no machine for stage " + num(i));
+        continue;
+      }
+      nx = m;
+    }
+  }
+
+  // ---- per-automaton lifting --------------------------------------- //
+
+  void liftLoads() {
+    for (int32_t b = 0; b < snap_.numBatches(); ++b) {
+      const LoadSnapshot& L = snap_.loads[static_cast<size_t>(b)];
+      std::string loc;
+      switch (L.place) {
+        case Place::kNotPoured: loc = "src"; break;
+        case Place::kExited: loc = "done"; break;
+        case Place::kInCaster: loc = "in_cast"; break;
+        case Place::kOnCrane:
+          loc = "carried_c" + num(L.crane + 1);
+          break;
+        case Place::kGround:
+          loc = groundLocName(L.groundK);
+          break;
+        case Place::kTrack:
+          if (L.treatingMachine > 0) {
+            loc = "busy_m" + num(L.treatingMachine);
+          } else {
+            loc = "t" + num(L.track) + "_" + num(L.slot);
+          }
+          break;
+      }
+      setLoc(p_->batches[static_cast<size_t>(b)], loc);
+      setClock("x" + num(b), 0);  // no track move in progress (quiesced)
+      liftRecipe(b, L);
+    }
+  }
+
+  void liftRecipe(int32_t b, const LoadSnapshot& L) {
+    std::string loc;
+    int64_t t = 0, tot = 0;
+    if (L.place == Place::kNotPoured) {
+      loc = "setoff";
+    } else if (b < snap_.caster.castsDone) {
+      loc = "done";  // castdone received; tot no longer constrained
+    } else {
+      tot = unitsUp(snap_.tick - L.pourTick, tpu_);
+      if (L.treatingMachine > 0) {
+        loc = "on" + num(L.treatmentsDone) + "m" + num(L.treatingMachine);
+        t = unitsDown(snap_.tick - L.treatStartTick, tpu_);
+      } else if (L.treatmentsDone >= stagesOf(b)) {
+        loc = "rend";
+      } else {
+        loc = "wait" + num(L.treatmentsDone);
+      }
+    }
+    setLoc(p_->recipes[static_cast<size_t>(b)], loc);
+    setClock("t" + num(b), t);
+    setClock("tot" + num(b), tot);
+  }
+
+  void liftCranes() {
+    for (int32_t c = 0; c < plant::kNumCranes; ++c) {
+      const rcx::CraneSnapshot& cr = snap_.cranes[c];
+      const char* shape = cr.carrying >= 0 ? "f" : "e";
+      setLoc(p_->cranes[static_cast<size_t>(c)], shape + num(cr.pos));
+      setClock("c" + num(c + 1), 0);  // hoist idle (quiesced)
+    }
+  }
+
+  void liftCaster() {
+    const rcx::CasterSnapshot& cs = snap_.caster;
+    std::string loc;
+    int64_t kc = 0;
+    if (cs.castsDone >= snap_.numBatches()) {
+      loc = "done";
+    } else if (cs.castingBatch >= 0) {
+      loc = "cast" + num(cs.castingBatch);
+      // Model invariant: kc <= tcast, eject fires at kc == tcast.
+      kc = cs.castComplete
+               ? cfg_.tcast
+               : std::min<int64_t>(
+                     cfg_.tcast,
+                     unitsDown(snap_.tick - cs.castStartTick, tpu_));
+    } else if (cs.castsDone >= 1) {
+      // The continuity clock is NOT reset at eject: in gap<i> it reads
+      // tcast + (time since that cast ended).
+      loc = "gap" + num(cs.castsDone - 1);
+      kc = cfg_.tcast + unitsUp(snap_.tick - cs.lastCastEndTick, tpu_);
+    } else {
+      loc = "await";
+    }
+    setLoc(p_->caster, loc);
+    setClock("k", kc);
+  }
+
+  void liftMonitor() {
+    // Always "run": the run->alldone edge is a free guard transition,
+    // so a fully finished plant still reaches the goal immediately.
+    setLoc(p_->monitor, "run");
+  }
+
+  // ---- variables ---------------------------------------------------- //
+
+  [[nodiscard]] static std::string groundLocName(int32_t k) {
+    switch (k) {
+      case plant::kOverT1Out: return "t1_" + num(plant::kT1Out);
+      case plant::kOverBuffer: return "at_buf";
+      case plant::kOverT2Out: return "t2_" + num(plant::kT2Out);
+      case plant::kOverHold: return "at_hold";
+      case plant::kOverCastOut: return "at_castout";
+      default: return "at_store";
+    }
+  }
+
+  [[nodiscard]] bool onSlot(const LoadSnapshot& L, int32_t track,
+                            int32_t slot) const {
+    if (L.place == Place::kTrack && L.track == track && L.slot == slot)
+      return true;
+    // Defensive captures may leave an out-pad ladle marked kGround.
+    if (L.place == Place::kGround) {
+      if (track == 1 && slot == plant::kT1Out)
+        return L.groundK == plant::kOverT1Out;
+      if (track == 2 && slot == plant::kT2Out)
+        return L.groundK == plant::kOverT2Out;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool onPad(const LoadSnapshot& L, int32_t k) const {
+    return L.place == Place::kGround && L.groundK == k;
+  }
+
+  /// Crane overhead destination for a carried batch (mirrors the
+  /// builder's craneDest, evaluated on the reconstructed `next`).
+  [[nodiscard]] static int32_t craneDestVal(int32_t nx) {
+    if (nx == plant::kNextCast) return plant::kOverHold;
+    if (nx == plant::kNextStore) return plant::kOverStorage;
+    if (nx <= plant::kNextM3) return plant::kOverT1Out;
+    return plant::kOverT2Out;
+  }
+
+  void liftVars() {
+    const int32_t n = snap_.numBatches();
+
+    // Track occupancy.
+    for (int32_t s = 0; s < plant::kT1Slots; ++s) {
+      int32_t occ = 0;
+      for (int32_t b = 0; b < n; ++b)
+        if (onSlot(snap_.loads[static_cast<size_t>(b)], 1, s)) occ = 1;
+      setCell("posi", s, occ);
+    }
+    for (int32_t s = 0; s < plant::kT2Slots; ++s) {
+      int32_t occ = 0;
+      for (int32_t b = 0; b < n; ++b)
+        if (onSlot(snap_.loads[static_cast<size_t>(b)], 2, s)) occ = 1;
+      setCell("posii", s, occ);
+    }
+
+    // Overhead occupancy (overrides the builder's default crane homes).
+    for (int32_t k = 0; k < plant::kCranePositions; ++k) {
+      const int32_t occ =
+          (snap_.cranes[0].pos == k || snap_.cranes[1].pos == k) ? 1 : 0;
+      setCell("cpos", k, occ);
+    }
+
+    // Pad occupancy.
+    const auto padOcc = [&](int32_t k) {
+      for (int32_t b = 0; b < n; ++b)
+        if (onPad(snap_.loads[static_cast<size_t>(b)], k)) return 1;
+      return 0;
+    };
+    setVar("bufocc", padOcc(plant::kOverBuffer));
+    setVar("holdocc", padOcc(plant::kOverHold));
+    setVar("castoutocc", padOcc(plant::kOverCastOut));
+
+    int32_t ndone = 0;
+    for (int32_t b = 0; b < n; ++b)
+      if (snap_.loads[static_cast<size_t>(b)].place == Place::kExited) ++ndone;
+    setVar("ndone", ndone);
+
+    // waitk: ladles standing at a crane-served position whose `next`
+    // needs a crane from there. Arrival at an out-slot increments it;
+    // a crane dropping a ladle *back* onto the out-slot (next <= M3 at
+    // T1_OUT etc.) does not — the guardPick predicate separates the two
+    // populations exactly.
+    for (int32_t k = 0; k < plant::kCranePositions; ++k) {
+      int32_t w = 0;
+      for (int32_t b = 0; b < n; ++b) {
+        const LoadSnapshot& L = snap_.loads[static_cast<size_t>(b)];
+        const int32_t nx = next_[static_cast<size_t>(b)];
+        if (k == plant::kOverT1Out && onSlot(L, 1, plant::kT1Out) &&
+            nx >= plant::kNextM4 && nx <= plant::kNextCast) {
+          ++w;
+        } else if (k == plant::kOverT2Out && onSlot(L, 2, plant::kT2Out) &&
+                   (nx <= plant::kNextM3 || nx == plant::kNextCast)) {
+          ++w;
+        } else if (k == plant::kOverCastOut && onPad(L, k)) {
+          ++w;  // every ejected ladle on the pad waits for storage
+        }
+      }
+      setCell("waitk", k, w);
+    }
+
+    // Crane request / destination guides. Requests are transient
+    // handshakes between moving cranes; quiesced cranes have none.
+    for (int32_t c = 0; c < plant::kNumCranes; ++c) {
+      setCell("cranereq", c, 0);
+      const int32_t carried = snap_.cranes[c].carrying;
+      setCell("cdest", c,
+              carried >= 0 ? craneDestVal(next_[static_cast<size_t>(carried)])
+                           : 0);
+    }
+
+    // nexthold: index of the next batch allowed to be dropped at the
+    // holding place == number of batches ever delivered there (each is
+    // now ejected, casting, or standing on the hold pad).
+    int32_t atHold = 0;
+    for (int32_t b = 0; b < n; ++b)
+      if (onPad(snap_.loads[static_cast<size_t>(b)], plant::kOverHold))
+        ++atHold;
+    setVar("nexthold", snap_.caster.castsDone +
+                           (snap_.caster.castingBatch >= 0 ? 1 : 0) + atHold);
+
+    for (int32_t b = 0; b < n; ++b)
+      setVar("next" + num(b), next_[static_cast<size_t>(b)]);
+
+    // nextbatch: the pour guide increments when a batch STARTS its
+    // final treatment, so count batches at or past that point.
+    int32_t nb = 0;
+    for (int32_t b = 0; b < n; ++b) {
+      const LoadSnapshot& L = snap_.loads[static_cast<size_t>(b)];
+      if (L.place == Place::kNotPoured) continue;
+      if (L.treatmentsDone >= stagesOf(b) ||
+          (L.treatingMachine > 0 && L.treatmentsDone == stagesOf(b) - 1)) {
+        ++nb;
+      }
+    }
+    setVar("nextbatch", nb);
+
+    // inflight: poured but not yet inside (or past) the caster.
+    int32_t inflight = 0;
+    for (int32_t b = 0; b < n; ++b) {
+      if (snap_.loads[static_cast<size_t>(b)].place != Place::kNotPoured &&
+          !enteredCaster(b)) {
+        ++inflight;
+      }
+    }
+    setVar("inflight", inflight);
+  }
+
+  // ---- clock installation ------------------------------------------ //
+
+  /// Clamp (kRelaxed) and validate the clock valuation against the
+  /// initial locations' invariants, then install it. Working off the
+  /// built model's own invariant list keeps this in lock-step with the
+  /// builder — there is no second copy of the deadline formulas here.
+  void applyClocks() {
+    const auto eachInvariant = [&](auto&& f) {
+      for (size_t pr = 0; pr < sys_->numAutomata(); ++pr) {
+        const auto& a = sys_->automaton(static_cast<ta::ProcId>(pr));
+        for (const ta::ClockConstraint& cc :
+             a.location(a.initial()).invariant) {
+          f(cc);
+        }
+      }
+    };
+
+    if (mode_ == LiftMode::kRelaxed) {
+      // Two passes: single-clock bounds converge in one, difference
+      // bounds (none in the current model, but cheap to honor) in two.
+      for (int pass = 0; pass < 2; ++pass) {
+        eachInvariant([&](const ta::ClockConstraint& cc) {
+          if (cc.bound == dbm::kInfinity) return;
+          const int64_t limit =
+              dbm::boundValue(cc.bound) - (dbm::isStrict(cc.bound) ? 1 : 0);
+          // cc: value(i) - value(j) <= limit. Clamp with headroom: a
+          // deadline clock pulled back exactly to its bound would leave
+          // zero time for the remaining work. One eighth of the widened
+          // window is at least the original full deadline (relaxedConfig
+          // widens by 8x), which bounds any quiesced state's remaining
+          // pipeline.
+          const int64_t headroom = std::max<int64_t>(limit / 8, 1);
+          if (cc.j == 0 && cc.i != 0 && clockVals_[cc.i] > limit) {
+            clockVals_[cc.i] = std::max<int64_t>(0, limit - headroom);
+            if (pass == 0) {
+              ++report_.clampedClocks;
+              note("clamped " + sys_->clockName(cc.i) + " to " +
+                   std::to_string(clockVals_[cc.i]));
+            }
+          } else if (cc.i == 0 && cc.j != 0 && -clockVals_[cc.j] > limit) {
+            clockVals_[cc.j] = -limit;
+            if (pass == 0) ++report_.clampedClocks;
+          }
+        });
+      }
+    }
+
+    eachInvariant([&](const ta::ClockConstraint& cc) {
+      if (cc.bound == dbm::kInfinity) return;
+      const int64_t d = clockVals_[cc.i] - clockVals_[cc.j];
+      const int64_t v = dbm::boundValue(cc.bound);
+      if (dbm::isStrict(cc.bound) ? d < v : d <= v) return;
+      if (report_.feasible) {
+        fail("initial state violates invariant on " +
+             (cc.i != 0 ? sys_->clockName(cc.i) : sys_->clockName(cc.j)) +
+             " (value " + std::to_string(d) + " vs bound " +
+             std::to_string(v) + ")");
+      }
+    });
+
+    for (uint32_t c = 1; c <= sys_->numClocks(); ++c) {
+      if (clockVals_[c] != 0) {
+        sys_->setClockInit(static_cast<ta::ClockId>(c),
+                           static_cast<dbm::value_t>(clockVals_[c]));
+      }
+    }
+  }
+
+  const rcx::PlantSnapshot& snap_;
+  const plant::PlantConfig& cfg_;
+  LiftMode mode_;
+  plant::Plant* p_ = nullptr;
+  ta::System* sys_ = nullptr;
+  int64_t tpu_ = 1;
+  LiftReport report_;
+  std::vector<int32_t> next_;
+  std::vector<int64_t> clockVals_;
+};
+
+}  // namespace
+
+Lifted liftSnapshot(const rcx::PlantSnapshot& snap,
+                    const plant::PlantConfig& cfg, LiftMode mode) {
+  return Lifter(snap, cfg, mode).run();
+}
+
+plant::PlantConfig relaxedConfig(const plant::PlantConfig& cfg) {
+  plant::PlantConfig r = cfg;
+  // Widen the soft deadlines far enough that any quiescent plant state
+  // fits: the pour-to-cast-end budget and the casting continuity window
+  // become "eventually", while the physical durations stay exact.
+  r.rtotal = cfg.rtotal * 8;
+  r.castGap = std::max(cfg.castGap, cfg.rtotal * 8);
+  return r;
+}
+
+}  // namespace replan

@@ -1,0 +1,75 @@
+// State lifting: map a concrete PlantSnapshot (rcx/snapshot.hpp) onto a
+// symbolic initial state of the plant model, so the synthesis layer can
+// re-run the search "from here" instead of from an empty plant.
+//
+// The simulator quiesces the plant before capturing, so every snapshot
+// place corresponds to exactly one model location (a ladle stands on a
+// slot or pad, hangs from a stationary crane, or sits in the caster) —
+// the discrete part of the lift is exact. Clocks are the only lossy
+// part: tick counts are rounded to whole model time units, rounding
+// *up* for deadline clocks (tot<b>, the caster continuity clock) so the
+// lifted model never believes it has more slack than the plant does,
+// and *down* for progress clocks (t<b>, casting progress) so a repair
+// schedule never cuts a treatment or a cast short.
+//
+// kStrict keeps the original timing constraints: if the concrete state
+// already violates one (e.g. the caster continuity window expired while
+// the plant was quiesced), the lift reports infeasible and the
+// degradation ladder moves on. kRelaxed clamps clock values into the
+// invariant ranges instead — used together with relaxedConfig(), which
+// widens the deadlines themselves, to salvage the metal that can still
+// be salvaged.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plant/plant.hpp"
+#include "rcx/snapshot.hpp"
+
+namespace replan {
+
+enum class LiftMode : uint8_t {
+  kStrict,   ///< original deadlines; out-of-range clock => infeasible
+  kRelaxed,  ///< clamp clocks into the invariant ranges
+};
+
+[[nodiscard]] inline const char* liftModeName(LiftMode m) {
+  return m == LiftMode::kStrict ? "strict" : "relaxed";
+}
+
+struct LiftReport {
+  /// The lifted initial state satisfies every location invariant (after
+  /// clamping, in kRelaxed mode). When false the state is still
+  /// installed — engines report it unreachable — but searching it is
+  /// pointless.
+  bool feasible = true;
+  int clampedClocks = 0;  ///< clock values pulled back into range
+  std::vector<std::string> notes;
+};
+
+struct Lifted {
+  /// Freshly built plant whose system's initial locations, variable
+  /// values and clock values encode the snapshot.
+  std::unique_ptr<plant::Plant> plant;
+  LiftReport report;
+};
+
+/// Build the plant model for `cfg` and override its initial state with
+/// the snapshot's concrete state. `cfg` must describe the same
+/// production order the snapshot was captured under (same batch count
+/// and recipes); timing constants may differ (that is how the
+/// degradation ladder relaxes deadlines).
+[[nodiscard]] Lifted liftSnapshot(const rcx::PlantSnapshot& snap,
+                                  const plant::PlantConfig& cfg,
+                                  LiftMode mode);
+
+/// The degradation ladder's relaxed repair configuration: the recipe
+/// total-time deadline and the casting continuity window are widened so
+/// a plant that already blew the original deadlines can still finish
+/// mechanically. Treatment durations, move times and the casting
+/// duration are physical and stay unchanged.
+[[nodiscard]] plant::PlantConfig relaxedConfig(const plant::PlantConfig& cfg);
+
+}  // namespace replan

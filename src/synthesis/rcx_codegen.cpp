@@ -18,6 +18,31 @@ constexpr int32_t kWdVar = 4;
 
 }  // namespace
 
+bool parseResendPolicy(const std::string& s, ResendPolicy* out) {
+  if (s == "eager") {
+    *out = ResendPolicy::kEager;
+    return true;
+  }
+  if (s == "backoff") {
+    *out = ResendPolicy::kBackoff;
+    return true;
+  }
+  if (s == "auto") {
+    *out = ResendPolicy::kAuto;
+    return true;
+  }
+  return false;
+}
+
+const char* resendPolicyName(ResendPolicy p) {
+  switch (p) {
+    case ResendPolicy::kEager: return "eager";
+    case ResendPolicy::kBackoff: return "backoff";
+    case ResendPolicy::kAuto: return "auto";
+  }
+  return "?";
+}
+
 RcxProgram synthesize(const Schedule& schedule, const CodegenOptions& opts) {
   RcxProgram prog;
 

@@ -68,6 +68,20 @@ struct RcxProgram {
   [[nodiscard]] std::string toText() const;
 };
 
+/// Resend discipline of the hardened retry segment. The PR-5 campaign
+/// finding: exponential backoff wins on bursty channels (a retry storm
+/// rides out the bad state) but LOSES under heavy i.i.d. loss, where
+/// every resend is an independent trial and waiting longer between
+/// them only stretches the schedule. kAuto picks per fault plan.
+enum class ResendPolicy : uint8_t {
+  kEager,    ///< fixed Figure-6 threshold (backoffFactor 1)
+  kBackoff,  ///< exponential backoff, x2 capped
+  kAuto,     ///< eager under high configured i.i.d. loss, else backoff
+};
+
+[[nodiscard]] bool parseResendPolicy(const std::string& s, ResendPolicy* out);
+[[nodiscard]] const char* resendPolicyName(ResendPolicy p);
+
 struct CodegenOptions {
   /// Fine-grained simulator ticks per model time unit (the paper's
   /// Delay 12 becomes PB.Wait 2, 1200 — 100 ticks per unit).
@@ -108,11 +122,12 @@ struct CodegenOptions {
   /// backoff (x2, capped), duplicate-ack tolerance, and a watchdog
   /// budget derived from the schedule slack the plant tolerates:
   /// slackTicks of silent polling per command before giving up.
-  [[nodiscard]] static CodegenOptions hardened(int32_t ticksPerTimeUnit = 100,
-                                               int64_t slackTicks = 3000) {
+  [[nodiscard]] static CodegenOptions hardened(
+      int32_t ticksPerTimeUnit = 100, int64_t slackTicks = 3000,
+      ResendPolicy policy = ResendPolicy::kBackoff) {
     CodegenOptions o;
     o.ticksPerTimeUnit = ticksPerTimeUnit;
-    o.backoffFactor = 2;
+    o.backoffFactor = policy == ResendPolicy::kEager ? 1 : 2;
     o.backoffCapPolls = 160;
     o.tolerateDuplicateAcks = true;
     // The watchdog must out-wait any recoverable outage, so budget a
@@ -122,6 +137,17 @@ struct CodegenOptions {
         std::max<int64_t>(20 * o.resendAfterPolls,
                           8 * slackTicks / std::max(1, o.ackPollTicks)));
     return o;
+  }
+
+  /// Resolve kAuto against the configured channel: heavy independent
+  /// loss (>= 10% per direction) wants eager resends, anything bursty
+  /// or mild wants backoff. `iidLossProb` is the per-direction i.i.d.
+  /// loss probability the run is configured with.
+  [[nodiscard]] static ResendPolicy resolveResend(ResendPolicy p,
+                                                  double iidLossProb) {
+    if (p != ResendPolicy::kAuto) return p;
+    return iidLossProb >= 0.10 ? ResendPolicy::kEager
+                               : ResendPolicy::kBackoff;
   }
 
   [[nodiscard]] bool hardenedSegment() const noexcept {

@@ -134,6 +134,23 @@ class System {
     varInit_[static_cast<size_t>(v)] = init;
   }
 
+  /// Override the initial value of a clock (default 0). Nonzero values
+  /// lift a mid-run concrete state into the model: the initial zone
+  /// becomes the delayed point valuation instead of the origin. The
+  /// pre-exploration optimizer is bypassed for such systems (its
+  /// clock-unification and dead-location reasoning assume the zero
+  /// origin), and the initial state may violate an invariant — engines
+  /// then report the goal unreachable instead of asserting.
+  void setClockInit(ClockId c, dbm::value_t v) {
+    assert(c >= 1 && static_cast<size_t>(c) <= clockNames_.size());
+    if (clockInit_.empty() && v == 0) return;
+    if (clockInit_.empty()) clockInit_.resize(clockNames_.size() + 1, 0);
+    if (static_cast<size_t>(c) >= clockInit_.size()) {
+      clockInit_.resize(clockNames_.size() + 1, 0);
+    }
+    clockInit_[static_cast<size_t>(c)] = v;
+  }
+
   /// Adds `size` consecutive cells named name[0..size-1]; returns the
   /// base id of cell 0.
   VarId addArray(const std::string& name, int32_t size, int32_t init = 0) {
@@ -204,6 +221,23 @@ class System {
   [[nodiscard]] const std::vector<int32_t>& initialVars() const noexcept {
     return varInit_;
   }
+  /// Initial clock valuation indexed by ClockId (slot 0 is the
+  /// reference clock). Empty when every clock starts at 0.
+  [[nodiscard]] const std::vector<dbm::value_t>& initialClocks()
+      const noexcept {
+    return clockInit_;
+  }
+  /// Initial value of one clock (0 unless overridden by setClockInit).
+  [[nodiscard]] dbm::value_t initialClock(ClockId c) const {
+    if (static_cast<size_t>(c) >= clockInit_.size()) return 0;
+    return clockInit_[static_cast<size_t>(c)];
+  }
+  [[nodiscard]] bool hasNonzeroClockInit() const noexcept {
+    for (const dbm::value_t v : clockInit_) {
+      if (v != 0) return true;
+    }
+    return false;
+  }
   [[nodiscard]] const std::string& clockName(ClockId c) const {
     return clockNames_[static_cast<size_t>(c - 1)];
   }
@@ -259,6 +293,7 @@ class System {
 
   ExprPool pool_;
   std::vector<std::string> clockNames_;
+  std::vector<dbm::value_t> clockInit_;  ///< by ClockId; empty = all zero
   std::vector<std::string> varNames_;
   std::vector<int32_t> varInit_;
   std::vector<std::pair<VarId, int32_t>> arraySizes_;

@@ -1,0 +1,169 @@
+// Nonzero initial clock valuations (ta::System::setClockInit) across
+// the exploration engines — the mechanism replan/lift.cpp uses to
+// resume a model mid-run. The key soundness properties:
+//
+//  * the initial zone is the singleton valuation, advanced by delay,
+//    so guards measure time since the *original* start, not the splice;
+//  * an initial valuation that violates an initial-location invariant
+//    yields an empty initial zone (unreachable, zero states explored)
+//    instead of a spurious run;
+//  * every engine (BFS, DFS, parallel, best-first) and the concretizer
+//    agree on the shifted-time semantics.
+#include <gtest/gtest.h>
+
+#include "engine/best_first.hpp"
+#include "engine/reachability.hpp"
+#include "engine/trace.hpp"
+#include "ta/system.hpp"
+
+namespace engine {
+namespace {
+
+using ta::ccGe;
+using ta::ccLe;
+
+/// One automaton, one clock: A --(x>=3)--> B with inv(A): x<=5.
+struct TimedHop {
+  ta::System sys;
+  ta::ProcId p;
+  ta::LocId a, b;
+  ta::ClockId x;
+
+  TimedHop() {
+    x = sys.addClock("x");
+    p = sys.addAutomaton("hop");
+    auto& aut = sys.automaton(p);
+    a = aut.addLocation("A");
+    b = aut.addLocation("B");
+    aut.setInvariant(a, {ccLe(x, 5)});
+    aut.setInitial(a);
+    sys.edge(p, a, b).when(ccGe(x, 3)).label("go");
+    sys.finalize();
+  }
+
+  [[nodiscard]] Goal goal() const { return Goal{{{p, b}}, ta::kNoExpr, {}}; }
+};
+
+TEST(InitialClocks, DefaultIsZeroAndFlagOff) {
+  TimedHop m;
+  EXPECT_FALSE(m.sys.hasNonzeroClockInit());
+  EXPECT_EQ(m.sys.initialClock(m.x), 0);
+  m.sys.setClockInit(m.x, 2);
+  EXPECT_TRUE(m.sys.hasNonzeroClockInit());
+  EXPECT_EQ(m.sys.initialClock(m.x), 2);
+}
+
+TEST(InitialClocks, ShiftedStartStillReachesGoal) {
+  TimedHop m;
+  m.sys.setClockInit(m.x, 2);
+  Reachability checker(m.sys, Options{});
+  const Result res = checker.run(m.goal());
+  ASSERT_TRUE(res.reachable);
+  // Concretized, the run only needs one more time unit: x starts at 2,
+  // the guard wants x >= 3.
+  std::string err;
+  const auto ct = concretize(m.sys, res.trace, &err);
+  ASSERT_TRUE(ct.has_value()) << err;
+  EXPECT_EQ(ct->makespan(), 1);
+}
+
+TEST(InitialClocks, InitAtGuardNeedsNoDelay) {
+  TimedHop m;
+  m.sys.setClockInit(m.x, 3);
+  Reachability checker(m.sys, Options{});
+  const Result res = checker.run(m.goal());
+  ASSERT_TRUE(res.reachable);
+  std::string err;
+  const auto ct = concretize(m.sys, res.trace, &err);
+  ASSERT_TRUE(ct.has_value()) << err;
+  EXPECT_EQ(ct->makespan(), 0);
+}
+
+TEST(InitialClocks, InvariantViolatingInitIsUnreachable) {
+  TimedHop m;
+  m.sys.setClockInit(m.x, 10);  // inv(A): x <= 5 — the init is outside
+  Reachability checker(m.sys, Options{});
+  const Result res = checker.run(m.goal());
+  EXPECT_FALSE(res.reachable);
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_EQ(res.stats.statesExplored, 0u);
+}
+
+TEST(InitialClocks, AllOrdersAgree) {
+  for (const auto order : {SearchOrder::kBfs, SearchOrder::kDfs}) {
+    for (const dbm::value_t init : {0, 2, 4, 10}) {
+      TimedHop m;
+      m.sys.setClockInit(m.x, init);
+      Options o;
+      o.order = order;
+      Reachability checker(m.sys, o);
+      EXPECT_EQ(checker.run(m.goal()).reachable, init <= 5)
+          << "order=" << static_cast<int>(order) << " init=" << init;
+    }
+  }
+}
+
+TEST(InitialClocks, ParallelEnginesAgree) {
+  for (const auto order : {SearchOrder::kBfs, SearchOrder::kDfs}) {
+    for (const dbm::value_t init : {2, 10}) {
+      TimedHop m;
+      m.sys.setClockInit(m.x, init);
+      Options o;
+      o.order = order;
+      o.threads = 2;
+      Reachability checker(m.sys, o);
+      EXPECT_EQ(checker.run(m.goal()).reachable, init <= 5)
+          << "order=" << static_cast<int>(order) << " init=" << init;
+    }
+  }
+}
+
+TEST(InitialClocks, BestFirstCostCountsFromInit) {
+  // Cost clock t (never reset) starts at 7; reaching B needs one more
+  // unit past x=2, so the optimal cost is 8, not 1.
+  ta::System sys;
+  const ta::ClockId x = sys.addClock("x");
+  const ta::ClockId t = sys.addClock("t");
+  const ta::ProcId p = sys.addAutomaton("hop");
+  auto& aut = sys.automaton(p);
+  const ta::LocId a = aut.addLocation("A");
+  const ta::LocId b = aut.addLocation("B");
+  aut.setInitial(a);
+  sys.edge(p, a, b).when(ccGe(x, 3)).label("go");
+  sys.finalize();
+  sys.setClockInit(x, 2);
+  sys.setClockInit(t, 7);
+  BestFirst bf(sys, Options{}, t);
+  const BestFirstResult res = bf.run(Goal{{{p, b}}, ta::kNoExpr, {}});
+  ASSERT_TRUE(res.reachable);
+  EXPECT_TRUE(res.optimal);
+  EXPECT_EQ(res.cost, 8);
+}
+
+TEST(InitialClocks, OptPassesPreserveShiftedVerdict) {
+  // The pre-exploration optimizer bridge must not rewrite away a
+  // nonzero-init model (its passes assume all clocks start at zero).
+  for (const dbm::value_t init : {2, 10}) {
+    TimedHop m;
+    m.sys.setClockInit(m.x, init);
+    Options o;
+    o.optLevel = 2;
+    Reachability checker(m.sys, o);
+    EXPECT_EQ(checker.run(m.goal()).reachable, init <= 5) << init;
+  }
+}
+
+TEST(InitialClocks, TraceReplayFromShiftedInit) {
+  TimedHop m;
+  m.sys.setClockInit(m.x, 2);
+  Reachability checker(m.sys, Options{});
+  const Result res = checker.run(m.goal());
+  ASSERT_TRUE(res.reachable);
+  std::string err;
+  const auto ct = concretize(m.sys, res.trace, &err);
+  ASSERT_TRUE(ct.has_value()) << err;
+  EXPECT_TRUE(validate(m.sys, *ct, &err)) << err;
+}
+
+}  // namespace
+}  // namespace engine

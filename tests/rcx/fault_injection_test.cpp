@@ -109,7 +109,10 @@ TEST(FaultInjection, FreeSourceEarlyAdmitsCollisionHazard) {
     hazard.locations = {{plant->cranes[0], h1}, {plant->cranes[1], h2}};
     engine::Options opts;
     opts.order = engine::SearchOrder::kDfs;
-    opts.maxSeconds = 30.0;
+    // Generous budget: the unguided exhaustion takes ~16s alone and the
+    // suite runs under ctest -j; the exhausted-check below still fails
+    // if the search is cut off.
+    opts.maxSeconds = 180.0;
     engine::Reachability checker(plant->sys, opts);
     const engine::Result res = checker.run(hazard);
     if (buggy) {

@@ -1,0 +1,188 @@
+// State lifting (replan/lift.hpp): a concrete PlantSnapshot becomes a
+// symbolic initial state of the plant model. The properties under test:
+// discrete places map to the right locations, clock rounding follows
+// the safe directions (deadlines up, progress down), strict mode
+// rejects states that violate the original deadlines while relaxed
+// mode clamps them, and the lifted state is actually searchable (the
+// engine's initial zone is non-empty exactly when the report says
+// feasible).
+#include <gtest/gtest.h>
+
+#include "engine/reachability.hpp"
+#include "replan/lift.hpp"
+#include "replan_test_util.hpp"
+
+namespace replan {
+namespace {
+
+using replan_test::crashPlan;
+using replan_test::findMidBatchFatalSeed;
+using replan_test::kTpu;
+using replan_test::runClassified;
+using replan_test::solveSchedule;
+
+plant::PlantConfig oneBatch() {
+  plant::PlantConfig cfg;
+  cfg.order = {plant::qualityA()};
+  return cfg;
+}
+
+/// Clock init by name in the lifted system (0 when the name is absent).
+int64_t clockInit(const ta::System& sys, const std::string& name) {
+  for (ta::ClockId c = 1; c <= static_cast<ta::ClockId>(sys.numClocks());
+       ++c) {
+    if (sys.clockName(c) == name) return sys.initialClock(c);
+  }
+  return 0;
+}
+
+std::string initialLoc(const ta::System& sys, ta::ProcId p) {
+  const auto& aut = sys.automaton(p);
+  return aut.location(aut.initial()).name;
+}
+
+bool goalReachable(const plant::Plant& plant, size_t maxStates) {
+  engine::Options o;
+  o.order = engine::SearchOrder::kDfs;
+  o.dfsReverse = true;
+  o.maxStates = maxStates;
+  engine::Reachability checker(plant.sys, o);
+  return checker.run(plant.goal).reachable;
+}
+
+TEST(RelaxedConfig, WidensDeadlinesKeepsPhysicalTimes) {
+  const auto cfg = oneBatch();
+  const auto relaxed = relaxedConfig(cfg);
+  EXPECT_GT(relaxed.rtotal, cfg.rtotal);
+  EXPECT_GE(relaxed.castGap, cfg.castGap);
+  EXPECT_EQ(relaxed.tcast, cfg.tcast);
+  EXPECT_EQ(relaxed.bmove, cfg.bmove);
+  EXPECT_EQ(relaxed.cmove, cfg.cmove);
+}
+
+TEST(Lift, PreStartSnapshotIsTheOriginalModel) {
+  const auto cfg = oneBatch();
+  // A fatal halt before anything happened (total message loss).
+  rcx::PlantSnapshot snap;
+  snap.kind = rcx::DeviationKind::kWatchdogHalt;
+  snap.quiescent = true;
+  snap.tick = 100;
+  snap.ticksPerTimeUnit = kTpu;
+  snap.loads.resize(1);
+  snap.cranes[0].pos = plant::kOverT1Out;
+  snap.cranes[1].pos = plant::kOverCastOut;
+  const Lifted lifted = liftSnapshot(snap, cfg, LiftMode::kStrict);
+  ASSERT_TRUE(lifted.report.feasible)
+      << (lifted.report.notes.empty() ? "" : lifted.report.notes[0]);
+  const ta::System& sys = lifted.plant->sys;
+  EXPECT_EQ(initialLoc(sys, lifted.plant->caster), "await");
+  EXPECT_EQ(initialLoc(sys, lifted.plant->recipes[0]), "setoff");
+  EXPECT_EQ(initialLoc(sys, lifted.plant->batches[0]), "src");
+  EXPECT_EQ(initialLoc(sys, lifted.plant->monitor), "run");
+  EXPECT_FALSE(sys.hasNonzeroClockInit());
+  EXPECT_TRUE(goalReachable(*lifted.plant, 500'000));
+}
+
+TEST(Lift, MidBatchSnapshotIsSearchable) {
+  const auto cfg = oneBatch();
+  const auto sched = solveSchedule(cfg);
+  ASSERT_FALSE(sched.items.empty());
+  const uint64_t seed = findMidBatchFatalSeed(sched, cfg, crashPlan(), 50);
+  ASSERT_LT(seed, 50u);
+  const rcx::SimResult r = runClassified(sched, cfg, crashPlan(), seed);
+  ASSERT_TRUE(r.snapshot.has_value());
+  // Relaxed ladder rung: widened deadlines, clamped clocks.
+  const auto rcfg = relaxedConfig(cfg);
+  const Lifted lifted = liftSnapshot(*r.snapshot, rcfg, LiftMode::kRelaxed);
+  ASSERT_TRUE(lifted.report.feasible)
+      << (lifted.report.notes.empty() ? "" : lifted.report.notes[0]);
+  EXPECT_TRUE(goalReachable(*lifted.plant, 800'000))
+      << "a quiesced mid-batch state must still reach the goal under "
+         "relaxed deadlines";
+}
+
+/// A poured ladle parked at the holding pad with its recipe deadline
+/// long blown: strict must refuse, relaxed must clamp and proceed.
+rcx::PlantSnapshot blownDeadlineSnapshot(const plant::PlantConfig& cfg,
+                                         int64_t unitsLate) {
+  rcx::PlantSnapshot snap;
+  snap.kind = rcx::DeviationKind::kWatchdogHalt;
+  snap.quiescent = true;
+  snap.ticksPerTimeUnit = kTpu;
+  snap.tick = 1'000'000;
+  snap.loads.resize(1);
+  rcx::LoadSnapshot& l = snap.loads[0];
+  l.place = rcx::LoadSnapshot::Place::kGround;
+  l.groundK = plant::kOverHold;
+  l.treatmentsDone = 1;  // qualityA: the single treatment is done
+  l.lastMachine = plant::machineOn(1, plant::MachineType::kA);
+  l.pourTick = snap.tick - (cfg.rtotal + unitsLate) * kTpu;
+  snap.cranes[0].pos = plant::kOverT1Out;
+  snap.cranes[1].pos = plant::kOverCastOut;
+  return snap;
+}
+
+TEST(Lift, BlownDeadlineStrictInfeasible) {
+  const auto cfg = oneBatch();
+  const auto snap = blownDeadlineSnapshot(cfg, 10);
+  const Lifted lifted = liftSnapshot(snap, cfg, LiftMode::kStrict);
+  EXPECT_FALSE(lifted.report.feasible);
+  // The state is installed anyway; the engine proves it empty without
+  // exploring anything.
+  engine::Options o;
+  engine::Reachability checker(lifted.plant->sys, o);
+  const engine::Result res = checker.run(lifted.plant->goal);
+  EXPECT_FALSE(res.reachable);
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_EQ(res.stats.statesExplored, 0u);
+}
+
+TEST(Lift, BlownDeadlineRelaxedClampsAndSearches) {
+  const auto cfg = oneBatch();
+  const auto rcfg = relaxedConfig(cfg);
+  // Late even for the widened deadline, so the clamp has to act.
+  const auto snap = blownDeadlineSnapshot(cfg, 8 * cfg.rtotal + 20);
+  const Lifted lifted = liftSnapshot(snap, rcfg, LiftMode::kRelaxed);
+  ASSERT_TRUE(lifted.report.feasible)
+      << (lifted.report.notes.empty() ? "" : lifted.report.notes[0]);
+  EXPECT_GE(lifted.report.clampedClocks, 1);
+  EXPECT_TRUE(goalReachable(*lifted.plant, 800'000));
+}
+
+TEST(Lift, CasterProgressRoundsDown) {
+  const auto cfg = oneBatch();
+  rcx::PlantSnapshot snap;
+  snap.kind = rcx::DeviationKind::kWatchdogHalt;
+  snap.quiescent = true;
+  snap.ticksPerTimeUnit = kTpu;
+  snap.tick = 10'000;
+  snap.loads.resize(1);
+  rcx::LoadSnapshot& l = snap.loads[0];
+  l.place = rcx::LoadSnapshot::Place::kInCaster;
+  l.treatmentsDone = 1;
+  l.lastMachine = plant::machineOn(1, plant::MachineType::kA);
+  l.pourTick = snap.tick - 2'000;
+  snap.caster.castingBatch = 0;
+  snap.caster.castStartTick = snap.tick - 1'234;  // 12.34 model units
+  snap.cranes[0].pos = plant::kOverT1Out;
+  snap.cranes[1].pos = plant::kOverHold;
+  const Lifted lifted = liftSnapshot(snap, cfg, LiftMode::kStrict);
+  ASSERT_TRUE(lifted.report.feasible)
+      << (lifted.report.notes.empty() ? "" : lifted.report.notes[0]);
+  const ta::System& sys = lifted.plant->sys;
+  EXPECT_EQ(initialLoc(sys, lifted.plant->caster), "cast0");
+  EXPECT_EQ(initialLoc(sys, lifted.plant->batches[0]), "in_cast");
+  // Progress clock floors (12.34 -> 12): the repair schedule never
+  // ejects before the physical cast completes.
+  EXPECT_EQ(clockInit(sys, "k"), 12);
+  // Deadline clock ceils (20.00 -> 20 exactly here; one tick more and
+  // it must round to 21).
+  EXPECT_EQ(clockInit(sys, "tot0"), 20);
+  rcx::PlantSnapshot snap2 = snap;
+  snap2.loads[0].pourTick -= 1;
+  const Lifted lifted2 = liftSnapshot(snap2, cfg, LiftMode::kStrict);
+  EXPECT_EQ(clockInit(lifted2.plant->sys, "tot0"), 21);
+}
+
+}  // namespace
+}  // namespace replan

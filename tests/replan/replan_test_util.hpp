@@ -1,0 +1,85 @@
+// Shared helpers for the replanning test suites: solve a schedule for a
+// config the way the examples do (first-found reverse DFS), and run it
+// against the simulated plant with fatal-deviation classification on.
+#pragma once
+
+#include <string>
+
+#include "engine/reachability.hpp"
+#include "engine/trace.hpp"
+#include "plant/plant.hpp"
+#include "rcx/plant_sim.hpp"
+#include "synthesis/rcx_codegen.hpp"
+#include "synthesis/schedule.hpp"
+
+namespace replan_test {
+
+inline constexpr int32_t kTpu = 100;
+inline constexpr int64_t kSlackTicks = 3000;
+
+/// First-found schedule for `cfg` (empty commands = infeasible, which
+/// the callers ASSERT against).
+inline synthesis::Schedule solveSchedule(const plant::PlantConfig& cfg) {
+  const auto plant = plant::buildPlant(cfg);
+  engine::Options opts;
+  opts.order = engine::SearchOrder::kDfs;
+  opts.dfsReverse = true;
+  opts.maxSeconds = 60.0;
+  engine::Reachability checker(plant->sys, opts);
+  const engine::Result res = checker.run(plant->goal);
+  if (!res.reachable) return {};
+  std::string err;
+  const auto ct = engine::concretize(plant->sys, res.trace, &err);
+  if (!ct.has_value()) return {};
+  return synthesis::project(plant->sys, *ct);
+}
+
+inline synthesis::CodegenOptions hardenedCodegen() {
+  return synthesis::CodegenOptions::hardened(
+      kTpu, kSlackTicks, synthesis::ResendPolicy::kEager);
+}
+
+/// One open-loop run with snapshot-on-fatal classification.
+inline rcx::SimResult runClassified(const synthesis::Schedule& sched,
+                                    const plant::PlantConfig& cfg,
+                                    const rcx::FaultPlan& plan,
+                                    uint64_t seed) {
+  const synthesis::RcxProgram prog =
+      synthesis::synthesize(sched, hardenedCodegen());
+  rcx::SimOptions sim;
+  sim.messageLossProb = 0.0;
+  sim.faults = plan;
+  sim.seed = seed;
+  sim.slackTicks = kSlackTicks;
+  sim.snapshotOnFatal = true;
+  return rcx::runProgram(prog, cfg, kTpu, sim);
+}
+
+/// The crash fault profile the suites use to manufacture mid-batch
+/// fatal deviations: a unit dies and stays silent past the watchdog
+/// budget, deterministically per seed.
+inline rcx::FaultPlan crashPlan() {
+  rcx::FaultPlan plan;
+  plan.crash.crashPerTick = 1e-4;
+  plan.crash.downTicks = 40'000;
+  return plan;
+}
+
+/// Scan seeds until a run produces a fatal snapshot whose first batch
+/// was already poured (a genuinely mid-batch state). Returns the seed,
+/// or `limit` if none was found (callers ASSERT_LT against it).
+inline uint64_t findMidBatchFatalSeed(const synthesis::Schedule& sched,
+                                      const plant::PlantConfig& cfg,
+                                      const rcx::FaultPlan& plan,
+                                      uint64_t limit) {
+  for (uint64_t seed = 0; seed < limit; ++seed) {
+    const rcx::SimResult r = runClassified(sched, cfg, plan, seed);
+    if (r.snapshot.has_value() && !r.snapshot->loads.empty() &&
+        r.snapshot->loads[0].pourTick >= 0) {
+      return seed;
+    }
+  }
+  return limit;
+}
+
+}  // namespace replan_test

@@ -1,0 +1,148 @@
+// Deviation classification and fatal-state capture (rcx/snapshot.hpp,
+// the plant_sim snapshotOnFatal path): clean runs classify kNone,
+// absorbed faults classify kRecoverable, and fatal deviations quiesce
+// the plant and capture a discrete, resumable snapshot. Also covers the
+// execution-state surface of SimResult (per-unit drifted clocks,
+// dedup ids, in-flight messages) that the replanning layer consumes.
+#include <gtest/gtest.h>
+
+#include "replan_test_util.hpp"
+
+namespace rcx {
+namespace {
+
+using replan_test::crashPlan;
+using replan_test::findMidBatchFatalSeed;
+using replan_test::kSlackTicks;
+using replan_test::kTpu;
+using replan_test::runClassified;
+using replan_test::solveSchedule;
+
+plant::PlantConfig oneBatch() {
+  plant::PlantConfig cfg;
+  cfg.order = {plant::qualityA()};
+  return cfg;
+}
+
+TEST(SnapshotClassify, CleanRunIsNone) {
+  const auto cfg = oneBatch();
+  const auto sched = solveSchedule(cfg);
+  ASSERT_FALSE(sched.items.empty());
+  const SimResult r = runClassified(sched, cfg, FaultPlan{}, 1);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.deviation, DeviationKind::kNone);
+  EXPECT_FALSE(r.snapshot.has_value());
+  // Satellite surface: the dedup map names every commanded unit even on
+  // a clean run, and nothing is left in the air at exit.
+  EXPECT_FALSE(r.lastExecuted.empty());
+  EXPECT_TRUE(r.inFlight.empty());
+}
+
+TEST(SnapshotClassify, AbsorbedLossIsRecoverable) {
+  const auto cfg = oneBatch();
+  const auto sched = solveSchedule(cfg);
+  ASSERT_FALSE(sched.items.empty());
+  // 20% i.i.d. loss: the hardened resend layer absorbs it, but the run
+  // is no longer fault-free — it must classify as recoverable.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const SimResult r =
+        runClassified(sched, cfg, FaultPlan::iidLoss(0.2), seed);
+    if (!r.ok()) continue;  // a seed may lose a message beyond recovery
+    if (r.commandsLost + r.acksLost == 0) continue;
+    EXPECT_EQ(r.deviation, DeviationKind::kRecoverable) << "seed " << seed;
+    return;
+  }
+  FAIL() << "no seed produced an absorbed-loss run";
+}
+
+TEST(SnapshotClassify, TotalLossHaltsAndSnapshots) {
+  const auto cfg = oneBatch();
+  const auto sched = solveSchedule(cfg);
+  ASSERT_FALSE(sched.items.empty());
+  const SimResult r = runClassified(sched, cfg, FaultPlan::iidLoss(1.0), 1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.deviation, DeviationKind::kWatchdogHalt);
+  ASSERT_TRUE(r.snapshot.has_value());
+  const PlantSnapshot& s = *r.snapshot;
+  EXPECT_EQ(s.kind, DeviationKind::kWatchdogHalt);
+  EXPECT_FALSE(s.reason.empty());
+  EXPECT_TRUE(s.quiescent);
+  EXPECT_GE(s.tick, s.deviationTick);
+  EXPECT_EQ(s.ticksPerTimeUnit, kTpu);
+  ASSERT_EQ(s.numBatches(), 1);
+  // Nothing was ever delivered: the ladle was never poured.
+  EXPECT_EQ(s.loads[0].place, LoadSnapshot::Place::kNotPoured);
+  EXPECT_LT(s.loads[0].pourTick, 0);
+}
+
+TEST(SnapshotCapture, MidBatchCrashIsDiscreteAndQuiesced) {
+  const auto cfg = oneBatch();
+  const auto sched = solveSchedule(cfg);
+  ASSERT_FALSE(sched.items.empty());
+  const uint64_t seed = findMidBatchFatalSeed(sched, cfg, crashPlan(), 50);
+  ASSERT_LT(seed, 50u) << "no seed produced a mid-batch fatal deviation";
+  const SimResult r = runClassified(sched, cfg, crashPlan(), seed);
+  ASSERT_TRUE(r.snapshot.has_value());
+  const PlantSnapshot& s = *r.snapshot;
+  EXPECT_TRUE(isFatal(s.kind));
+  EXPECT_TRUE(s.quiescent);
+  // Quiescence discreteness: the ladle stands somewhere the model has a
+  // location for — never mid-move.
+  const LoadSnapshot& l = s.loads[0];
+  EXPECT_NE(l.place, LoadSnapshot::Place::kNotPoured);
+  if (l.place == LoadSnapshot::Place::kOnCrane) {
+    EXPECT_GE(l.crane, 0);
+    EXPECT_LT(l.crane, plant::kNumCranes);
+    EXPECT_EQ(s.cranes[l.crane].carrying, 0);
+  }
+  for (const CraneSnapshot& c : s.cranes) {
+    EXPECT_GE(c.pos, plant::kOverT1Out);
+    EXPECT_LE(c.pos, plant::kOverStorage);
+  }
+  // The crashed unit's silence survives into the snapshot so a splice
+  // can preset it.
+  EXPECT_FALSE(s.downUntil.empty() && s.kind == DeviationKind::kWatchdogHalt)
+      << "a watchdog halt under the crash plan should record the "
+         "silent unit's revival tick";
+  EXPECT_FALSE(s.lastExecuted.empty());
+}
+
+TEST(SnapshotCapture, DriftFactorsExposedAndCaptured) {
+  const auto cfg = oneBatch();
+  const auto sched = solveSchedule(cfg);
+  ASSERT_FALSE(sched.items.empty());
+  FaultPlan plan;
+  plan.driftPpm = 200.0;
+  const SimResult r = runClassified(sched, cfg, plan, 3);
+  EXPECT_TRUE(r.ok());
+  // Satellite surface: every unit that acted drew a drift factor, and
+  // the result exposes the whole map.
+  ASSERT_FALSE(r.unitDrift.empty());
+  for (const auto& [unit, f] : r.unitDrift) {
+    EXPECT_NEAR(f, 1.0, 200.0 / 1e6) << unit;
+  }
+}
+
+TEST(SnapshotCapture, InFlightMessagesAccounted) {
+  const auto cfg = oneBatch();
+  const auto sched = solveSchedule(cfg);
+  ASSERT_FALSE(sched.items.empty());
+  // Total ack loss: commands arrive (and execute) but every ack dies,
+  // so at the watchdog halt the air holds undelivered resends.
+  FaultPlan plan;
+  plan.ackLossProb = 1.0;
+  const SimResult r = runClassified(sched, cfg, plan, 1);
+  EXPECT_FALSE(r.ok());
+  ASSERT_TRUE(r.snapshot.has_value());
+  EXPECT_EQ(r.snapshot->inFlight.size(), r.inFlight.size());
+  for (const InFlightMsg& m : r.inFlight) {
+    EXPECT_GT(m.msgId, 0);
+    if (!m.towardCentral) {
+      EXPECT_FALSE(m.unit.empty());
+      EXPECT_FALSE(m.command.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rcx
